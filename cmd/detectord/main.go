@@ -1,0 +1,151 @@
+// Command detectord boots the full deTector deployment on one machine:
+// the emulated UDP switch fabric, controller, diagnoser and watchdog
+// services, and pinger/responder agents on every server. It then injects
+// failures on demand from stdin and prints diagnoser alerts — a terminal
+// version of the paper's testbed demo.
+//
+// Usage:
+//
+//	detectord -k 4 -window 2s
+//
+// Interactive commands on stdin:
+//
+//	fail <linkID> full|gray|blackhole|rate <p>
+//	repair <linkID>
+//	links            # list switch links
+//	alerts           # dump alerts so far
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/detector-net/detector/internal/cluster"
+	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/sim"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+func main() {
+	var (
+		k      = flag.Int("k", 4, "Fattree radix")
+		window = flag.Duration("window", 2*time.Second, "diagnoser window")
+		rate   = flag.Int("rate", 60, "probes per second per pinger")
+	)
+	flag.Parse()
+
+	cfg := control.DefaultConfig()
+	cfg.RatePPS = *rate
+	cfg.WindowMS = int(*window / time.Millisecond)
+	c, err := cluster.Start(cluster.Options{
+		K:            *k,
+		Control:      cfg,
+		Window:       *window,
+		ProbeTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detectord:", err)
+		os.Exit(1)
+	}
+	defer c.Stop()
+
+	fmt.Printf("detectord: Fattree(%d) up — %d switches, %d servers, %d pingers, %d probe routes\n",
+		*k, c.F.Stats().Switches, c.F.Stats().Servers, len(c.Pingers), c.Controller.ProbeMatrix().NumPaths())
+	fmt.Printf("controller %s | diagnoser %s | watchdog %s\n", c.ControllerURL, c.DiagnoserURL, c.WatchdogURL)
+	fmt.Println("commands: fail <link> full|gray|blackhole|rate <p> · repair <link> · links · alerts · quit")
+
+	// Stream alerts as they appear.
+	go func() {
+		seen := 0
+		for {
+			time.Sleep(*window / 2)
+			alerts := c.Diagnoser.Alerts()
+			for ; seen < len(alerts); seen++ {
+				a := alerts[seen]
+				if len(a.Bad) == 0 {
+					continue
+				}
+				fmt.Printf("ALERT %s: %d lossy paths\n", a.Time.Format("15:04:05"), a.LossyPaths)
+				for _, v := range a.Bad {
+					fmt.Printf("  bad link %d (%s <-> %s), est. loss %.2f%%\n", v.Link, v.A, v.B, 100*v.Rate)
+				}
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "links":
+			for _, l := range c.F.SwitchLinks() {
+				lk := c.F.Link(l)
+				fmt.Printf("  %d: %s <-> %s\n", l, c.F.Node(lk.A).Name, c.F.Node(lk.B).Name)
+			}
+		case "alerts":
+			for _, a := range c.Diagnoser.Alerts() {
+				fmt.Printf("  %s: %d lossy, bad=%v\n", a.Time.Format("15:04:05"), a.LossyPaths, a.Bad)
+			}
+		case "repair":
+			if len(fields) < 2 {
+				fmt.Println("usage: repair <linkID>")
+				continue
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("bad link id")
+				continue
+			}
+			c.Repair(topo.LinkID(id))
+			fmt.Printf("repaired link %d\n", id)
+		case "fail":
+			if len(fields) < 3 {
+				fmt.Println("usage: fail <linkID> full|gray|blackhole|rate <p>")
+				continue
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 || id >= c.F.NumLinks() {
+				fmt.Println("bad link id")
+				continue
+			}
+			var model sim.LossModel
+			switch fields[2] {
+			case "full":
+				model = sim.FullLoss{}
+			case "gray":
+				model = sim.FullLoss{Gray: true}
+			case "blackhole":
+				model = sim.DeterministicLoss{Buckets: 0xFFFF0000, Seed: 42}
+			case "rate":
+				if len(fields) < 4 {
+					fmt.Println("usage: fail <linkID> rate <p>")
+					continue
+				}
+				p, err := strconv.ParseFloat(fields[3], 64)
+				if err != nil || p <= 0 || p > 1 {
+					fmt.Println("bad rate")
+					continue
+				}
+				model = sim.RandomLoss{P: p}
+			default:
+				fmt.Println("unknown loss model")
+				continue
+			}
+			c.InjectFailure(topo.LinkID(id), model)
+			fmt.Printf("injected %s on link %d\n", fields[2], id)
+		default:
+			fmt.Println("unknown command")
+		}
+	}
+}

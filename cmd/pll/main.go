@@ -1,0 +1,127 @@
+// Command pll runs deTector's loss localization offline on a JSON file of
+// per-path observations against a probe matrix produced by cmd/pmc.
+//
+// Input format (observations):
+//
+//	[{"path_id": 0, "sent": 300, "lost": 12}, ...]
+//
+// Usage:
+//
+//	pmc -topo fattree -k 4 -alpha 3 -beta 1 -json matrix.json
+//	pll -matrix matrix.json -obs window.json
+//	pll -matrix matrix.json -obs window.json -algo tomo -hit-ratio 0.8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+type matrixJSON struct {
+	Topology string `json:"topology"`
+	NumLinks int    `json:"num_links"`
+	Paths    []struct {
+		Src   topo.NodeID   `json:"src"`
+		Dst   topo.NodeID   `json:"dst"`
+		Links []topo.LinkID `json:"links"`
+	} `json:"paths"`
+}
+
+type obsJSON struct {
+	PathID int `json:"path_id"`
+	Sent   int `json:"sent"`
+	Lost   int `json:"lost"`
+}
+
+func main() {
+	var (
+		matrixPath = flag.String("matrix", "", "probe matrix JSON from cmd/pmc (required)")
+		obsPath    = flag.String("obs", "", "observation window JSON (required)")
+		algo       = flag.String("algo", "pll", "localizer: pll | tomo | score | omp")
+		hitRatio   = flag.Float64("hit-ratio", 0.6, "PLL hit-ratio threshold")
+		floor      = flag.Float64("floor", 1e-3, "noise floor on path loss ratio")
+	)
+	flag.Parse()
+	if *matrixPath == "" || *obsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var m matrixJSON
+	fatal(readJSON(*matrixPath, &m))
+	var rawObs []obsJSON
+	fatal(readJSON(*obsPath, &rawObs))
+
+	linkSets := make([][]topo.LinkID, len(m.Paths))
+	for i, p := range m.Paths {
+		linkSets[i] = p.Links
+	}
+	probes := route.NewProbesFromLinks(linkSets, m.NumLinks)
+	for i, p := range m.Paths {
+		probes.Src[i], probes.Dst[i] = p.Src, p.Dst
+	}
+	obs := make([]pll.Observation, len(rawObs))
+	for i, o := range rawObs {
+		obs[i] = pll.Observation{Path: o.PathID, Sent: o.Sent, Lost: o.Lost}
+	}
+
+	var localizer pll.Localizer
+	switch *algo {
+	case "pll":
+		a := pll.NewPLL()
+		a.Config.HitRatio = *hitRatio
+		a.Config.LossRatioFloor = *floor
+		localizer = a
+	case "tomo":
+		localizer = pll.NewTomo()
+	case "score":
+		localizer = pll.NewSCORE()
+	case "omp":
+		localizer = pll.NewOMP()
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	bad, err := localizer.Localize(probes, obs)
+	fatal(err)
+	fmt.Printf("%s on %q: %d paths observed, %d links suspected\n", localizer.Name(), m.Topology, len(obs), len(bad))
+	for _, l := range bad {
+		fmt.Printf("  link %d\n", l)
+	}
+	if *algo == "pll" {
+		// Rich output with loss-rate estimates.
+		cfg := pll.DefaultConfig()
+		cfg.HitRatio = *hitRatio
+		cfg.LossRatioFloor = *floor
+		res, err := pll.Localize(probes, obs, cfg)
+		fatal(err)
+		for _, v := range res.Bad {
+			fmt.Printf("  link %d: estimated loss rate %.4f (%d losses explained)\n", v.Link, v.Rate, v.Explained)
+		}
+		if res.UnexplainedPaths > 0 {
+			fmt.Printf("  %d lossy paths unexplained\n", res.UnexplainedPaths)
+		}
+	}
+}
+
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pll:", err)
+		os.Exit(1)
+	}
+}

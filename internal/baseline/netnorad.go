@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"github.com/detector-net/detector/internal/sim"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// NetNORAD reimplements Facebook's fleet pinger (Lapukhov, NANOG'16):
+// pingers live in a few pods only, targets cover every rack, probes are
+// plain UDP without path control. Suspected targets are handed to an
+// fbtracert-style path explorer one window later.
+type NetNORAD struct {
+	F *topo.Fattree
+	// PingerPods lists the pods hosting pingers (the paper: "a few pods").
+	PingerPods []int
+	// LossFloor marks a target suspected when lost/sent >= floor.
+	LossFloor float64
+	// TracerPerHop is fbtracert's probe count per TTL prefix per path.
+	TracerPerHop int
+	// TracerDelta is the per-hop loss-rate increase that blames a link.
+	TracerDelta float64
+	// MaxSuspects caps traced pairs per round.
+	MaxSuspects int
+
+	pingers []topo.NodeID
+	targets []topo.NodeID
+}
+
+// NewNetNORAD places pingers in the first two pods and one target per rack.
+func NewNetNORAD(f *topo.Fattree) *NetNORAD {
+	nn := &NetNORAD{
+		F:            f,
+		PingerPods:   []int{0, 1},
+		LossFloor:    1e-3,
+		TracerPerHop: 50,
+		TracerDelta:  0.05,
+		MaxSuspects:  64,
+	}
+	inPingerPod := func(n topo.NodeID) bool {
+		pod := f.Node(n).Pod
+		for _, p := range nn.PingerPods {
+			if pod == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, tor := range f.ToRs() {
+		srv := f.ServersUnder(tor)
+		nn.targets = append(nn.targets, srv[0])
+		if inPingerPod(tor) {
+			// The second server of the rack pings, so pinger != target
+			// even inside pinger pods.
+			nn.pingers = append(nn.pingers, srv[len(srv)-1])
+		}
+	}
+	return nn
+}
+
+// Name implements the comparison harness naming.
+func (*NetNORAD) Name() string { return "NetNORAD" }
+
+// NumPairs returns pingers x targets (minus same-rack self pairs).
+func (nn *NetNORAD) NumPairs() int {
+	n := 0
+	for _, pg := range nn.pingers {
+		for _, tg := range nn.targets {
+			if pg != tg {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Detect runs one detection window with the budget spread over all
+// pinger-target pairs.
+func (nn *NetNORAD) Detect(n *sim.Network, budget int, rng *rand.Rand) ([]Suspect, int) {
+	pairs := nn.NumPairs()
+	perPair := budget / pairs
+	if perPair < 1 {
+		perPair = 1
+	}
+	var suspects []Suspect
+	sent := 0
+	for _, pg := range nn.pingers {
+		for _, tg := range nn.targets {
+			if pg == tg {
+				continue
+			}
+			lost := probePair(n, nn.F, pg, tg, perPair, rng)
+			sent += perPair
+			if lost > 0 && float64(lost)/float64(perPair) >= nn.LossFloor {
+				suspects = append(suspects, Suspect{Src: pg, Dst: tg, Sent: perPair, Lost: lost})
+			}
+		}
+	}
+	return suspects, sent
+}
+
+// Fbtracert explores every parallel path of each suspect pair hop by hop:
+// probes with TTL t exercise the first t links, so the loss-rate increase
+// from prefix t-1 to prefix t blames link t. Like the real tool it needs
+// the failure to still be present during the replay window (n2). allowance
+// caps the tracing probes (fixed-budget comparisons); negative means
+// unlimited.
+func (nn *NetNORAD) Fbtracert(n2 *sim.Network, suspects []Suspect, allowance int, rng *rand.Rand) ([]topo.LinkID, int) {
+	var bad []topo.LinkID
+	probes := 0
+	if len(suspects) > nn.MaxSuspects {
+		suspects = suspects[:nn.MaxSuspects]
+	}
+	for _, s := range suspects {
+		if allowance >= 0 && probes >= allowance {
+			break
+		}
+		for _, links := range parallelServerPaths(nn.F, s.Src, s.Dst) {
+			prevRate := 0.0
+			for t := 1; t <= len(links); t++ {
+				prefix := links[:t]
+				lost := 0
+				for i := 0; i < nn.TracerPerHop; i++ {
+					key := sim.FlowKey{
+						Src: s.Src, Dst: s.Dst,
+						SrcPort: uint16(50000 + i), DstPort: 7,
+						Proto: sim.UDPProto,
+					}
+					// TTL-limited probe: one-way delivery to hop t; the
+					// ICMP TTL-exceeded reply returns over the same hops.
+					if !n2.ProbeOnce(prefix, key, rng) {
+						lost++
+					}
+				}
+				probes += nn.TracerPerHop
+				rate := float64(lost) / float64(nn.TracerPerHop)
+				if rate-prevRate >= nn.TracerDelta {
+					bad = append(bad, links[t-1])
+				}
+				if rate > prevRate {
+					prevRate = rate
+				}
+			}
+		}
+	}
+	return dedupeLinks(bad), probes
+}
+
+// Round chains detection on n1 and tracing on n2 under one total budget:
+// detection gets half, fbtracert whatever detection left.
+func (nn *NetNORAD) Round(n1, n2 *sim.Network, budget int, rng *rand.Rand) ([]topo.LinkID, int) {
+	suspects, used := nn.Detect(n1, budget/2, rng)
+	bad, extra := nn.Fbtracert(n2, suspects, budget-used, rng)
+	return bad, used + extra
+}

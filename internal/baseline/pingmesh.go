@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/sim"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Pingmesh reimplements the probe plan of Guo et al. (SIGCOMM'15): two
+// complete graphs — all servers under one ToR, and one server pair per ToR
+// pair — probed without path control. Localization is delegated to a
+// Netbouncer-style replay one window later.
+type Pingmesh struct {
+	F *topo.Fattree
+	// LossFloor marks a pair suspected when lost/sent >= floor.
+	LossFloor float64
+	// NetbouncerPerPath is the per-path probe count of the localization
+	// replay.
+	NetbouncerPerPath int
+	// MaxSuspects caps replayed pairs per round (budget guard).
+	MaxSuspects int
+
+	pairs [][2]topo.NodeID
+}
+
+// NewPingmesh builds the probe plan for a Fattree.
+func NewPingmesh(f *topo.Fattree) *Pingmesh {
+	p := &Pingmesh{F: f, LossFloor: 1e-3, NetbouncerPerPath: 100, MaxSuspects: 64}
+	// Intra-ToR complete graph.
+	for _, tor := range f.ToRs() {
+		srv := f.ServersUnder(tor)
+		for i := 0; i < len(srv); i++ {
+			for j := i + 1; j < len(srv); j++ {
+				p.pairs = append(p.pairs, [2]topo.NodeID{srv[i], srv[j]})
+			}
+		}
+	}
+	// Inter-ToR complete graph: the first server of each rack represents
+	// its ToR.
+	tors := f.ToRs()
+	for i := 0; i < len(tors); i++ {
+		for j := i + 1; j < len(tors); j++ {
+			a := f.ServersUnder(tors[i])[0]
+			b := f.ServersUnder(tors[j])[0]
+			p.pairs = append(p.pairs, [2]topo.NodeID{a, b})
+		}
+	}
+	return p
+}
+
+// Name implements the comparison harness naming.
+func (*Pingmesh) Name() string { return "Pingmesh" }
+
+// NumPairs returns the probe-plan size.
+func (p *Pingmesh) NumPairs() int { return len(p.pairs) }
+
+// Detect runs one detection window with the given probe budget spread over
+// all pairs. It returns the suspected pairs and probes consumed.
+func (p *Pingmesh) Detect(n *sim.Network, budget int, rng *rand.Rand) ([]Suspect, int) {
+	perPair := budget / len(p.pairs)
+	if perPair < 1 {
+		perPair = 1
+	}
+	var suspects []Suspect
+	for _, pair := range p.pairs {
+		lost := probePair(n, p.F, pair[0], pair[1], perPair, rng)
+		if lost > 0 && float64(lost)/float64(perPair) >= p.LossFloor {
+			suspects = append(suspects, Suspect{Src: pair[0], Dst: pair[1], Sent: perPair, Lost: lost})
+		}
+	}
+	return suspects, perPair * len(p.pairs)
+}
+
+// Netbouncer replays every suspected pair over all of its parallel paths
+// with source routing and runs Tomo-style inference per pair. n2 is the
+// network DURING the replay window — if the failure was transient and
+// already cleared, the replay finds nothing (paper §2). allowance caps the
+// replay probes (the paper's Fig. 5/6 comparison holds total probes per
+// minute fixed, so replay competes with detection for budget); pass a
+// negative allowance for unlimited replay.
+func (p *Pingmesh) Netbouncer(n2 *sim.Network, suspects []Suspect, allowance int, rng *rand.Rand) ([]topo.LinkID, int) {
+	var bad []topo.LinkID
+	probes := 0
+	if len(suspects) > p.MaxSuspects {
+		suspects = suspects[:p.MaxSuspects]
+	}
+	for _, s := range suspects {
+		if allowance >= 0 && probes >= allowance {
+			break
+		}
+		paths := parallelServerPaths(p.F, s.Src, s.Dst)
+		pr := route.NewProbesFromLinks(paths, n2.Topo.NumLinks())
+		obs := make([]pll.Observation, len(paths))
+		for i, links := range paths {
+			key := sim.FlowKey{Src: s.Src, Dst: s.Dst, SrcPort: 40000, DstPort: 7, Proto: sim.UDPProto}
+			lost := n2.ProbePath(links, key, p.NetbouncerPerPath, 16, rng)
+			obs[i] = pll.Observation{Path: i, Sent: p.NetbouncerPerPath, Lost: lost}
+			probes += p.NetbouncerPerPath
+		}
+		links, err := pll.NewTomo().Localize(pr, obs)
+		if err == nil {
+			bad = append(bad, links...)
+		}
+	}
+	return dedupeLinks(bad), probes
+}
+
+// Round chains detection and localization on the two windows under one
+// total probe budget: detection gets half, the Netbouncer replay whatever
+// detection left. Detect on n1, replay on n2 (pass the same network when
+// the failure persists).
+func (p *Pingmesh) Round(n1, n2 *sim.Network, budget int, rng *rand.Rand) ([]topo.LinkID, int) {
+	suspects, used := p.Detect(n1, budget/2, rng)
+	bad, extra := p.Netbouncer(n2, suspects, budget-used, rng)
+	return bad, used + extra
+}

@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/sim"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// SNMP is the passive baseline of Table 1: poll per-port drop counters and
+// flag links whose counters moved. It sees only what switches report — a
+// gray failure (silent drop) never bumps a counter and is invisible, and
+// counter noise below the threshold is ignored.
+type SNMP struct {
+	F *topo.Fattree
+	// Threshold is the counter delta that raises an alarm.
+	Threshold int64
+	// WorkloadPackets is how many background packets to push through the
+	// fabric per poll interval so that drops have traffic to act on.
+	WorkloadPackets int
+}
+
+// NewSNMP returns a poller with a small alarm threshold.
+func NewSNMP(f *topo.Fattree) *SNMP {
+	return &SNMP{F: f, Threshold: 5, WorkloadPackets: 20000}
+}
+
+// Name implements the comparison harness naming.
+func (*SNMP) Name() string { return "SNMP" }
+
+// Poll pushes background traffic through the network, then reads the drop
+// counters and reports links over threshold. Probes sent is zero — the cost
+// is switch CPU, not network bandwidth.
+func (s *SNMP) Poll(n *sim.Network, rng *rand.Rand) []topo.LinkID {
+	before := n.CounterSnapshot()
+	servers := s.F.Servers()
+	for i := 0; i < s.WorkloadPackets; i++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if src == dst {
+			continue
+		}
+		key := sim.FlowKey{
+			Src: src, Dst: dst,
+			SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 80,
+			Proto: 6,
+		}
+		links, _ := route.ECMPFattreePath(s.F, src, dst, key.Hash())
+		n.Deliver(links, key, rng)
+	}
+	after := n.CounterSnapshot()
+	var bad []topo.LinkID
+	for l, c := range after {
+		if c-before[l] >= s.Threshold {
+			bad = append(bad, l)
+		}
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+	return bad
+}

@@ -1,0 +1,231 @@
+// Package cluster boots the full deTector deployment on one machine: the
+// UDP switch fabric, controller, diagnoser and watchdog HTTP services, and
+// pinger/responder agents on every server — the in-process equivalent of
+// the paper's 20-switch testbed deployment (§6.1-6.3). Examples and
+// integration tests drive it with compressed timescales.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/diag"
+	"github.com/detector-net/detector/internal/fabric"
+	"github.com/detector-net/detector/internal/pinger"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/responder"
+	"github.com/detector-net/detector/internal/sim"
+	"github.com/detector-net/detector/internal/topo"
+	"github.com/detector-net/detector/internal/watchdog"
+)
+
+// Options shapes a cluster boot.
+type Options struct {
+	// K is the Fattree radix (default 4, the paper's testbed).
+	K int
+	// Control overrides controller defaults; WindowMS and RatePPS are the
+	// main knobs for test-speed runs.
+	Control control.Config
+	// Window is the diagnoser localization period.
+	Window time.Duration
+	// ProbeTimeout declares probe loss (default 100 ms).
+	ProbeTimeout time.Duration
+	// WatchdogTTL marks servers unhealthy after this heartbeat silence.
+	WatchdogTTL time.Duration
+	// RuleSeed fixes probabilistic-drop randomness.
+	RuleSeed int64
+	// PLL overrides the diagnoser's localization config. Compressed-time
+	// runs should raise LossRatioFloor/MinLoss: with windows of a few
+	// hundred milliseconds, a single scheduler stall mimics a burst of
+	// packet loss that a 30-second production window would average away.
+	PLL *pll.Config
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	F     *topo.Fattree
+	Rules *fabric.RuleTable
+	Fab   *fabric.Fabric
+
+	Controller *control.Controller
+	Diagnoser  *diag.Diagnoser
+	Watchdog   *watchdog.Service
+
+	ControllerURL string
+	DiagnoserURL  string
+	WatchdogURL   string
+
+	Pingers    []*pinger.Pinger
+	Responders []*responder.Responder
+
+	servers []*http.Server
+}
+
+// serveHTTP starts an http.Server on an ephemeral loopback port.
+func serveHTTP(h http.Handler) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp4", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return srv, "http://" + ln.Addr().String(), nil
+}
+
+// Start boots everything and runs one controller cycle.
+func Start(opts Options) (*Cluster, error) {
+	if opts.K == 0 {
+		opts.K = 4
+	}
+	if opts.Window == 0 {
+		opts.Window = 30 * time.Second
+	}
+	if opts.WatchdogTTL == 0 {
+		opts.WatchdogTTL = 4 * opts.Window
+	}
+	if opts.Control.Alpha == 0 && opts.Control.Beta == 0 {
+		opts.Control = control.DefaultConfig()
+		opts.Control.WindowMS = int(opts.Window / time.Millisecond)
+	}
+	f, err := topo.NewFattree(opts.K)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{F: f, Rules: fabric.NewRuleTable(opts.RuleSeed)}
+
+	fail := func(err error) (*Cluster, error) {
+		c.Stop()
+		return nil, err
+	}
+
+	c.Fab, err = fabric.Start(f.Topology, c.Rules)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Watchdog first: everything else reports into it.
+	c.Watchdog = watchdog.New(opts.WatchdogTTL)
+	srv, url, err := serveHTTP(c.Watchdog.Handler())
+	if err != nil {
+		return fail(err)
+	}
+	c.servers = append(c.servers, srv)
+	c.WatchdogURL = url
+
+	// Diagnoser next, so the controller can hand pingers its URL.
+	pllCfg := pll.DefaultConfig()
+	if opts.PLL != nil {
+		pllCfg = *opts.PLL
+	}
+	c.Diagnoser = diag.New(diag.Options{
+		Window: opts.Window,
+		PLL:    pllCfg,
+		Topo:   f.Topology,
+	})
+	srv, url, err = serveHTTP(c.Diagnoser.Handler())
+	if err != nil {
+		return fail(err)
+	}
+	c.servers = append(c.servers, srv)
+	c.DiagnoserURL = url
+
+	// Controller: one PMC cycle before agents fetch pinglists.
+	cfg := opts.Control
+	cfg.ReportURL = c.DiagnoserURL
+	c.Controller = control.New(f, cfg)
+	if err := c.Controller.RunCycle(nil); err != nil {
+		return fail(err)
+	}
+	srv, url, err = serveHTTP(c.Controller.Handler())
+	if err != nil {
+		return fail(err)
+	}
+	c.servers = append(c.servers, srv)
+	c.ControllerURL = url
+
+	// The diagnoser learns the matrix in-process (it would also pick it
+	// up from /matrix on its first window).
+	c.Diagnoser.SetMatrix(c.Controller.ProbeMatrix(), c.Controller.Version())
+	c.Diagnoser.Run()
+
+	// Agents: pingers where the controller says so, responders elsewhere.
+	isPinger := make(map[topo.NodeID]bool)
+	for _, n := range c.Controller.PingerNodes() {
+		isPinger[n] = true
+	}
+	for _, sv := range f.Servers() {
+		c.Watchdog.Track(sv)
+		if isPinger[sv] {
+			p, err := pinger.Start(f.Topology, c.Rules, c.Fab.Registry, sv, c.ControllerURL, pinger.Options{
+				Timeout:      opts.ProbeTimeout,
+				HeartbeatURL: c.WatchdogURL,
+			})
+			if err != nil {
+				return fail(fmt.Errorf("cluster: pinger %d: %w", sv, err))
+			}
+			if p != nil {
+				c.Pingers = append(c.Pingers, p)
+				continue
+			}
+		}
+		r, err := responder.Start(f.Topology, c.Rules, c.Fab.Registry, sv)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: responder %d: %w", sv, err))
+		}
+		c.Responders = append(c.Responders, r)
+		c.Watchdog.Heartbeat(sv)
+	}
+	// Responders do not heartbeat on their own in this harness; mark them
+	// healthy once. Pingers heartbeat every window.
+	return c, nil
+}
+
+// InjectFailure installs a loss model on a link (the OpenFlow-rule analog).
+func (c *Cluster) InjectFailure(l topo.LinkID, m sim.LossModel) { c.Rules.Install(l, m) }
+
+// Repair removes the failure on a link.
+func (c *Cluster) Repair(l topo.LinkID) { c.Rules.Remove(l) }
+
+// WaitForAlert polls the diagnoser until an alert naming any of the links
+// arrives or the deadline passes. It returns the alert or nil.
+func (c *Cluster) WaitForAlert(links []topo.LinkID, deadline time.Duration) *diag.Alert {
+	want := make(map[topo.LinkID]bool, len(links))
+	for _, l := range links {
+		want[l] = true
+	}
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		for _, a := range c.Diagnoser.Alerts() {
+			for _, v := range a.Bad {
+				if want[v.Link] {
+					alert := a
+					return &alert
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+// Stop tears everything down.
+func (c *Cluster) Stop() {
+	for _, p := range c.Pingers {
+		p.Stop()
+	}
+	for _, r := range c.Responders {
+		r.Stop()
+	}
+	if c.Diagnoser != nil {
+		c.Diagnoser.Stop()
+	}
+	for _, s := range c.servers {
+		s.Close()
+	}
+	if c.Fab != nil {
+		c.Fab.Stop()
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/sim"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// fastOptions compresses timescales so an end-to-end cycle fits in CI:
+// 600 ms windows, 120 probes/sec per pinger, 250 ms probe timeout. The
+// pacing is deliberately conservative — on a small CI box, scheduler stalls
+// masquerade as loss bursts if the timeout is tight — and the PLL noise
+// floor is raised accordingly (a production deployment uses 30 s windows
+// and a 1e-3 floor).
+func fastOptions() Options {
+	cfg := control.DefaultConfig()
+	cfg.RatePPS = 60
+	cfg.WindowMS = 900
+	pllCfg := pll.DefaultConfig()
+	pllCfg.LossRatioFloor = 0.2
+	pllCfg.MinLoss = 2
+	return Options{
+		K:            4,
+		Control:      cfg,
+		Window:       900 * time.Millisecond,
+		ProbeTimeout: 400 * time.Millisecond,
+		WatchdogTTL:  15 * time.Second,
+		RuleSeed:     1,
+		PLL:          &pllCfg,
+	}
+}
+
+func startCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := Start(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestClusterBoots(t *testing.T) {
+	c := startCluster(t)
+	if len(c.Pingers) == 0 {
+		t.Fatal("no pingers started")
+	}
+	if c.Controller.Version() != 1 {
+		t.Fatalf("controller version %d, want 1", c.Controller.Version())
+	}
+	m := c.Controller.ProbeMatrix()
+	if m == nil || m.NumPaths() == 0 {
+		t.Fatal("empty probe matrix")
+	}
+	// Every pinger got a pinglist consistent with the matrix.
+	for _, p := range c.Pingers {
+		if len(p.Pinglist().Entries) == 0 {
+			t.Fatalf("pinger %d has empty pinglist", p.Node)
+		}
+		for _, e := range p.Pinglist().Entries {
+			if e.Route[0] != p.Node {
+				t.Fatalf("pinger %d told to send from %d", p.Node, e.Route[0])
+			}
+		}
+	}
+}
+
+// TestClusterEndToEndFullLoss is the flagship integration test: inject a
+// full-loss failure on an aggregation-core link via the rule table, wait a
+// few windows of real UDP probing, and require a diagnoser alert naming
+// exactly that link.
+func TestClusterEndToEndFullLoss(t *testing.T) {
+	c := startCluster(t)
+	// Warm up one clean window so the baseline is loss-free.
+	time.Sleep(1200 * time.Millisecond)
+
+	bad := c.F.MustLink(c.F.AggID[1][0], c.F.CoreID[0])
+	c.InjectFailure(bad, sim.FullLoss{})
+	alert := c.WaitForAlert([]topo.LinkID{bad}, 10*time.Second)
+	if alert == nil {
+		t.Fatalf("no alert for link %d within deadline; alerts: %+v", bad, c.Diagnoser.Alerts())
+	}
+	if len(alert.Bad) != 1 {
+		t.Errorf("alert names %d links, want exactly the failed one: %+v", len(alert.Bad), alert.Bad)
+	}
+	if alert.Bad[0].Rate < 0.5 {
+		t.Errorf("estimated loss rate %.2f for a full-loss link", alert.Bad[0].Rate)
+	}
+	if alert.Bad[0].A == "" || alert.Bad[0].B == "" {
+		t.Error("alert missing human-readable endpoints")
+	}
+}
+
+// TestClusterLocalizesServerLink: intra-rack probing must localize a failed
+// server-ToR link.
+func TestClusterLocalizesServerLink(t *testing.T) {
+	c := startCluster(t)
+	time.Sleep(1200 * time.Millisecond)
+
+	// Fail the link of a responder-only server (the second server under
+	// edge 0-1 hosts no pinger when pinglists target the first two).
+	var victim topo.NodeID = -1
+	pingerSet := map[topo.NodeID]bool{}
+	for _, p := range c.Pingers {
+		pingerSet[p.Node] = true
+	}
+	for _, sv := range c.F.Servers() {
+		if !pingerSet[sv] {
+			victim = sv
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("every server is a pinger in this configuration")
+	}
+	tor := c.F.Neighbors(victim)[0].Peer
+	bad := c.F.MustLink(victim, tor)
+	c.InjectFailure(bad, sim.FullLoss{})
+	alert := c.WaitForAlert([]topo.LinkID{bad}, 10*time.Second)
+	if alert == nil {
+		t.Fatalf("no alert for server link %d; alerts: %+v", bad, c.Diagnoser.Alerts())
+	}
+}
+
+// TestClusterBlackholeLocalization injects a deterministic partial loss —
+// the failure mode that motivates PLL's hit-ratio threshold — and expects
+// the fabric + agents + diagnoser stack to localize it.
+func TestClusterBlackholeLocalization(t *testing.T) {
+	c := startCluster(t)
+	time.Sleep(1200 * time.Millisecond)
+
+	bad := c.F.MustLink(c.F.EdgeID[2][1], c.F.AggID[2][1])
+	// Half of all flows blackholed: enough lossy paths to cross the 0.6
+	// hit ratio with 16 rotating labels.
+	c.InjectFailure(bad, sim.DeterministicLoss{Buckets: 0xFFFF0000, Seed: 7})
+	alert := c.WaitForAlert([]topo.LinkID{bad}, 12*time.Second)
+	if alert == nil {
+		t.Fatalf("no alert for blackholed link %d; alerts: %+v", bad, c.Diagnoser.Alerts())
+	}
+}
+
+// TestClusterRepairSilencesAlerts: after repairing the link, subsequent
+// windows must stop alerting.
+func TestClusterRepairSilencesAlerts(t *testing.T) {
+	c := startCluster(t)
+	bad := c.F.MustLink(c.F.AggID[0][1], c.F.CoreID[3])
+	c.InjectFailure(bad, sim.FullLoss{})
+	if alert := c.WaitForAlert([]topo.LinkID{bad}, 10*time.Second); alert == nil {
+		t.Fatal("no alert while failed")
+	}
+	c.Repair(bad)
+	time.Sleep(1500 * time.Millisecond) // drain in-flight windows
+	before := len(c.Diagnoser.Alerts())
+	time.Sleep(1500 * time.Millisecond)
+	after := c.Diagnoser.Alerts()
+	for _, a := range after[before:] {
+		for _, v := range a.Bad {
+			if v.Link == bad {
+				t.Fatalf("repaired link still alerted: %+v", a)
+			}
+		}
+	}
+}
+
+func TestClusterReportsFlow(t *testing.T) {
+	c := startCluster(t)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Diagnoser.Reports() > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("no pinger reports reached the diagnoser")
+}
+
+// TestClusterLatencySpikeLocalizedAsLoss: the paper treats an RTT above
+// the probe timeout as a packet loss (§1). A 600 ms injected delay — far
+// above the 250 ms test timeout — must produce a loss alert naming the
+// slow link, end to end over real sockets.
+func TestClusterLatencySpikeLocalizedAsLoss(t *testing.T) {
+	c := startCluster(t)
+	time.Sleep(1200 * time.Millisecond)
+
+	bad := c.F.MustLink(c.F.AggID[3][0], c.F.CoreID[1])
+	c.Rules.InstallDelay(bad, 600*time.Millisecond)
+	alert := c.WaitForAlert([]topo.LinkID{bad}, 12*time.Second)
+	if alert == nil {
+		t.Fatalf("no alert for latency spike on link %d; alerts: %+v", bad, c.Diagnoser.Alerts())
+	}
+}

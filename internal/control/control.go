@@ -1,0 +1,355 @@
+// Package control implements the deTector controller (paper §3.1, §6.1):
+// it recomputes the probe matrix with PMC every cycle, selects pingers in
+// each rack, expands ToR-level probe paths into server-level routes, and
+// serves pinglists plus the route-level probe matrix over HTTP.
+package control
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Alpha and Beta are the PMC targets. The testbed default is (3,1):
+	// 2-identifiability is impossible on a 4-ary Fattree (§6.3).
+	Alpha, Beta int
+	// PingersPerRack is how many servers per rack send probes (paper: 2-4).
+	PingersPerRack int
+	// Redundancy is how many pingers probe each ToR-level path (paper: >=2
+	// for pinger fault tolerance).
+	Redundancy int
+	// FlowLabels is the per-path flow diversity (the port-range analog).
+	FlowLabels int
+	// RatePPS is the per-pinger probe rate (paper default: 10).
+	RatePPS int
+	// WindowMS is the report aggregation window.
+	WindowMS int
+	// ReportURL is where pingers POST results (the diagnoser).
+	ReportURL string
+	// DSCP marks probe QoS class.
+	DSCP uint8
+}
+
+// DefaultConfig mirrors the paper's operating point, with the aggregation
+// window left to the caller (30 s in production, milliseconds in tests).
+func DefaultConfig() Config {
+	return Config{
+		Alpha: 3, Beta: 1,
+		PingersPerRack: 2,
+		Redundancy:     2,
+		FlowLabels:     16,
+		RatePPS:        10,
+		WindowMS:       30000,
+	}
+}
+
+// Entry is one probe route in a pinglist.
+type Entry struct {
+	// PathID identifies the route matrix-wide; reports aggregate on it.
+	PathID uint32 `json:"path_id"`
+	// Route is the full node sequence, pinger server to responder server.
+	Route []topo.NodeID `json:"route"`
+	// FlowLabels to rotate through (packet entropy).
+	FlowLabels []uint32 `json:"flow_labels"`
+	DSCP       uint8    `json:"dscp"`
+}
+
+// Pinglist is the per-pinger work order.
+type Pinglist struct {
+	Version   int         `json:"version"`
+	Node      topo.NodeID `json:"node"`
+	RatePPS   int         `json:"rate_pps"`
+	WindowMS  int         `json:"window_ms"`
+	ReportURL string      `json:"report_url"`
+	Entries   []Entry     `json:"entries"`
+}
+
+// MatrixPath is one row of the route-level probe matrix as served to the
+// diagnoser: the link set of a PathID.
+type MatrixPath struct {
+	PathID uint32        `json:"path_id"`
+	Links  []topo.LinkID `json:"links"`
+	Src    topo.NodeID   `json:"src"`
+	Dst    topo.NodeID   `json:"dst"`
+}
+
+// Matrix is the serialized route-level probe matrix.
+type Matrix struct {
+	Version  int          `json:"version"`
+	NumLinks int          `json:"num_links"`
+	Paths    []MatrixPath `json:"paths"`
+}
+
+// Controller owns matrix computation and pinglist assembly.
+type Controller struct {
+	F   *topo.Fattree
+	Cfg Config
+
+	mu        sync.RWMutex
+	version   int
+	pinglists map[topo.NodeID]*Pinglist
+	matrix    *Matrix
+	pmcStats  pmc.Stats
+}
+
+// New creates a controller; call RunCycle before serving.
+func New(f *topo.Fattree, cfg Config) *Controller {
+	return &Controller{F: f, Cfg: cfg, pinglists: make(map[topo.NodeID]*Pinglist)}
+}
+
+// RunCycle recomputes the probe matrix and pinglists (paper: every 10
+// minutes). unhealthy servers are skipped when selecting pingers and
+// responders.
+func (c *Controller) RunCycle(unhealthy map[topo.NodeID]bool) error {
+	ps := route.NewFattreePaths(c.F)
+	res, err := pmc.Construct(ps, c.F.NumLinks(), pmc.Options{
+		Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta,
+		Decompose: true, Lazy: true,
+	})
+	if err != nil {
+		return fmt.Errorf("control: PMC: %w", err)
+	}
+
+	healthyServers := func(tor topo.NodeID) []topo.NodeID {
+		var out []topo.NodeID
+		for _, s := range c.F.ServersUnder(tor) {
+			if !unhealthy[s] {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+
+	version := 0
+	c.mu.RLock()
+	version = c.version + 1
+	c.mu.RUnlock()
+
+	lists := make(map[topo.NodeID]*Pinglist)
+	getList := func(n topo.NodeID) *Pinglist {
+		if pl, ok := lists[n]; ok {
+			return pl
+		}
+		pl := &Pinglist{
+			Version: version, Node: n,
+			RatePPS: c.Cfg.RatePPS, WindowMS: c.Cfg.WindowMS,
+			ReportURL: c.Cfg.ReportURL,
+		}
+		lists[n] = pl
+		return pl
+	}
+	labels := make([]uint32, c.Cfg.FlowLabels)
+	for i := range labels {
+		labels[i] = uint32(33434 + i)
+	}
+
+	matrix := &Matrix{Version: version, NumLinks: c.F.NumLinks()}
+	var pathID uint32
+
+	addRoute := func(pinger topo.NodeID, hops []topo.NodeID, links []topo.LinkID, dst topo.NodeID) {
+		mp := MatrixPath{PathID: pathID, Links: links, Src: pinger, Dst: dst}
+		matrix.Paths = append(matrix.Paths, mp)
+		getList(pinger).Entries = append(getList(pinger).Entries, Entry{
+			PathID: pathID, Route: hops, FlowLabels: labels, DSCP: c.Cfg.DSCP,
+		})
+		pathID++
+	}
+
+	// ToR-level matrix paths expanded to server routes: each selected path
+	// is probed by Redundancy pingers under its source ToR, each toward a
+	// responder under the destination ToR.
+	var hopBuf []topo.NodeID
+	for _, idx := range res.Selected {
+		s, d, core := ps.Decode(idx)
+		srcToR := c.F.ToRList()[s]
+		dstToR := c.F.ToRList()[d]
+		pingers := healthyServers(srcToR)
+		responders := healthyServers(dstToR)
+		if len(pingers) == 0 || len(responders) == 0 {
+			continue
+		}
+		np := c.Cfg.PingersPerRack
+		if np > len(pingers) {
+			np = len(pingers)
+		}
+		red := c.Cfg.Redundancy
+		if red > np {
+			red = np
+		}
+		for r := 0; r < red; r++ {
+			pinger := pingers[(idx+r)%np]
+			responder := responders[(idx+r)%len(responders)]
+			hopBuf = hopBuf[:0]
+			hopBuf = append(hopBuf, pinger)
+			hopBuf = c.F.PathHops(srcToR, dstToR, core, hopBuf)
+			hopBuf = append(hopBuf, responder)
+			links := make([]topo.LinkID, 0, 8)
+			links = append(links, c.F.MustLink(pinger, srcToR))
+			links = c.F.PathLinks(srcToR, dstToR, core, links)
+			links = append(links, c.F.MustLink(dstToR, responder))
+			addRoute(pinger, append([]topo.NodeID(nil), hopBuf...), links, responder)
+		}
+	}
+
+	// Intra-rack probing covers server-ToR links (§3.1): each rack's first
+	// pinger probes every other server under the same ToR.
+	for _, tor := range c.F.ToRs() {
+		servers := healthyServers(tor)
+		if len(servers) < 2 {
+			continue
+		}
+		pinger := servers[0]
+		for _, dst := range servers[1:] {
+			hops := []topo.NodeID{pinger, tor, dst}
+			links := []topo.LinkID{c.F.MustLink(pinger, tor), c.F.MustLink(tor, dst)}
+			addRoute(pinger, hops, links, dst)
+		}
+	}
+
+	c.mu.Lock()
+	c.version = version
+	c.pinglists = lists
+	c.matrix = matrix
+	c.pmcStats = res.Stats
+	c.mu.Unlock()
+	return nil
+}
+
+// Version returns the current cycle version (0 before the first cycle).
+func (c *Controller) Version() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// PMCStats returns the last cycle's construction statistics.
+func (c *Controller) PMCStats() pmc.Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pmcStats
+}
+
+// PinglistFor returns the pinglist of a node (nil when the node is not a
+// pinger this cycle).
+func (c *Controller) PinglistFor(n topo.NodeID) *Pinglist {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pinglists[n]
+}
+
+// PingerNodes lists the nodes with non-empty pinglists this cycle.
+func (c *Controller) PingerNodes() []topo.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]topo.NodeID, 0, len(c.pinglists))
+	for n := range c.pinglists {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ProbeMatrix materializes the served matrix as route.Probes for in-process
+// consumers (the diagnoser fetches the same data over HTTP).
+func (c *Controller) ProbeMatrix() *route.Probes {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return matrixToProbes(c.matrix)
+}
+
+func matrixToProbes(m *Matrix) *route.Probes {
+	if m == nil {
+		return nil
+	}
+	links := make([][]topo.LinkID, len(m.Paths))
+	for i, mp := range m.Paths {
+		links[i] = mp.Links
+	}
+	p := route.NewProbesFromLinks(links, m.NumLinks)
+	for i, mp := range m.Paths {
+		p.Src[i], p.Dst[i] = mp.Src, mp.Dst
+	}
+	return p
+}
+
+// Handler serves GET /pinglist?node=ID, GET /matrix and GET /version.
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/pinglist", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("node"))
+		if err != nil {
+			http.Error(w, "bad node id", http.StatusBadRequest)
+			return
+		}
+		pl := c.PinglistFor(topo.NodeID(id))
+		if pl == nil {
+			http.Error(w, "not a pinger", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(pl); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/matrix", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.RLock()
+		m := c.matrix
+		c.mu.RUnlock()
+		if m == nil {
+			http.Error(w, "no cycle yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(m); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "%d", c.Version())
+	})
+	return mux
+}
+
+// FetchPinglist retrieves a pinglist from a controller URL.
+func FetchPinglist(client *http.Client, baseURL string, n topo.NodeID) (*Pinglist, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/pinglist?node=%d", baseURL, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil // not a pinger this cycle
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("control: pinglist status %s", resp.Status)
+	}
+	var pl Pinglist
+	if err := json.NewDecoder(resp.Body).Decode(&pl); err != nil {
+		return nil, err
+	}
+	return &pl, nil
+}
+
+// FetchMatrix retrieves the route-level probe matrix from a controller URL.
+func FetchMatrix(client *http.Client, baseURL string) (*route.Probes, int, error) {
+	resp, err := client.Get(baseURL + "/matrix")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, 0, fmt.Errorf("control: matrix status %s", resp.Status)
+	}
+	var m Matrix
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, 0, err
+	}
+	return matrixToProbes(&m), m.Version, nil
+}

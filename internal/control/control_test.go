@@ -1,0 +1,165 @@
+package control
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+func newController(t *testing.T) (*Controller, *topo.Fattree) {
+	t.Helper()
+	f := topo.MustFattree(4)
+	cfg := DefaultConfig()
+	cfg.ReportURL = "http://diagnoser.test"
+	c := New(f, cfg)
+	if err := c.RunCycle(nil); err != nil {
+		t.Fatal(err)
+	}
+	return c, f
+}
+
+func TestRunCycleBuildsConsistentState(t *testing.T) {
+	c, f := newController(t)
+	if c.Version() != 1 {
+		t.Fatalf("version = %d, want 1", c.Version())
+	}
+	m := c.ProbeMatrix()
+	if m == nil || m.NumPaths() == 0 {
+		t.Fatal("no matrix")
+	}
+
+	// The route-level matrix must cover every switch link with at least
+	// Alpha paths (server links are covered by intra-rack routes).
+	v := pmc.Verify(m, f.SwitchLinks(), false)
+	if v.MinCoverage < c.Cfg.Alpha {
+		t.Fatalf("matrix coverage %d below alpha %d", v.MinCoverage, c.Cfg.Alpha)
+	}
+	var all []topo.LinkID
+	for _, l := range f.Links {
+		all = append(all, l.ID)
+	}
+	if cov := m.MinCoverage(all); cov < 1 {
+		t.Fatalf("some link (incl. server links) uncovered: min coverage %d", cov)
+	}
+
+	// Pinglist routes must be walkable: consecutive hops adjacent, first
+	// hop is the pinger, last is the responder.
+	for _, node := range c.PingerNodes() {
+		pl := c.PinglistFor(node)
+		if pl.ReportURL != "http://diagnoser.test" {
+			t.Fatalf("pinglist report URL %q", pl.ReportURL)
+		}
+		for _, e := range pl.Entries {
+			if e.Route[0] != node {
+				t.Fatalf("entry starts at %d, pinger is %d", e.Route[0], node)
+			}
+			for i := 0; i+1 < len(e.Route); i++ {
+				if _, ok := f.LinkBetween(e.Route[i], e.Route[i+1]); !ok {
+					t.Fatalf("route hop %d-%d not adjacent", e.Route[i], e.Route[i+1])
+				}
+			}
+			if len(e.FlowLabels) != c.Cfg.FlowLabels {
+				t.Fatalf("entry has %d flow labels, want %d", len(e.FlowLabels), c.Cfg.FlowLabels)
+			}
+		}
+	}
+}
+
+// TestRedundantPingers: every ToR-level path must appear in at least
+// Redundancy pinglists (paper §3.1: each path goes to >= 2 pingers).
+func TestRedundantPingers(t *testing.T) {
+	c, f := newController(t)
+	m := c.ProbeMatrix()
+	// Count route-level paths per (srcToR via links signature): redundancy
+	// means the number of matrix rows with identical switch-level links is
+	// >= 2 for ToR-level paths.
+	type sig string
+	counts := map[sig]int{}
+	for _, links := range m.PathLinks {
+		var switchLinks []topo.LinkID
+		for _, l := range links {
+			if f.Link(l).Tier != topo.TierServerEdge {
+				switchLinks = append(switchLinks, l)
+			}
+		}
+		if len(switchLinks) == 0 {
+			continue // intra-rack route
+		}
+		b := make([]byte, 0, len(switchLinks)*4)
+		for _, l := range switchLinks {
+			b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+		}
+		counts[sig(b)]++
+	}
+	for s, n := range counts {
+		if n < c.Cfg.Redundancy {
+			t.Fatalf("a ToR-level path has only %d probing routes, want >= %d (%x)", n, c.Cfg.Redundancy, s)
+		}
+	}
+}
+
+func TestUnhealthyServersSkipped(t *testing.T) {
+	f := topo.MustFattree(4)
+	c := New(f, DefaultConfig())
+	// Mark the first server of rack (0,0) unhealthy: it must not appear as
+	// pinger or responder.
+	sick := f.ServerID[0][0][0]
+	if err := c.RunCycle(map[topo.NodeID]bool{sick: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range c.PingerNodes() {
+		if node == sick {
+			t.Fatal("unhealthy server selected as pinger")
+		}
+		for _, e := range c.PinglistFor(node).Entries {
+			if e.Route[len(e.Route)-1] == sick {
+				t.Fatal("unhealthy server selected as responder")
+			}
+		}
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	c, _ := newController(t)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	node := c.PingerNodes()[0]
+	pl, err := FetchPinglist(client, srv.URL, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl == nil || len(pl.Entries) == 0 {
+		t.Fatal("empty pinglist over HTTP")
+	}
+	if pl.Version != 1 {
+		t.Fatalf("version %d", pl.Version)
+	}
+
+	// A non-pinger gets nil.
+	pl2, err := FetchPinglist(client, srv.URL, 99999)
+	if err != nil || pl2 != nil {
+		t.Fatalf("non-pinger: %v %v", pl2, err)
+	}
+
+	m, version, err := FetchMatrix(client, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 || m.NumPaths() != c.ProbeMatrix().NumPaths() {
+		t.Fatalf("matrix over HTTP: version=%d paths=%d", version, m.NumPaths())
+	}
+}
+
+func TestCycleVersionAdvances(t *testing.T) {
+	c, _ := newController(t)
+	if err := c.RunCycle(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() != 2 {
+		t.Fatalf("version = %d, want 2", c.Version())
+	}
+}

@@ -1,0 +1,291 @@
+// Package diag implements deTector's diagnoser (paper §3.1, §6.1): it
+// collects pinger reports over HTTP, windows them, asks the watchdog for
+// unhealthy servers, fetches the route-level probe matrix from the
+// controller, runs PLL once per window and publishes alerts.
+package diag
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/pinger"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+	"github.com/detector-net/detector/internal/watchdog"
+)
+
+// LinkVerdict is one suspected link in an alert.
+type LinkVerdict struct {
+	Link topo.LinkID `json:"link"`
+	// A and B name the endpoints for the operator.
+	A    string  `json:"a,omitempty"`
+	B    string  `json:"b,omitempty"`
+	Rate float64 `json:"rate"`
+	// Class is the inferred loss kind (full / deterministic-partial /
+	// random-partial / unknown), the paper's §7 diagnosis-scoping idea.
+	Class string `json:"class,omitempty"`
+}
+
+// Alert is the outcome of one localization window.
+type Alert struct {
+	Time        time.Time     `json:"time"`
+	Version     int           `json:"version"`
+	Bad         []LinkVerdict `json:"bad"`
+	LossyPaths  int           `json:"lossy_paths"`
+	Unexplained int           `json:"unexplained"`
+	ElapsedMS   float64       `json:"elapsed_ms"`
+	// Slow marks alerts from the long-window pass, which accumulates
+	// several fast windows to expose losses of extremely low rate that a
+	// single window misses (paper §6.4's false-negative remedy).
+	Slow bool `json:"slow,omitempty"`
+}
+
+// Options configures the diagnoser.
+type Options struct {
+	// Window is the localization period (paper: 30 s; tests: milliseconds).
+	Window time.Duration
+	// ControllerURL serves /matrix; WatchdogURL serves /health. Either may
+	// be empty when the corresponding input is injected directly.
+	ControllerURL string
+	WatchdogURL   string
+	// PLL is the localization configuration.
+	PLL pll.Config
+	// SlowEvery, when positive, runs a long-window pass every SlowEvery
+	// fast windows over their accumulated counters: the extra samples
+	// expose low-rate losses a single window cannot confirm (§6.4
+	// suggests 10-minute windows against 30-second fast windows, i.e.
+	// SlowEvery = 20).
+	SlowEvery int
+	// HTTPClient overrides the default client.
+	HTTPClient *http.Client
+	// Topo, when set, lets alerts name link endpoints.
+	Topo *topo.Topology
+}
+
+// Diagnoser aggregates reports and localizes per window.
+type Diagnoser struct {
+	opts   Options
+	client *http.Client
+
+	mu          sync.Mutex
+	matrix      *route.Probes
+	version     int
+	acc         map[uint32]*counter // pathID -> window counters
+	slowAcc     map[uint32]*counter // multi-window accumulation
+	slowWindows int                 // fast windows since last slow pass
+	alerts      []Alert
+	reports     int64
+	stopped     bool
+	stopChan    chan struct{}
+	done        sync.WaitGroup
+}
+
+type counter struct{ sent, lost int }
+
+// New creates a diagnoser; call Run to start the window loop, or drive
+// windows manually with RunWindow in tests.
+func New(opts Options) *Diagnoser {
+	if opts.Window <= 0 {
+		opts.Window = 30 * time.Second
+	}
+	if opts.PLL.HitRatio == 0 {
+		opts.PLL = pll.DefaultConfig()
+	}
+	client := opts.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Diagnoser{
+		opts: opts, client: client,
+		acc:      make(map[uint32]*counter),
+		slowAcc:  make(map[uint32]*counter),
+		stopChan: make(chan struct{}),
+	}
+}
+
+// SetMatrix injects the probe matrix directly (in-process alternative to
+// the /matrix fetch).
+func (d *Diagnoser) SetMatrix(m *route.Probes, version int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.matrix = m
+	d.version = version
+}
+
+// Ingest merges one pinger report (handler and tests share it).
+func (d *Diagnoser) Ingest(rep *pinger.Report) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reports++
+	for _, r := range rep.Results {
+		c := d.acc[r.PathID]
+		if c == nil {
+			c = &counter{}
+			d.acc[r.PathID] = c
+		}
+		c.sent += r.Sent
+		c.lost += r.Lost
+	}
+}
+
+// Reports returns how many reports arrived (monitoring/testing).
+func (d *Diagnoser) Reports() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reports
+}
+
+// Handler serves POST /report and GET /alerts.
+func (d *Diagnoser) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var rep pinger.Report
+		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		d.Ingest(&rep)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(d.Alerts()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// Run drives the window loop until Stop.
+func (d *Diagnoser) Run() {
+	d.done.Add(1)
+	go func() {
+		defer d.done.Done()
+		tick := time.NewTicker(d.opts.Window)
+		defer tick.Stop()
+		for {
+			select {
+			case <-d.stopChan:
+				return
+			case <-tick.C:
+				d.RunWindow()
+			}
+		}
+	}()
+}
+
+// Stop halts the window loop.
+func (d *Diagnoser) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+	close(d.stopChan)
+	d.done.Wait()
+}
+
+// RunWindow executes one localization pass over the accumulated reports.
+func (d *Diagnoser) RunWindow() *Alert {
+	// Refresh matrix and watchdog data if remote.
+	if d.opts.ControllerURL != "" {
+		if m, v, err := control.FetchMatrix(d.client, d.opts.ControllerURL); err == nil {
+			d.SetMatrix(m, v)
+		}
+	}
+	cfg := d.opts.PLL
+	if d.opts.WatchdogURL != "" {
+		if unhealthy, err := watchdog.FetchUnhealthy(d.client, d.opts.WatchdogURL); err == nil {
+			cfg.Unhealthy = unhealthy
+		}
+	}
+
+	d.mu.Lock()
+	matrix := d.matrix
+	version := d.version
+	obs := make([]pll.Observation, 0, len(d.acc))
+	for pathID, c := range d.acc {
+		obs = append(obs, pll.Observation{Path: int(pathID), Sent: c.sent, Lost: c.lost})
+		// Feed the long-window accumulator.
+		sc := d.slowAcc[pathID]
+		if sc == nil {
+			sc = &counter{}
+			d.slowAcc[pathID] = sc
+		}
+		sc.sent += c.sent
+		sc.lost += c.lost
+	}
+	d.acc = make(map[uint32]*counter)
+	var slowObs []pll.Observation
+	if d.opts.SlowEvery > 0 {
+		d.slowWindows++
+		if d.slowWindows >= d.opts.SlowEvery {
+			d.slowWindows = 0
+			slowObs = make([]pll.Observation, 0, len(d.slowAcc))
+			for pathID, c := range d.slowAcc {
+				slowObs = append(slowObs, pll.Observation{Path: int(pathID), Sent: c.sent, Lost: c.lost})
+			}
+			d.slowAcc = make(map[uint32]*counter)
+		}
+	}
+	d.mu.Unlock()
+
+	if matrix == nil {
+		return nil
+	}
+	alert := d.localizeAlert(matrix, version, obs, cfg, false)
+	if slowObs != nil {
+		d.localizeAlert(matrix, version, slowObs, cfg, true)
+	}
+	return alert
+}
+
+// localizeAlert runs one PLL pass and records the alert.
+func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.Observation, cfg pll.Config, slow bool) *Alert {
+	if len(obs) == 0 {
+		return nil
+	}
+	res, err := pll.Localize(matrix, obs, cfg)
+	if err != nil {
+		return nil
+	}
+	alert := Alert{
+		Time: time.Now(), Version: version,
+		LossyPaths: res.LossyPaths, Unexplained: res.UnexplainedPaths,
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+		Slow:      slow,
+	}
+	for _, v := range res.Bad {
+		lv := LinkVerdict{
+			Link: v.Link, Rate: v.Rate,
+			Class: pll.Classify(matrix, obs, v.Link).String(),
+		}
+		if d.opts.Topo != nil {
+			l := d.opts.Topo.Link(v.Link)
+			lv.A = d.opts.Topo.Node(l.A).Name
+			lv.B = d.opts.Topo.Node(l.B).Name
+		}
+		alert.Bad = append(alert.Bad, lv)
+	}
+	d.mu.Lock()
+	d.alerts = append(d.alerts, alert)
+	d.mu.Unlock()
+	return &alert
+}
+
+// Alerts returns all alerts so far.
+func (d *Diagnoser) Alerts() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Alert(nil), d.alerts...)
+}

@@ -1,0 +1,184 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/pinger"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+func testMatrix() *route.Probes {
+	// Fig. 3 matrix: p0={0,1}, p1={0,2}, p2={2}.
+	return route.NewProbesFromLinks([][]topo.LinkID{{0, 1}, {0, 2}, {2}}, 3)
+}
+
+func TestRunWindowLocalizes(t *testing.T) {
+	d := New(Options{Window: time.Hour, PLL: pll.DefaultConfig()})
+	d.SetMatrix(testMatrix(), 1)
+	d.Ingest(&pinger.Report{Node: 9, Version: 1, Results: []pinger.PathReport{
+		{PathID: 0, Sent: 100, Lost: 90},
+		{PathID: 1, Sent: 100, Lost: 95},
+		{PathID: 2, Sent: 100, Lost: 0},
+	}})
+	alert := d.RunWindow()
+	if alert == nil {
+		t.Fatal("no alert")
+	}
+	if len(alert.Bad) != 1 || alert.Bad[0].Link != 0 {
+		t.Fatalf("alert %+v, want link 0", alert.Bad)
+	}
+	if alert.LossyPaths != 2 {
+		t.Fatalf("lossy paths %d, want 2", alert.LossyPaths)
+	}
+	// The window drained the accumulator: a second run yields nothing.
+	if alert2 := d.RunWindow(); alert2 != nil {
+		t.Fatalf("second window produced %+v from stale data", alert2)
+	}
+}
+
+func TestReportsMergeAcrossPingers(t *testing.T) {
+	d := New(Options{Window: time.Hour})
+	d.SetMatrix(testMatrix(), 1)
+	// Two pingers report halves of the same path's traffic.
+	d.Ingest(&pinger.Report{Node: 1, Results: []pinger.PathReport{{PathID: 0, Sent: 50, Lost: 25}}})
+	d.Ingest(&pinger.Report{Node: 2, Results: []pinger.PathReport{{PathID: 0, Sent: 50, Lost: 30}}})
+	d.Ingest(&pinger.Report{Node: 1, Results: []pinger.PathReport{{PathID: 1, Sent: 100, Lost: 60}}})
+	d.Ingest(&pinger.Report{Node: 2, Results: []pinger.PathReport{{PathID: 2, Sent: 100, Lost: 0}}})
+	alert := d.RunWindow()
+	if alert == nil || len(alert.Bad) != 1 || alert.Bad[0].Link != 0 {
+		t.Fatalf("merged window: %+v", alert)
+	}
+	if d.Reports() != 4 {
+		t.Fatalf("reports = %d", d.Reports())
+	}
+}
+
+func TestHTTPReportAndAlerts(t *testing.T) {
+	d := New(Options{Window: time.Hour})
+	d.SetMatrix(testMatrix(), 1)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	rep := pinger.Report{Node: 5, Version: 1, Results: []pinger.PathReport{
+		{PathID: 0, Sent: 10, Lost: 10},
+		{PathID: 1, Sent: 10, Lost: 10},
+		{PathID: 2, Sent: 10, Lost: 0},
+	}}
+	body, _ := json.Marshal(rep)
+	resp, err := srv.Client().Post(srv.URL+"/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("report rejected: %s", resp.Status)
+	}
+	d.RunWindow()
+
+	resp, err = srv.Client().Get(srv.URL + "/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var alerts []Alert
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || len(alerts[0].Bad) != 1 || alerts[0].Bad[0].Link != 0 {
+		t.Fatalf("alerts over HTTP: %+v", alerts)
+	}
+}
+
+func TestEmptyWindowNoAlert(t *testing.T) {
+	d := New(Options{Window: time.Hour})
+	d.SetMatrix(testMatrix(), 1)
+	if alert := d.RunWindow(); alert != nil {
+		t.Fatalf("alert from empty window: %+v", alert)
+	}
+}
+
+func TestNoMatrixNoCrash(t *testing.T) {
+	d := New(Options{Window: time.Hour})
+	d.Ingest(&pinger.Report{Node: 1, Results: []pinger.PathReport{{PathID: 0, Sent: 5, Lost: 5}}})
+	if alert := d.RunWindow(); alert != nil {
+		t.Fatalf("alert without a matrix: %+v", alert)
+	}
+}
+
+func TestAlertNamesEndpoints(t *testing.T) {
+	f := topo.MustFattree(4)
+	d := New(Options{Window: time.Hour, Topo: f.Topology})
+	links := [][]topo.LinkID{{f.SwitchLinks()[0]}}
+	d.SetMatrix(route.NewProbesFromLinks(links, f.NumLinks()), 1)
+	d.Ingest(&pinger.Report{Node: 1, Results: []pinger.PathReport{{PathID: 0, Sent: 100, Lost: 100}}})
+	alert := d.RunWindow()
+	if alert == nil || len(alert.Bad) != 1 {
+		t.Fatalf("alert: %+v", alert)
+	}
+	if alert.Bad[0].A == "" || alert.Bad[0].B == "" {
+		t.Fatal("endpoints not named")
+	}
+}
+
+// TestSlowPassCatchesLowRateLoss is the §6.4 remedy: a loss too small to
+// clear the per-window MinLoss threshold accumulates across windows and is
+// confirmed by the long-window pass.
+func TestSlowPassCatchesLowRateLoss(t *testing.T) {
+	cfg := pll.DefaultConfig()
+	cfg.MinLoss = 3 // one loss per window is not confirmable
+	d := New(Options{Window: time.Hour, PLL: cfg, SlowEvery: 5})
+	d.SetMatrix(testMatrix(), 1)
+
+	for w := 0; w < 5; w++ {
+		d.Ingest(&pinger.Report{Node: 1, Results: []pinger.PathReport{
+			{PathID: 0, Sent: 50, Lost: 1},
+			{PathID: 1, Sent: 50, Lost: 1},
+			{PathID: 2, Sent: 50, Lost: 0},
+		}})
+		d.RunWindow()
+	}
+	var fastBad, slowBad int
+	var slowAlert *Alert
+	for i := range d.Alerts() {
+		a := d.Alerts()[i]
+		if a.Slow {
+			slowBad += len(a.Bad)
+			slowAlert = &a
+		} else {
+			fastBad += len(a.Bad)
+		}
+	}
+	if fastBad != 0 {
+		t.Fatalf("fast windows confirmed %d links below the loss floor", fastBad)
+	}
+	if slowAlert == nil || slowBad == 0 {
+		t.Fatalf("slow pass missed the accumulated low-rate loss: %+v", d.Alerts())
+	}
+	if slowAlert.Bad[0].Link != 0 {
+		t.Fatalf("slow pass blamed %d, want link 0", slowAlert.Bad[0].Link)
+	}
+}
+
+// TestAlertCarriesLossClass: verdicts are classified (§7).
+func TestAlertCarriesLossClass(t *testing.T) {
+	d := New(Options{Window: time.Hour})
+	d.SetMatrix(testMatrix(), 1)
+	d.Ingest(&pinger.Report{Node: 9, Results: []pinger.PathReport{
+		{PathID: 0, Sent: 100, Lost: 100},
+		{PathID: 1, Sent: 100, Lost: 99},
+		{PathID: 2, Sent: 100, Lost: 0},
+	}})
+	alert := d.RunWindow()
+	if alert == nil || len(alert.Bad) != 1 {
+		t.Fatalf("alert: %+v", alert)
+	}
+	if alert.Bad[0].Class != "full" {
+		t.Fatalf("class = %q, want full", alert.Bad[0].Class)
+	}
+}

@@ -1,0 +1,226 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tiny() Params {
+	return Params{Trials: 3, Seed: 7, ProbesPerPath: 200}
+}
+
+func TestTable1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table1(&buf, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	// The paper's qualitative claims, measured:
+	if byName["SNMP/CLI"].GrayFailure > 0 {
+		t.Error("SNMP should miss gray failures")
+	}
+	if byName["deTector"].GrayFailure < 0.9 {
+		t.Errorf("deTector gray-failure rate %.2f, want ~1", byName["deTector"].GrayFailure)
+	}
+	if byName["deTector"].LowRateLoss <= byName["Pingmesh"].LowRateLoss {
+		t.Error("deTector should beat Pingmesh on low-rate loss")
+	}
+	if byName["deTector"].TransientFailure < 0.9 {
+		t.Errorf("deTector transient rate %.2f, want ~1", byName["deTector"].TransientFailure)
+	}
+	if byName["Pingmesh"].TransientFailure > 0.2 {
+		t.Errorf("Pingmesh transient rate %.2f, want ~0", byName["Pingmesh"].TransientFailure)
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("missing rendered table")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table2(&buf, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Symmetry <= 0 || r.Lazy <= 0 || r.Decompose <= 0 {
+			t.Fatalf("%s: non-positive timings: %+v", r.Name, r)
+		}
+		// The paper's Table 2 shape: each optimization level is no slower
+		// than ~the previous by more than noise, and symmetry is the
+		// fastest by a clear margin on Fattree.
+		if strings.HasPrefix(r.Name, "Fattree") && !r.SkippedStrawman {
+			if r.Symmetry > r.Strawman {
+				t.Errorf("%s: symmetry (%v) slower than strawman (%v)", r.Name, r.Symmetry, r.Strawman)
+			}
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Table3(&buf, tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Selected counts grow with stricter targets and stay far below
+		// the original path count (the point of PMC).
+		if !(r.Selected[0] <= r.Selected[1] && r.Selected[1] <= r.Selected[2]) {
+			t.Errorf("%s: counts not monotone: %v", r.Name, r.Selected)
+		}
+		if r.Selected[2] >= r.Original/2 {
+			t.Errorf("%s: (3,2) selected %d of %d — no reduction", r.Name, r.Selected[2], r.Original)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	var buf bytes.Buffer
+	p := tiny()
+	p.Trials = 5
+	rows, err := Table4(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	// The paper's headline shape, checked where the signal is strong: at
+	// 10 concurrent failures identifiability separates the configs —
+	// (1,1) must clearly beat (1,0), and (1,2) must stay high.
+	acc := func(alpha, beta, idx int) float64 {
+		for _, r := range rows {
+			if r.Alpha == alpha && r.Beta == beta {
+				return r.Accuracy[idx]
+			}
+		}
+		t.Fatalf("missing row (%d,%d)", alpha, beta)
+		return 0
+	}
+	if acc(1, 1, 2) <= acc(1, 0, 2) {
+		t.Errorf("at 10 failures (1,1)=%.2f should beat (1,0)=%.2f", acc(1, 1, 2), acc(1, 0, 2))
+	}
+	if acc(1, 2, 2)+0.05 < acc(1, 1, 2) {
+		t.Errorf("at 10 failures (1,2)=%.2f should not trail (1,1)=%.2f", acc(1, 2, 2), acc(1, 1, 2))
+	}
+	if acc(1, 2, 0) < 0.9 {
+		t.Errorf("(1,2) single-failure accuracy %.2f, want >= 0.9", acc(1, 2, 0))
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	var buf bytes.Buffer
+	p := tiny()
+	p.K = 8
+	p.Trials = 5
+	rows, err := Table5(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FailedLinkCounts) {
+		t.Fatalf("%d rows, want %d", len(rows), len(FailedLinkCounts))
+	}
+	for _, r := range rows {
+		// At k=8 the 50-failure point fails a fifth of all links — far
+		// denser than the paper's 50/55k at k=48 — so thresholds apply to
+		// the paper-comparable sparse regime only (<= 10 concurrent).
+		if r.Failed > 10 {
+			continue
+		}
+		if r.Accuracy < 0.85 {
+			t.Errorf("%d failures: accuracy %.2f below 85%%", r.Failed, r.Accuracy)
+		}
+		if r.FalsePositive > 0.1 {
+			t.Errorf("%d failures: false positives %.2f above 10%%", r.Failed, r.FalsePositive)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	var buf bytes.Buffer
+	p := tiny()
+	p.Trials = 6
+	rows, err := Fig4(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig4Frequencies) {
+		t.Fatalf("%d rows, want %d", len(rows), len(Fig4Frequencies))
+	}
+	// Overhead grows linearly with frequency; accuracy does not decrease
+	// (noise aside, compare the extremes).
+	first, last := rows[0], rows[len(rows)-1]
+	if last.BandwidthKbps <= first.BandwidthKbps {
+		t.Error("bandwidth should grow with frequency")
+	}
+	if last.Accuracy < first.Accuracy-0.05 {
+		t.Errorf("accuracy degraded with more probes: %.2f -> %.2f", first.Accuracy, last.Accuracy)
+	}
+	if last.RTTMean <= 0 || last.Jitter <= 0 {
+		t.Error("latency model returned non-positive values")
+	}
+	// RTT stays flat: within 2x across the sweep (the paper's point).
+	if last.RTTMean > 2*first.RTTMean {
+		t.Errorf("probing frequency blew up workload RTT: %v -> %v", first.RTTMean, last.RTTMean)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	var buf bytes.Buffer
+	p := tiny()
+	p.Trials = 6
+	rows, err := Fig5(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[string]map[int]float64{}
+	for _, r := range rows {
+		if acc[r.System] == nil {
+			acc[r.System] = map[int]float64{}
+		}
+		acc[r.System][r.Budget] = r.Accuracy
+	}
+	top := Fig5Budgets[len(Fig5Budgets)-1]
+	// At every budget deTector leads or ties; at the top budget it should
+	// be clearly ahead of Pingmesh (the 3.9x headline).
+	for _, b := range Fig5Budgets {
+		if acc["deTector"][b]+0.15 < acc["Pingmesh"][b] {
+			t.Errorf("budget %d: deTector %.2f far below Pingmesh %.2f", b, acc["deTector"][b], acc["Pingmesh"][b])
+		}
+	}
+	if acc["deTector"][top] <= acc["Pingmesh"][Fig5Budgets[0]] && acc["deTector"][top] < 0.9 {
+		t.Errorf("deTector top-budget accuracy %.2f too low", acc["deTector"][top])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	var buf bytes.Buffer
+	p := tiny()
+	p.Trials = 6
+	rows, err := Fig6(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// deTector should lead both baselines at every failure count (pooled
+	// across the sweep to damp noise).
+	sum := map[string]float64{}
+	for _, r := range rows {
+		sum[r.System] += r.Accuracy
+	}
+	if sum["deTector"] <= sum["Pingmesh"] || sum["deTector"] <= sum["NetNORAD"] {
+		t.Errorf("deTector total %.2f should lead Pingmesh %.2f and NetNORAD %.2f",
+			sum["deTector"], sum["Pingmesh"], sum["NetNORAD"])
+	}
+}

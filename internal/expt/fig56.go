@@ -1,0 +1,208 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/detector-net/detector/internal/baseline"
+	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/sim"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Fig5Budgets is the probes-per-minute x-axis of the comparison.
+var Fig5Budgets = []int{1800, 3600, 7200, 14400, 28800}
+
+// Fig5Row is one (system, budget) cell.
+type Fig5Row struct {
+	System        string
+	Budget        int
+	ProbesSent    float64 // measured, includes localization probes
+	Accuracy      float64
+	FalsePositive float64
+}
+
+// comparisonTrial runs all three systems once against one scenario on the
+// 4-ary testbed topology with a shared detection budget.
+type comparison struct {
+	f  *topo.Fattree
+	d  *baseline.Detector
+	pm *baseline.Pingmesh
+	nn *baseline.NetNORAD
+}
+
+func newComparison(f *topo.Fattree) (*comparison, error) {
+	probes, _, err := buildMatrix(f, 3, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &comparison{
+		f:  f,
+		d:  baseline.NewDetector(f, probes),
+		pm: baseline.NewPingmesh(f),
+		nn: baseline.NewNetNORAD(f),
+	}, nil
+}
+
+// fig56FailureConfig: random link-level failures per §6.3 (full,
+// deterministic partial, random partial), loss rates detectable within a
+// one-minute budget. Whole-switch events are excluded from the per-link
+// scoring here because the paper scores them by failure *spot* ("operators
+// can locate the failure spot according to the positions of most failed
+// links", §6.4) while this harness scores per link; EXPERIMENTS.md records
+// the substitution.
+func fig56FailureConfig(n int) sim.FailureConfig {
+	cfg := sim.DefaultFailureConfig()
+	cfg.Failures = n
+	cfg.MinRate = 0.01
+	cfg.SwitchFrac = 0
+	cfg.IncludeServerLinks = false
+	return cfg
+}
+
+// runSystems executes one trial and returns per-system (bad links, probes).
+func (c *comparison) runSystems(scen *sim.Scenario, budget int, rng *rand.Rand) (map[string][]topo.LinkID, map[string]int, error) {
+	bad := make(map[string][]topo.LinkID)
+	sent := make(map[string]int)
+
+	dn := sim.NewNetwork(c.f.Topology, scen)
+	got, n, err := c.d.Round(dn, budget, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	bad[c.d.Name()], sent[c.d.Name()] = got, n
+
+	pn := sim.NewNetwork(c.f.Topology, scen)
+	got, n = c.pm.Round(pn, pn, budget, rng)
+	bad[c.pm.Name()], sent[c.pm.Name()] = got, n
+
+	nn := sim.NewNetwork(c.f.Topology, scen)
+	got, n = c.nn.Round(nn, nn, budget, rng)
+	bad[c.nn.Name()], sent[c.nn.Name()] = got, n
+	return bad, sent, nil
+}
+
+// Fig5 compares deTector, Pingmesh and NetNORAD accuracy/false positives as
+// the probe budget grows, with one random failure per trial (paper Fig. 5).
+// The paper's headline: deTector reaches 98% accuracy with ~3.9x fewer
+// probes than Pingmesh and ~1.9x fewer than NetNORAD.
+func Fig5(w io.Writer, p Params) ([]Fig5Row, error) {
+	f := topo.MustFattree(4)
+	c, err := newComparison(f)
+	if err != nil {
+		return nil, err
+	}
+	rng := p.rng()
+	systems := []string{"deTector", "Pingmesh", "NetNORAD"}
+	// Pre-draw the scenarios once: every budget point (and every system)
+	// faces the same failures, so the sweep is a paired comparison.
+	scens := make([]*sim.Scenario, p.Trials)
+	for tr := range scens {
+		scen, err := sim.Generate(f.Topology, fig56FailureConfig(1), rng)
+		if err != nil {
+			return nil, err
+		}
+		scens[tr] = scen
+	}
+	var rows []Fig5Row
+	for _, budget := range Fig5Budgets {
+		pooled := map[string]*metrics.Confusion{}
+		probeSum := map[string]float64{}
+		for _, s := range systems {
+			pooled[s] = &metrics.Confusion{}
+		}
+		for tr := 0; tr < p.Trials; tr++ {
+			scen := scens[tr]
+			truth := switchOnly(f, scen.BadLinks())
+			bad, sent, err := c.runSystems(scen, budget, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range systems {
+				pooled[s].Add(metrics.Compare(switchOnly(f, bad[s]), truth))
+				probeSum[s] += float64(sent[s])
+			}
+		}
+		for _, s := range systems {
+			rows = append(rows, Fig5Row{
+				System:        s,
+				Budget:        budget,
+				ProbesSent:    probeSum[s] / float64(p.Trials),
+				Accuracy:      pooled[s].Accuracy(),
+				FalsePositive: pooled[s].FalsePositiveRatio(),
+			})
+		}
+	}
+
+	fmt.Fprintln(w, "Figure 5: accuracy vs probes/minute, one failure (paper Fig. 5)")
+	t := newTable(w)
+	t.row("system", "budget", "probes sent", "accuracy", "false pos")
+	for _, r := range rows {
+		t.row(r.System, r.Budget, fmt.Sprintf("%.0f", r.ProbesSent), pct(r.Accuracy), pct(r.FalsePositive))
+	}
+	t.flush()
+	return rows, nil
+}
+
+// Fig6Row is one (system, failure count) cell at the fixed budget.
+type Fig6Row struct {
+	System        string
+	Failures      int
+	Accuracy      float64
+	FalsePositive float64
+}
+
+// Fig6Budget is the paper's fixed probe budget (probes per minute).
+const Fig6Budget = 5850
+
+// Fig6 fixes the budget and raises the number of concurrent failures
+// (paper Fig. 6): deTector degrades gracefully while the replay-based
+// localizers fall behind.
+func Fig6(w io.Writer, p Params) ([]Fig6Row, error) {
+	f := topo.MustFattree(4)
+	c, err := newComparison(f)
+	if err != nil {
+		return nil, err
+	}
+	rng := p.rng()
+	systems := []string{"deTector", "Pingmesh", "NetNORAD"}
+	var rows []Fig6Row
+	for _, nf := range []int{1, 2, 3, 4, 5, 6} {
+		pooled := map[string]*metrics.Confusion{}
+		for _, s := range systems {
+			pooled[s] = &metrics.Confusion{}
+		}
+		for tr := 0; tr < p.Trials; tr++ {
+			scen, err := sim.Generate(f.Topology, fig56FailureConfig(nf), rng)
+			if err != nil {
+				return nil, err
+			}
+			truth := switchOnly(f, scen.BadLinks())
+			bad, _, err := c.runSystems(scen, Fig6Budget, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range systems {
+				pooled[s].Add(metrics.Compare(switchOnly(f, bad[s]), truth))
+			}
+		}
+		for _, s := range systems {
+			rows = append(rows, Fig6Row{
+				System:        s,
+				Failures:      nf,
+				Accuracy:      pooled[s].Accuracy(),
+				FalsePositive: pooled[s].FalsePositiveRatio(),
+			})
+		}
+	}
+
+	fmt.Fprintf(w, "Figure 6: accuracy vs concurrent failures at %d probes/min (paper Fig. 6)\n", Fig6Budget)
+	t := newTable(w)
+	t.row("system", "failures", "accuracy", "false pos")
+	for _, r := range rows {
+		t.row(r.System, r.Failures, pct(r.Accuracy), pct(r.FalsePositive))
+	}
+	t.flush()
+	return rows, nil
+}

@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/detector-net/detector/internal/topo"
+	"github.com/detector-net/detector/internal/wire"
+)
+
+// Registry maps node IDs to UDP addresses. Switches self-register when the
+// fabric boots; server agents (pingers, responders) register their sockets
+// when they start — the emulation analog of the data-center management
+// service's address directory.
+type Registry struct {
+	mu   sync.RWMutex
+	addr map[topo.NodeID]*net.UDPAddr
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{addr: make(map[topo.NodeID]*net.UDPAddr)}
+}
+
+// Register binds a node ID to a UDP address.
+func (r *Registry) Register(n topo.NodeID, a *net.UDPAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addr[n] = a
+}
+
+// Lookup resolves a node's address.
+func (r *Registry) Lookup(n topo.NodeID) (*net.UDPAddr, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.addr[n]
+	return a, ok
+}
+
+// Fabric runs one emulated switch goroutine per non-server node.
+type Fabric struct {
+	Topo     *topo.Topology
+	Rules    *RuleTable
+	Registry *Registry
+
+	mu      sync.Mutex
+	conns   []*net.UDPConn
+	stopped bool
+	wg      sync.WaitGroup
+
+	// Logf receives forwarding anomalies (malformed packets, unknown
+	// next hops); defaults to log.Printf. Tests may silence it.
+	Logf func(format string, args ...any)
+}
+
+// Start boots a fabric for the topology: one UDP socket per switch on
+// 127.0.0.1, forwarding per the wire-format source route and applying the
+// rule table on every link crossing.
+func Start(t *topo.Topology, rules *RuleTable) (*Fabric, error) {
+	f := &Fabric{
+		Topo:     t,
+		Rules:    rules,
+		Registry: NewRegistry(),
+		Logf:     log.Printf,
+	}
+	for _, n := range t.Nodes {
+		if n.Kind == topo.Server {
+			continue
+		}
+		conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			f.Stop()
+			return nil, fmt.Errorf("fabric: switch %d listen: %w", n.ID, err)
+		}
+		f.Registry.Register(n.ID, conn.LocalAddr().(*net.UDPAddr))
+		f.mu.Lock()
+		f.conns = append(f.conns, conn)
+		f.mu.Unlock()
+		f.wg.Add(1)
+		go f.runSwitch(n.ID, conn)
+	}
+	return f, nil
+}
+
+// Stop closes every switch socket and waits for the goroutines.
+func (f *Fabric) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	conns := f.conns
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	f.wg.Wait()
+}
+
+// runSwitch is the forwarding loop of one emulated switch.
+func (f *Fabric) runSwitch(self topo.NodeID, conn *net.UDPConn) {
+	defer f.wg.Done()
+	buf := make([]byte, 4096)
+	out := make([]byte, 0, 4096)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		pkt, err := wire.Unmarshal(buf[:n])
+		if err != nil {
+			f.Logf("fabric: switch %d: %v", self, err)
+			continue
+		}
+		if pkt.Current() != self {
+			f.Logf("fabric: switch %d got packet routed for %d", self, pkt.Current())
+			continue
+		}
+		// Ingress check: the packet just crossed (prev, self).
+		var delay time.Duration
+		if pkt.HopIdx > 0 {
+			if l, ok := f.Topo.LinkBetween(pkt.PrevHop(), self); ok {
+				if f.Rules.Drop(l, pkt) {
+					continue // dropped by the emulated fault
+				}
+				delay = f.Rules.Delay(l)
+			}
+		}
+		next, err := pkt.NextHop()
+		if err != nil {
+			f.Logf("fabric: switch %d is a route terminus: %v", self, err)
+			continue
+		}
+		addr, ok := f.Registry.Lookup(next)
+		if !ok {
+			// Destination agent not registered (e.g. server down).
+			continue
+		}
+		pkt.HopIdx++
+		out, err = pkt.Marshal(out[:0])
+		if err != nil {
+			f.Logf("fabric: switch %d re-marshal: %v", self, err)
+			continue
+		}
+		if delay > 0 {
+			// Latency-spike emulation: hold the packet off the forwarding
+			// loop so other traffic is unaffected.
+			held := append([]byte(nil), out...)
+			time.AfterFunc(delay, func() {
+				conn.WriteToUDP(held, addr)
+			})
+			continue
+		}
+		if _, err := conn.WriteToUDP(out, addr); err != nil {
+			f.mu.Lock()
+			stopped := f.stopped
+			f.mu.Unlock()
+			if !stopped {
+				f.Logf("fabric: switch %d write to %d: %v", self, next, err)
+			}
+		}
+	}
+}
+
+// IngressDrop performs the final-hop rule check on behalf of a server
+// agent: when a packet arrives at a pinger or responder socket, the last
+// link (switch, server) must still face the rule table. It returns true if
+// the emulated link dropped the packet.
+func IngressDrop(t *topo.Topology, rules *RuleTable, pkt *wire.Packet) bool {
+	if pkt.HopIdx == 0 {
+		return false
+	}
+	l, ok := t.LinkBetween(pkt.PrevHop(), pkt.Current())
+	if !ok {
+		return false
+	}
+	return rules.Drop(l, pkt)
+}
+
+// SendFirstHop transmits a freshly built packet (HopIdx 0 at the source
+// server) to the first switch of its route using the agent's own socket.
+func SendFirstHop(conn *net.UDPConn, reg *Registry, pkt *wire.Packet, buf []byte) ([]byte, error) {
+	next, err := pkt.NextHop()
+	if err != nil {
+		return buf, err
+	}
+	addr, ok := reg.Lookup(next)
+	if !ok {
+		return buf, fmt.Errorf("fabric: first hop %d not registered", next)
+	}
+	pkt.HopIdx++
+	buf, err = pkt.Marshal(buf[:0])
+	if err != nil {
+		return buf, err
+	}
+	_, err = conn.WriteToUDP(buf, addr)
+	return buf, err
+}

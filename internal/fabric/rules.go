@@ -1,0 +1,159 @@
+// Package fabric emulates a source-routed data-center fabric over loopback
+// UDP: every switch is a goroutine with a real UDP socket, forwarding probe
+// packets along the explicit route carried in the wire header. A shared
+// rule table plays the role of the paper's OpenFlow failure injection
+// (§6.2): full drops, header-match (blackhole) drops and probabilistic
+// drops, installable and removable at runtime.
+//
+// This is the substitution for the paper's 20-switch ONetSwitch testbed;
+// the end-to-end behaviour deTector depends on — source routing, per-flow
+// blackholes, echo-direction losses, per-port drop counters — is preserved,
+// only the dataplane is user-space.
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/detector-net/detector/internal/sim"
+	"github.com/detector-net/detector/internal/topo"
+	"github.com/detector-net/detector/internal/wire"
+)
+
+// RuleTable is the emulated SDN drop-rule state shared by all switches of
+// one fabric, keyed by undirected link. It reuses the simulator's loss
+// models so experiments can inject identical failures into the fabric and
+// the pure simulator.
+type RuleTable struct {
+	mu       sync.RWMutex
+	rules    map[topo.LinkID]sim.LossModel
+	delays   map[topo.LinkID]time.Duration
+	counters map[topo.LinkID]int64
+	rng      *rand.Rand
+}
+
+// NewRuleTable returns an empty table. seed fixes the probabilistic-drop
+// stream for reproducible tests.
+func NewRuleTable(seed int64) *RuleTable {
+	return &RuleTable{
+		rules:    make(map[topo.LinkID]sim.LossModel),
+		delays:   make(map[topo.LinkID]time.Duration),
+		counters: make(map[topo.LinkID]int64),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Install sets the loss model of a link, replacing any previous rule.
+func (rt *RuleTable) Install(l topo.LinkID, m sim.LossModel) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.rules[l] = m
+}
+
+// Remove clears the rule (and any delay) on a link.
+func (rt *RuleTable) Remove(l topo.LinkID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.rules, l)
+	delete(rt.delays, l)
+}
+
+// Clear removes every rule (failure repaired / scenario reset).
+func (rt *RuleTable) Clear() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.rules = make(map[topo.LinkID]sim.LossModel)
+	rt.delays = make(map[topo.LinkID]time.Duration)
+}
+
+// InstallDelay adds a fixed one-way latency to a link — the emulation of a
+// latency spike (congested queue, slow path). deTector treats RTTs above
+// the probe timeout as losses (paper §1), so a spike larger than the
+// pinger's timeout is detected and localized through the ordinary loss
+// pipeline; a smaller one only moves the reported RTT.
+func (rt *RuleTable) InstallDelay(l topo.LinkID, d time.Duration) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.delays[l] = d
+}
+
+// Delay returns the injected latency of a link (0 if none).
+func (rt *RuleTable) Delay(l topo.LinkID) time.Duration {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.delays[l]
+}
+
+// FlowOf derives the simulator flow key of a packet, honoring direction:
+// the echo hashes as the reversed flow, so deterministic blackholes hit
+// forward and reverse paths independently, as on real hardware.
+func FlowOf(p *wire.Packet) sim.FlowKey {
+	src, dst := p.Src(), p.Dst()
+	f := sim.FlowKey{
+		Src: src, Dst: dst,
+		SrcPort: uint16(p.FlowLabel), DstPort: 7,
+		Proto: sim.UDPProto, DSCP: p.DSCP,
+	}
+	if p.Flags&wire.FlagReply != 0 {
+		// The route is already reversed; the flow key mirrors the
+		// original probe's reverse.
+		f = sim.FlowKey{
+			Src: src, Dst: dst,
+			SrcPort: 7, DstPort: uint16(p.FlowLabel),
+			Proto: sim.UDPProto, DSCP: p.DSCP,
+		}
+	}
+	return f
+}
+
+// Drop rolls the fate of a packet crossing link l. Non-silent drops bump
+// the link's counter (the SNMP-visible side channel).
+func (rt *RuleTable) Drop(l topo.LinkID, p *wire.Packet) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m, ok := rt.rules[l]
+	if !ok {
+		return false
+	}
+	prob := m.DropProb(FlowOf(p))
+	if prob <= 0 {
+		return false
+	}
+	if prob < 1 && rt.rng.Float64() >= prob {
+		return false
+	}
+	if !m.Silent() {
+		rt.counters[l]++
+	}
+	return true
+}
+
+// Counter reads a link's drop counter.
+func (rt *RuleTable) Counter(l topo.LinkID) int64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.counters[l]
+}
+
+// Counters snapshots all counters.
+func (rt *RuleTable) Counters() map[topo.LinkID]int64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[topo.LinkID]int64, len(rt.counters))
+	for l, c := range rt.counters {
+		out[l] = c
+	}
+	return out
+}
+
+// ActiveRules lists links with installed rules.
+func (rt *RuleTable) ActiveRules() []topo.LinkID {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]topo.LinkID, 0, len(rt.rules))
+	for l := range rt.rules {
+		out = append(out, l)
+	}
+	return out
+}

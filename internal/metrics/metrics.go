@@ -1,0 +1,131 @@
+// Package metrics implements the evaluation bookkeeping of the paper §5.3:
+// accuracy (true-positive ratio), false-positive ratio and false-negative
+// ratio over link sets, plus aggregation across trials.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Confusion compares a predicted bad-link set with ground truth.
+type Confusion struct {
+	TP, FP, FN int
+}
+
+// Compare builds a Confusion from predicted and true link sets.
+func Compare(predicted, truth []topo.LinkID) Confusion {
+	t := make(map[topo.LinkID]bool, len(truth))
+	for _, l := range truth {
+		t[l] = true
+	}
+	var c Confusion
+	seen := make(map[topo.LinkID]bool, len(predicted))
+	for _, l := range predicted {
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		if t[l] {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	c.FN = len(t) - c.TP
+	return c
+}
+
+// Accuracy is the paper's definition: bad links correctly identified over
+// all truly bad links (true-positive ratio). 1 when there is nothing to
+// find and nothing was found.
+func (c Confusion) Accuracy() float64 {
+	if c.TP+c.FN == 0 {
+		if c.FP == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FalsePositiveRatio is good links incorrectly identified as bad over all
+// identified links (paper §5.3). 0 when nothing was identified.
+func (c Confusion) FalsePositiveRatio() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.TP+c.FP)
+}
+
+// FalseNegativeRatio is bad links missed over all truly bad links.
+func (c Confusion) FalseNegativeRatio() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.TP+c.FN)
+}
+
+// Add accumulates another confusion (for multi-trial averaging by pooling).
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+}
+
+// String formats the three ratios.
+func (c Confusion) String() string {
+	return fmt.Sprintf("acc=%.2f%% fp=%.2f%% fn=%.2f%%",
+		100*c.Accuracy(), 100*c.FalsePositiveRatio(), 100*c.FalseNegativeRatio())
+}
+
+// Series accumulates scalar samples and reports summary statistics.
+type Series struct {
+	vals []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// N returns the sample count.
+func (s *Series) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 for empty series).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Std returns the population standard deviation.
+func (s *Series) Std() float64 {
+	if len(s.vals) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.vals {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.vals)))
+}

@@ -1,0 +1,371 @@
+package pll
+
+import (
+	"math"
+	"sort"
+
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Localizer is the common interface of PLL and the baseline algorithms, so
+// the evaluation harness can swap them (paper §5.3 compares PLL against
+// Tomo, SCORE and OMP on identical probe matrices).
+type Localizer interface {
+	Name() string
+	// Localize returns the suspected bad links for one window.
+	Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, error)
+}
+
+// PLL adapts Localize to the Localizer interface.
+type PLL struct{ Config Config }
+
+// NewPLL returns PLL with the paper's default thresholds.
+func NewPLL() *PLL { return &PLL{Config: DefaultConfig()} }
+
+// Name implements Localizer.
+func (*PLL) Name() string { return "PLL" }
+
+// Localize implements Localizer.
+func (a *PLL) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, error) {
+	res, err := Localize(p, obs, a.Config)
+	if err != nil {
+		return nil, err
+	}
+	return res.BadLinks(), nil
+}
+
+// Tomo is the NetDiagnoser greedy (Dhamdhere et al., CoNEXT'07): a link is a
+// candidate only if NO clean path crosses it, then greedily cover failed
+// paths by the candidate explaining the most of them. Partial packet loss
+// breaks the exoneration rule — the paper's motivation for PLL's hit-ratio
+// threshold (§5.2).
+type Tomo struct {
+	// Floor and MinLoss mirror PLL preprocessing so the comparison is
+	// apples-to-apples.
+	Floor   float64
+	MinLoss int
+}
+
+// NewTomo returns Tomo with PLL-equivalent preprocessing.
+func NewTomo() *Tomo { return &Tomo{Floor: 1e-3, MinLoss: 1} }
+
+// Name implements Localizer.
+func (*Tomo) Name() string { return "Tomo" }
+
+// Localize implements Localizer.
+func (a *Tomo) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, error) {
+	lossy, clean := preprocess(p, obs, Config{LossRatioFloor: a.Floor, MinLoss: a.MinLoss})
+	if len(lossy) == 0 {
+		return nil, nil
+	}
+	onClean := make(map[topo.LinkID]bool)
+	for _, pi := range clean {
+		for _, l := range p.PathLinks[pi] {
+			onClean[l] = true
+		}
+	}
+	cands := make(map[topo.LinkID][]int)
+	for i, o := range lossy {
+		for _, l := range p.PathLinks[o.Path] {
+			if !onClean[l] {
+				cands[l] = append(cands[l], i)
+			}
+		}
+	}
+	return greedyCover(lossy, cands, func(link topo.LinkID, unexplained []int) float64 {
+		return float64(len(unexplained))
+	}), nil
+}
+
+// SCORE is the risk-modeling greedy of Kompella et al. (NSDI'05): pick the
+// link with the highest hit ratio (failed paths through it over all paths
+// through it), breaking ties by coverage.
+type SCORE struct {
+	Floor   float64
+	MinLoss int
+}
+
+// NewSCORE returns SCORE with PLL-equivalent preprocessing.
+func NewSCORE() *SCORE { return &SCORE{Floor: 1e-3, MinLoss: 1} }
+
+// Name implements Localizer.
+func (*SCORE) Name() string { return "SCORE" }
+
+// Localize implements Localizer.
+func (a *SCORE) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, error) {
+	lossy, _ := preprocess(p, obs, Config{LossRatioFloor: a.Floor, MinLoss: a.MinLoss})
+	if len(lossy) == 0 {
+		return nil, nil
+	}
+	pathsThrough := make(map[topo.LinkID]int)
+	for _, o := range obs {
+		if o.Sent <= 0 {
+			continue
+		}
+		for _, l := range p.PathLinks[o.Path] {
+			pathsThrough[l]++
+		}
+	}
+	cands := make(map[topo.LinkID][]int)
+	for i, o := range lossy {
+		for _, l := range p.PathLinks[o.Path] {
+			cands[l] = append(cands[l], i)
+		}
+	}
+	return greedyCover(lossy, cands, func(link topo.LinkID, unexplained []int) float64 {
+		// Hit ratio with a small coverage tie-break.
+		return float64(len(unexplained))/float64(pathsThrough[link]) +
+			float64(len(unexplained))*1e-9
+	}), nil
+}
+
+// greedyCover repeatedly selects the candidate with the highest utility
+// until every lossy observation is explained or no candidate has positive
+// utility. Ties break on lower link ID for determinism.
+func greedyCover(lossy []Observation, cands map[topo.LinkID][]int, utility func(topo.LinkID, []int) float64) []topo.LinkID {
+	links := make([]topo.LinkID, 0, len(cands))
+	for l := range cands {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	explained := make([]bool, len(lossy))
+	remaining := len(lossy)
+	var out []topo.LinkID
+	var scratch []int
+	for remaining > 0 {
+		best := topo.LinkID(-1)
+		bestU := 0.0
+		var bestPaths []int
+		for _, l := range links {
+			scratch = scratch[:0]
+			for _, pi := range cands[l] {
+				if !explained[pi] {
+					scratch = append(scratch, pi)
+				}
+			}
+			if len(scratch) == 0 {
+				continue
+			}
+			u := utility(l, scratch)
+			if u > bestU {
+				best, bestU = l, u
+				bestPaths = append(bestPaths[:0], scratch...)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		for _, pi := range bestPaths {
+			explained[pi] = true
+			remaining--
+		}
+		out = append(out, best)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OMP localizes by orthogonal matching pursuit (Pati et al., ACSSC'93) on
+// the linearized loss system: y_p = Σ_{l on p} x_l with
+// y_p = -ln(1 - lossRatio_p) and x_l = -ln(1 - lossRate_l). Columns are
+// links; OMP greedily adds the column most correlated with the residual and
+// re-solves least squares over the active set.
+type OMP struct {
+	// MaxIters bounds the active set size; 0 means the number of lossy paths.
+	MaxIters int
+	// RateThreshold declares a link bad when its recovered loss rate
+	// exceeds it (default 1e-3, the noise floor).
+	RateThreshold float64
+	// Residual stops the pursuit when the residual L2 norm falls below it.
+	Residual float64
+}
+
+// NewOMP returns OMP with defaults matched to PLL preprocessing.
+func NewOMP() *OMP { return &OMP{RateThreshold: 1e-3, Residual: 1e-6} }
+
+// Name implements Localizer.
+func (*OMP) Name() string { return "OMP" }
+
+// Localize implements Localizer.
+func (a *OMP) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, error) {
+	// Observed paths form the rows; links on them the columns.
+	var rows []Observation
+	for _, o := range obs {
+		if o.Sent > 0 {
+			rows = append(rows, o)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	colOf := make(map[topo.LinkID]int)
+	var cols []topo.LinkID
+	for _, o := range rows {
+		for _, l := range p.PathLinks[o.Path] {
+			if _, ok := colOf[l]; !ok {
+				colOf[l] = len(cols)
+				cols = append(cols, l)
+			}
+		}
+	}
+	m, n := len(rows), len(cols)
+	y := make([]float64, m)
+	anyLoss := false
+	for i, o := range rows {
+		ratio := float64(o.Lost) / float64(o.Sent)
+		if ratio > 0.9999 {
+			ratio = 0.9999
+		}
+		y[i] = -math.Log(1 - ratio)
+		if o.Lost > 0 {
+			anyLoss = true
+		}
+	}
+	if !anyLoss {
+		return nil, nil
+	}
+	// A is the 0/1 incidence matrix, stored per column.
+	colRows := make([][]int, n)
+	for i, o := range rows {
+		for _, l := range p.PathLinks[o.Path] {
+			c := colOf[l]
+			colRows[c] = append(colRows[c], i)
+		}
+	}
+
+	maxIters := a.MaxIters
+	if maxIters <= 0 || maxIters > m {
+		maxIters = m
+	}
+	residual := append([]float64(nil), y...)
+	var active []int
+	inActive := make([]bool, n)
+	var x []float64
+	for iter := 0; iter < maxIters; iter++ {
+		norm := 0.0
+		for _, r := range residual {
+			norm += r * r
+		}
+		if math.Sqrt(norm) < a.Residual {
+			break
+		}
+		// Column most correlated with the residual.
+		best, bestCorr := -1, 0.0
+		for c := 0; c < n; c++ {
+			if inActive[c] {
+				continue
+			}
+			dot := 0.0
+			for _, r := range colRows[c] {
+				dot += residual[r]
+			}
+			corr := math.Abs(dot) / math.Sqrt(float64(len(colRows[c])))
+			if corr > bestCorr+1e-12 {
+				best, bestCorr = c, corr
+			}
+		}
+		if best < 0 || bestCorr < 1e-9 {
+			break
+		}
+		active = append(active, best)
+		inActive[best] = true
+		x = solveLeastSquares(colRows, active, y, m)
+		// Recompute the residual.
+		copy(residual, y)
+		for ai, c := range active {
+			for _, r := range colRows[c] {
+				residual[r] -= x[ai]
+			}
+		}
+	}
+
+	rateFloor := -math.Log(1 - a.RateThreshold)
+	var out []topo.LinkID
+	for ai, c := range active {
+		if x[ai] > rateFloor {
+			out = append(out, cols[c])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// solveLeastSquares solves min ||A_active x - y|| via the normal equations
+// with Gaussian elimination and clamps negative rates to zero (loss rates
+// cannot be negative). The active set stays small, so dense solving is fine.
+func solveLeastSquares(colRows [][]int, active []int, y []float64, m int) []float64 {
+	k := len(active)
+	// G = AᵀA over active columns; b = Aᵀy.
+	g := make([][]float64, k)
+	b := make([]float64, k)
+	rowsOf := make([]map[int]bool, k)
+	for i, c := range active {
+		rowsOf[i] = make(map[int]bool, len(colRows[c]))
+		for _, r := range colRows[c] {
+			rowsOf[i][r] = true
+			b[i] += y[r]
+		}
+	}
+	for i := range active {
+		g[i] = make([]float64, k)
+		for j := range active {
+			dot := 0.0
+			for r := range rowsOf[i] {
+				if rowsOf[j][r] {
+					dot++
+				}
+			}
+			g[i][j] = dot
+		}
+		g[i][i] += 1e-9 // ridge for singular systems
+	}
+	x := gaussSolve(g, b)
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+	}
+	return x
+}
+
+// gaussSolve solves g x = b in place with partial pivoting.
+func gaussSolve(g [][]float64, b []float64) []float64 {
+	k := len(b)
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(g[r][col]) > math.Abs(g[pivot][col]) {
+				pivot = r
+			}
+		}
+		g[col], g[pivot] = g[pivot], g[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		if math.Abs(g[col][col]) < 1e-12 {
+			continue
+		}
+		for r := col + 1; r < k; r++ {
+			f := g[r][col] / g[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < k; c++ {
+				g[r][c] -= f * g[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, k)
+	for r := k - 1; r >= 0; r-- {
+		if math.Abs(g[r][r]) < 1e-12 {
+			x[r] = 0
+			continue
+		}
+		sum := b[r]
+		for c := r + 1; c < k; c++ {
+			sum -= g[r][c] * x[c]
+		}
+		x[r] = sum / g[r][r]
+	}
+	return x
+}

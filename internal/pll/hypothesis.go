@@ -1,0 +1,69 @@
+package pll
+
+import "math"
+
+// The paper's §5.1 notes that fixed thresholds misjudge noisy data and
+// suggests statistical hypothesis testing on loss rates (citing Herodotou
+// et al., KDD'14). This file implements that refinement: a path is declared
+// lossy only when its loss count is statistically inconsistent with the
+// ambient baseline loss rate, via a one-sided exact binomial test.
+
+// BinomialTail returns P(X >= k) for X ~ Binomial(n, p) — the p-value of
+// observing k or more losses in n probes under the ambient-loss null
+// hypothesis. Exact computation in log space; terms are summed until they
+// stop mattering.
+func BinomialTail(n, k int, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	// Below the mean the first summand can underflow to zero even though
+	// the tail is near 1; reflect to the complementary upper tail, whose
+	// first term sits at or above the distribution's mode:
+	// P(X >= k) = 1 - P(n - X >= n - k + 1), with n - X ~ Binomial(n, 1-p).
+	if float64(k) <= float64(n)*p {
+		return 1 - BinomialTail(n, n-k+1, 1-p)
+	}
+	// log PMF at i, built incrementally from i = k upward:
+	// pmf(i) = C(n,i) p^i (1-p)^(n-i).
+	logPMF := logChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	sum := 0.0
+	term := math.Exp(logPMF)
+	for i := k; i <= n; i++ {
+		sum += term
+		if term < sum*1e-12 {
+			break // remaining tail is negligible
+		}
+		// pmf(i+1)/pmf(i) = (n-i)/(i+1) * p/(1-p)
+		term *= float64(n-i) / float64(i+1) * p / (1 - p)
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// logChoose is ln C(n, k) via the log-gamma function.
+func logChoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// SignificantLoss reports whether k losses in n probes are statistically
+// inconsistent with an ambient baseline loss rate at the given significance
+// level (smaller = stricter). It is the hypothesis-testing alternative to
+// the fixed LossRatioFloor.
+func SignificantLoss(n, k int, baseline, significance float64) bool {
+	if k <= 0 || n <= 0 {
+		return false
+	}
+	return BinomialTail(n, k, baseline) < significance
+}

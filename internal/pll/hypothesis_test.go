@@ -1,0 +1,133 @@
+package pll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+func TestBinomialTailKnownValues(t *testing.T) {
+	// P(X >= 1) with n=1: exactly p.
+	if got := BinomialTail(1, 1, 0.3); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("P(X>=1 | 1, 0.3) = %v", got)
+	}
+	// P(X >= 1) = 1 - (1-p)^n.
+	want := 1 - math.Pow(0.99, 100)
+	if got := BinomialTail(100, 1, 0.01); math.Abs(got-want) > 1e-9 {
+		t.Errorf("P(X>=1 | 100, 0.01) = %v, want %v", got, want)
+	}
+	// Fair-coin symmetry: P(X >= 6 | 10, 0.5) + P(X >= 5 | 10, 0.5) = 1
+	// (complementary tails around the center).
+	a := BinomialTail(10, 6, 0.5)
+	b := BinomialTail(10, 5, 0.5)
+	if math.Abs(a+(1-b)-0.5) > 0.25 { // loose structural check
+		t.Logf("tails: %v %v", a, b)
+	}
+	// Edge cases.
+	if BinomialTail(10, 0, 0.5) != 1 {
+		t.Error("P(X>=0) must be 1")
+	}
+	if BinomialTail(10, 11, 0.5) != 0 {
+		t.Error("P(X>=11 | n=10) must be 0")
+	}
+	if BinomialTail(10, 3, 0) != 0 {
+		t.Error("p=0 tail must be 0 for k>0")
+	}
+	if BinomialTail(10, 3, 1) != 1 {
+		t.Error("p=1 tail must be 1")
+	}
+}
+
+// TestBinomialTailMonotonicity: the tail decreases in k and increases in p.
+func TestBinomialTailMonotonicity(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		k := 1 + rng.Intn(n)
+		p := 0.001 + 0.998*rng.Float64()
+		tail := BinomialTail(n, k, p)
+		if tail < 0 || tail > 1 {
+			return false
+		}
+		// Tolerances account for the summation's early-termination cutoff.
+		if k < n && BinomialTail(n, k+1, p) > tail*(1+1e-9)+1e-12 {
+			return false
+		}
+		return BinomialTail(n, k, math.Min(p*1.1, 1)) >= tail*(1-1e-9)-1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignificantLoss(t *testing.T) {
+	// 3 losses in 1000 at baseline 1e-3 (expect 1): p-value ~= 0.08, not
+	// significant at 1e-3.
+	if SignificantLoss(1000, 3, 1e-3, 1e-3) {
+		t.Error("3/1000 at baseline 1e-3 should not be significant")
+	}
+	// 20 losses in 1000 at baseline 1e-3: overwhelming.
+	if !SignificantLoss(1000, 20, 1e-3, 1e-3) {
+		t.Error("20/1000 at baseline 1e-3 should be significant")
+	}
+	if SignificantLoss(0, 0, 1e-3, 1e-3) || SignificantLoss(100, 0, 1e-3, 1e-3) {
+		t.Error("zero losses can never be significant")
+	}
+}
+
+// TestLocalizeWithHypothesisFilter: with the baseline-rate filter on,
+// ambient-noise losses that pass the crude ratio floor are still dismissed,
+// while a real failure is kept.
+func TestLocalizeWithHypothesisFilter(t *testing.T) {
+	p := route.NewProbesFromLinks([][]topo.LinkID{
+		{0, 1}, {0, 2}, {2},
+	}, 3)
+	cfg := DefaultConfig()
+	cfg.LossRatioFloor = 1e-3
+	cfg.BaselineRate = 2e-3 // ambient loss the operator expects
+	cfg.Significance = 1e-3
+
+	// Path 0: 4 losses in 1000 — consistent with the 2e-3 baseline
+	// (expected 2, p-value ~0.14). Path 1: 30 losses — a real failure.
+	res, err := Localize(p, []Observation{
+		{Path: 0, Sent: 1000, Lost: 4},
+		{Path: 1, Sent: 1000, Lost: 30},
+		{Path: 2, Sent: 1000, Lost: 0},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossyPaths != 1 {
+		t.Fatalf("hypothesis filter kept %d lossy paths, want 1", res.LossyPaths)
+	}
+	bad := res.BadLinks()
+	// Only path 1 is lossy; its unique link is 0-vs-2... path1={0,2},
+	// path2={2} clean exonerates nothing under PLL, but hit ratios:
+	// link 0: 1/2 paths lossy (path 0 is clean now), link 2: 1/2.
+	// The greedy picks one explanatory link; what matters here is that
+	// the noise path did not drag link 1 in.
+	for _, l := range bad {
+		if l == 1 {
+			t.Fatalf("noise path implicated link 1: %v", bad)
+		}
+	}
+
+	// Without the filter, path 0 counts as lossy (4/1000 >= 1e-3 floor).
+	cfg.BaselineRate = 0
+	res, err = Localize(p, []Observation{
+		{Path: 0, Sent: 1000, Lost: 4},
+		{Path: 1, Sent: 1000, Lost: 30},
+		{Path: 2, Sent: 1000, Lost: 0},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossyPaths != 2 {
+		t.Fatalf("without the filter both paths should be lossy, got %d", res.LossyPaths)
+	}
+}

@@ -1,0 +1,306 @@
+// Package pll implements deTector's Packet Loss Localization algorithm
+// (paper §5) and the binary-tomography baselines it is evaluated against
+// (Tomo, SCORE, OMP).
+//
+// Input is one measurement window of per-path probe counters; output is the
+// smallest set of links that explains the observed losses. PLL extends the
+// classic Tomo greedy with a per-link hit-ratio threshold so that partial
+// packet loss — a blackhole that drops only some flows crossing a link —
+// does not exonerate the link just because one unaffected path through it
+// stayed clean.
+package pll
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Observation is one probe path's counters for a measurement window.
+type Observation struct {
+	// Path indexes into the probe matrix.
+	Path int
+	// Sent and Lost count probes and losses on the path (echo included:
+	// a probe is lost if either direction drops it).
+	Sent, Lost int
+}
+
+// Config tunes PLL. The zero value is unusable; use DefaultConfig.
+type Config struct {
+	// HitRatio is the threshold on lossyPaths(l)/pathsThrough(l) above
+	// which a link is a localization candidate. The paper sets 0.6 (§5.3);
+	// 1.0 degenerates to Tomo's "any clean path exonerates" rule.
+	HitRatio float64
+	// LossRatioFloor filters measurement noise: a path is only "lossy"
+	// when lost/sent >= the floor (paper §5.1 cites 1e-3).
+	LossRatioFloor float64
+	// MinLoss is the minimum absolute loss count for a lossy path.
+	MinLoss int
+	// BaselineRate, when positive, enables the §5.1 hypothesis-testing
+	// refinement: a path additionally counts as lossy only if its loss
+	// count is statistically inconsistent with this ambient loss rate at
+	// the Significance level (one-sided exact binomial test).
+	BaselineRate float64
+	// Significance is the p-value threshold of the hypothesis test
+	// (default 1e-3 when BaselineRate is set).
+	Significance float64
+	// Unhealthy lists servers flagged by the watchdog; observations whose
+	// path endpoints touch them are dropped as outliers (paper §5.1).
+	Unhealthy map[topo.NodeID]bool
+	// Workers bounds component parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the paper's operating point.
+func DefaultConfig() Config {
+	return Config{HitRatio: 0.6, LossRatioFloor: 1e-3, MinLoss: 1}
+}
+
+// Verdict is one localized link with its estimated loss rate.
+type Verdict struct {
+	Link topo.LinkID
+	// Rate is the estimated loss rate: explained losses over probes sent
+	// on the paths this link explains.
+	Rate float64
+	// Explained is the number of lost probes attributed to this link.
+	Explained int
+}
+
+// Result is a localization outcome.
+type Result struct {
+	// Bad lists the localized links, sorted by ID.
+	Bad []Verdict
+	// UnexplainedPaths counts lossy paths no candidate link could explain
+	// (all candidates below the hit-ratio threshold).
+	UnexplainedPaths int
+	// LossyPaths is the post-filter lossy path count.
+	LossyPaths int
+	Elapsed    time.Duration
+}
+
+// BadLinks returns just the link IDs, sorted.
+func (r *Result) BadLinks() []topo.LinkID {
+	out := make([]topo.LinkID, len(r.Bad))
+	for i, v := range r.Bad {
+		out[i] = v.Link
+	}
+	return out
+}
+
+// preprocess drops outlier observations and splits the rest into clean and
+// lossy sets (paper §5.1).
+func preprocess(p *route.Probes, obs []Observation, cfg Config) (lossy []Observation, cleanPaths []int) {
+	for _, o := range obs {
+		if o.Sent <= 0 || o.Path < 0 || o.Path >= p.NumPaths() {
+			continue
+		}
+		if cfg.Unhealthy != nil {
+			if cfg.Unhealthy[p.Src[o.Path]] || cfg.Unhealthy[p.Dst[o.Path]] {
+				continue
+			}
+		}
+		ratio := float64(o.Lost) / float64(o.Sent)
+		isLossy := o.Lost >= cfg.MinLoss && ratio >= cfg.LossRatioFloor
+		if isLossy && cfg.BaselineRate > 0 {
+			sig := cfg.Significance
+			if sig <= 0 {
+				sig = 1e-3
+			}
+			isLossy = SignificantLoss(o.Sent, o.Lost, cfg.BaselineRate, sig)
+		}
+		if isLossy {
+			lossy = append(lossy, o)
+		} else {
+			cleanPaths = append(cleanPaths, o.Path)
+		}
+	}
+	return lossy, cleanPaths
+}
+
+// Localize runs PLL on one window of observations.
+func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.HitRatio <= 0 || cfg.HitRatio > 1 {
+		return nil, fmt.Errorf("pll: hit ratio must be in (0,1], got %v", cfg.HitRatio)
+	}
+	lossy, _ := preprocess(p, obs, cfg)
+	res := &Result{LossyPaths: len(lossy)}
+	if len(lossy) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// pathsThrough counts observed paths per link; lossyThrough counts the
+	// lossy ones. Hit ratios are computed once, before the greedy (Step 2).
+	pathsThrough := make(map[topo.LinkID]int)
+	lossyThrough := make(map[topo.LinkID][]int) // link -> indices into lossy
+	for _, o := range obs {
+		if o.Sent <= 0 {
+			continue
+		}
+		for _, l := range p.PathLinks[o.Path] {
+			pathsThrough[l]++
+		}
+	}
+	for i, o := range lossy {
+		for _, l := range p.PathLinks[o.Path] {
+			lossyThrough[l] = append(lossyThrough[l], i)
+		}
+	}
+
+	// Candidate links pass the hit-ratio threshold.
+	var cands []candidate
+	for l, lp := range lossyThrough {
+		hit := float64(len(lp)) / float64(pathsThrough[l])
+		if hit >= cfg.HitRatio {
+			cands = append(cands, candidate{l, lp, hit})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].link < cands[j].link })
+
+	// Step 1: decompose into components over the lossy paths, then run the
+	// greedy per component in parallel. Components are independent: no
+	// candidate link is on lossy paths of two components.
+	comps := lossyComponents(p, lossy)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	verdicts := make([][]Verdict, len(comps))
+	unexplained := make([]int, len(comps))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ci := range comps {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ci int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			verdicts[ci], unexplained[ci] = greedyExplain(lossy, comps[ci], cands)
+		}(ci)
+	}
+	wg.Wait()
+
+	for ci := range comps {
+		res.Bad = append(res.Bad, verdicts[ci]...)
+		res.UnexplainedPaths += unexplained[ci]
+	}
+	sort.Slice(res.Bad, func(i, j int) bool { return res.Bad[i].Link < res.Bad[j].Link })
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// lossyComponents groups lossy-observation indices into link-connected
+// components of the probe matrix.
+func lossyComponents(p *route.Probes, lossy []Observation) [][]int {
+	// Union links of each lossy path, then bucket paths by root.
+	parent := make(map[topo.LinkID]topo.LinkID)
+	var find func(topo.LinkID) topo.LinkID
+	find = func(x topo.LinkID) topo.LinkID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, o := range lossy {
+		links := p.PathLinks[o.Path]
+		for _, l := range links {
+			if _, ok := parent[l]; !ok {
+				parent[l] = l
+			}
+		}
+		for _, l := range links[1:] {
+			ra, rb := find(links[0]), find(l)
+			if ra != rb {
+				parent[rb] = ra
+			}
+		}
+	}
+	byRoot := make(map[topo.LinkID][]int)
+	var roots []topo.LinkID
+	for i, o := range lossy {
+		r := find(p.PathLinks[o.Path][0])
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	out := make([][]int, len(roots))
+	for i, r := range roots {
+		out[i] = byRoot[r]
+	}
+	return out
+}
+
+// candidate is a link that passed the hit-ratio threshold, with the indices
+// of the lossy observations whose paths cross it.
+type candidate struct {
+	link  topo.LinkID
+	paths []int
+	hit   float64
+}
+
+// greedyExplain runs Steps 3-5 of PLL on one component: repeatedly pick the
+// candidate link explaining the most lost packets and remove its paths.
+func greedyExplain(lossy []Observation, compPaths []int, cands []candidate) ([]Verdict, int) {
+	inComp := make(map[int]bool, len(compPaths))
+	for _, pi := range compPaths {
+		inComp[pi] = true
+	}
+	explained := make(map[int]bool)
+	var out []Verdict
+	for {
+		remaining := 0
+		for _, pi := range compPaths {
+			if !explained[pi] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return out, 0
+		}
+		// Maximal explained losses; ties break on hit ratio (a fully
+		// consistent link beats one with clean paths through it), then on
+		// link ID for determinism.
+		best := -1
+		bestScore := 0
+		bestHit := 0.0
+		for ci, c := range cands {
+			score := 0
+			for _, pi := range c.paths {
+				if inComp[pi] && !explained[pi] {
+					score += lossy[pi].Lost
+				}
+			}
+			if score > bestScore || (score == bestScore && score > 0 && c.hit > bestHit) {
+				best, bestScore, bestHit = ci, score, c.hit
+			}
+		}
+		if best < 0 {
+			return out, remaining
+		}
+		v := Verdict{Link: cands[best].link}
+		sent := 0
+		for _, pi := range cands[best].paths {
+			if inComp[pi] && !explained[pi] {
+				explained[pi] = true
+				v.Explained += lossy[pi].Lost
+				sent += lossy[pi].Sent
+			}
+		}
+		if sent > 0 {
+			v.Rate = float64(v.Explained) / float64(sent)
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,136 @@
+package pmc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// VerifyResult reports the properties a probe matrix actually achieves,
+// computed from explicit path signatures, independently of the refinement
+// machinery that built it.
+type VerifyResult struct {
+	// MinCoverage is the minimum number of probe paths over any checked
+	// link (0 when some link is uncovered).
+	MinCoverage int
+	// MaxCoverage is the maximum, for evenness reporting.
+	MaxCoverage int
+	// Identifiable1 is true when all single-link signatures are distinct
+	// and non-empty.
+	Identifiable1 bool
+	// Identifiable2 is true when additionally all pairwise signature
+	// unions are distinct from each other and from the single signatures.
+	Identifiable2 bool
+	// Collisions lists up to 8 human-readable failure witnesses.
+	Collisions []string
+}
+
+// Identifiable reports whether the verified matrix reaches level beta.
+func (v VerifyResult) Identifiable(beta int) bool {
+	switch {
+	case beta <= 0:
+		return true
+	case beta == 1:
+		return v.Identifiable1
+	case beta == 2:
+		return v.Identifiable2
+	default:
+		return false // Verify checks up to beta=2 explicitly
+	}
+}
+
+// Verify computes coverage and identifiability of a probe matrix over the
+// given links (normally the topology's switch links). Pair checking is
+// O(L²·avg-signature) and intended for test/CI scale matrices; pass
+// checkPairs=false to skip it on large instances.
+func Verify(p *route.Probes, links []topo.LinkID, checkPairs bool) VerifyResult {
+	res := VerifyResult{MinCoverage: int(^uint(0) >> 1)}
+	sigOf := make(map[topo.LinkID]string, len(links))
+	bySig := make(map[string][]topo.LinkID, len(links))
+	for _, l := range links {
+		paths := p.PathsThrough(l)
+		cov := len(paths)
+		if cov < res.MinCoverage {
+			res.MinCoverage = cov
+		}
+		if cov > res.MaxCoverage {
+			res.MaxCoverage = cov
+		}
+		sig := sigString(paths)
+		sigOf[l] = sig
+		bySig[sig] = append(bySig[sig], l)
+	}
+	if len(links) == 0 {
+		res.MinCoverage = 0
+		return res
+	}
+
+	res.Identifiable1 = true
+	for sig, members := range bySig {
+		if sig == "" {
+			res.Identifiable1 = false
+			res.addCollision(fmt.Sprintf("links %v are uncovered", members))
+			continue
+		}
+		if len(members) > 1 {
+			res.Identifiable1 = false
+			res.addCollision(fmt.Sprintf("links %v share signature", members))
+		}
+	}
+	if !checkPairs {
+		return res
+	}
+
+	// Pair unions must be distinct from every single signature and from
+	// each other. Signatures are path-index sets rendered canonically.
+	res.Identifiable2 = res.Identifiable1
+	unions := make(map[string][]string, len(links)*len(links)/2)
+	for sig := range bySig {
+		unions[sig] = append(unions[sig], "single")
+	}
+	for i := 0; i < len(links); i++ {
+		for j := i + 1; j < len(links); j++ {
+			u := sigUnion(p.PathsThrough(links[i]), p.PathsThrough(links[j]))
+			key := sigString(u)
+			name := fmt.Sprintf("{%d,%d}", links[i], links[j])
+			if prev, ok := unions[key]; ok {
+				res.Identifiable2 = false
+				res.addCollision(fmt.Sprintf("pair %s collides with %s", name, prev[0]))
+			}
+			unions[key] = append(unions[key], name)
+		}
+	}
+	return res
+}
+
+func (v *VerifyResult) addCollision(msg string) {
+	if len(v.Collisions) < 8 {
+		v.Collisions = append(v.Collisions, msg)
+	}
+}
+
+func sigString(paths []int32) string {
+	b := make([]byte, 0, len(paths)*4)
+	for _, p := range paths {
+		b = append(b, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	return string(b)
+}
+
+func sigUnion(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Dedupe in place.
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,325 @@
+// Package refine implements the link-set splitting machinery at the core of
+// deTector's PMC algorithm (§4.2): partition refinement over physical links
+// and the "virtual links" that encode β-identifiability.
+//
+// A probe matrix is β-identifiable when every set of at most β simultaneous
+// link failures produces a distinct end-to-end loss observation. Following
+// Brodie et al. (DSOM'01) as adapted by the paper, this is equivalent to
+// 1-identifiability over an extended element universe: the physical links
+// plus one virtual link per combination of 2..β physical links, where a
+// virtual link is "on" a path when any of its constituents is. Selecting a
+// path splits every element group into the members on the path and the
+// members off it; the matrix is identifiable when every group is a
+// singleton, i.e. every element has a unique path signature.
+//
+// The Partition never materializes signatures: it tracks only the group id
+// of each element, so a Fattree(48) subproblem (2,304 links, 2.65 M virtual
+// pairs) fits in a few dozen megabytes.
+package refine
+
+import "fmt"
+
+// MaxBeta is the largest supported identifiability level. β=3 requires
+// O(L³) virtual elements and is only practical for small subproblems, which
+// matches the paper's observation that computing β≥3 matrices is infeasible
+// for large DCNs (§4.4) — and unnecessary, since 2-identifiability already
+// localizes 99% of failure events (§6.4).
+const MaxBeta = 3
+
+// Partition maintains the refinement state for one decomposition component
+// with L physical links, locally indexed 0..L-1.
+type Partition struct {
+	l    int
+	beta int
+
+	total int // number of elements: L + C(L,2) [+ C(L,3)]
+
+	gid       []int32 // element -> group
+	groupSize []int32 // group -> member count
+	numGroups int
+	numSingle int
+
+	// Scratch state for Split/CountSplittable, epoch-stamped to avoid
+	// clearing between calls.
+	epoch      int32
+	groupMark  []int32 // group -> epoch of last visit
+	groupNew   []int32 // group -> replacement group for current Split epoch
+	groupOnCnt []int32 // group -> members-on-path count for current epoch
+	inPath     []bool  // physical link -> is on current path
+	scratch    []int32 // reusable visited-group list
+}
+
+// NewPartition creates the refinement state for a component with l physical
+// links at identifiability level beta (0..3). beta <= 1 tracks only physical
+// links; beta == 0 additionally means callers ignore identifiability and the
+// partition exists only so code paths stay uniform.
+func NewPartition(l, beta int) (*Partition, error) {
+	if l <= 0 {
+		return nil, fmt.Errorf("refine: component must have at least one link, got %d", l)
+	}
+	if beta < 0 || beta > MaxBeta {
+		return nil, fmt.Errorf("refine: beta must be in [0,%d], got %d", MaxBeta, beta)
+	}
+	total := l
+	if beta >= 2 {
+		total += l * (l - 1) / 2
+	}
+	if beta >= 3 {
+		total += l * (l - 1) * (l - 2) / 6
+	}
+	p := &Partition{
+		l:      l,
+		beta:   beta,
+		total:  total,
+		gid:    make([]int32, total),
+		inPath: make([]bool, l),
+	}
+	p.groupSize = append(p.groupSize, int32(total))
+	p.groupMark = append(p.groupMark, 0)
+	p.groupNew = append(p.groupNew, 0)
+	p.groupOnCnt = append(p.groupOnCnt, 0)
+	p.numGroups = 1
+	if total == 1 {
+		p.numSingle = 1
+	}
+	return p, nil
+}
+
+// MustPartition is NewPartition for callers with validated arguments.
+func MustPartition(l, beta int) *Partition {
+	p, err := NewPartition(l, beta)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the number of physical links.
+func (p *Partition) Len() int { return p.l }
+
+// Elements returns the total number of tracked elements.
+func (p *Partition) Elements() int { return p.total }
+
+// Groups returns the current number of groups.
+func (p *Partition) Groups() int { return p.numGroups }
+
+// Singletons returns the number of singleton groups.
+func (p *Partition) Singletons() int { return p.numSingle }
+
+// Done reports whether every element is alone in its group — the
+// β-identifiability termination condition of PMC (Alg. 1 line 4).
+func (p *Partition) Done() bool { return p.numSingle == p.total }
+
+// pairIndex maps i < j to a dense index in [0, C(L,2)).
+// Layout: pairs are grouped by their smaller member i, each block holding
+// (L-1-i) entries.
+func (p *Partition) pairIndex(i, j int) int {
+	// Offset of block i: sum_{t<i} (L-1-t) = i*L - i - i*(i-1)/2.
+	return i*(p.l-1) - i*(i-1)/2 + (j - i - 1)
+}
+
+// tripleIndex maps i < j < k to a dense index in [0, C(L,3)) by ranking.
+func (p *Partition) tripleIndex(i, j, k int) int {
+	l := p.l
+	// Elements before block i: C(l,3) - C(l-i,3).
+	c3 := func(n int) int {
+		if n < 3 {
+			return 0
+		}
+		return n * (n - 1) * (n - 2) / 6
+	}
+	c2 := func(n int) int {
+		if n < 2 {
+			return 0
+		}
+		return n * (n - 1) / 2
+	}
+	base := c3(l) - c3(l-i)
+	// Within block i, pairs (j,k) over the remaining l-i-1 links.
+	base += c2(l-i-1) - c2(l-j)
+	return base + (k - j - 1)
+}
+
+// forEachElementOnPath invokes fn with the element index of every element
+// (physical, pair, triple) that intersects the path. Each element is
+// visited exactly once. links must contain valid, distinct local link ids;
+// p.inPath must already mark them (managed by the exported callers).
+func (p *Partition) forEachElementOnPath(links []int32, fn func(elem int)) {
+	for _, l := range links {
+		fn(int(l))
+	}
+	if p.beta < 2 {
+		return
+	}
+	pairBase := p.l
+	for _, lRaw := range links {
+		li := int(lRaw)
+		// Pairs {li, m}: to visit each pair once, only the smallest
+		// on-path member owns it, i.e. skip m that are on the path and
+		// smaller than li.
+		for m := 0; m < p.l; m++ {
+			if m == li {
+				continue
+			}
+			if p.inPath[m] && m < li {
+				continue
+			}
+			var idx int
+			if li < m {
+				idx = p.pairIndex(li, m)
+			} else {
+				idx = p.pairIndex(m, li)
+			}
+			fn(pairBase + idx)
+		}
+	}
+	if p.beta < 3 {
+		return
+	}
+	tripleBase := p.l + p.l*(p.l-1)/2
+	for _, lRaw := range links {
+		li := int(lRaw)
+		// Triples {li, m1, m2}: owned by the smallest on-path member.
+		for m1 := 0; m1 < p.l; m1++ {
+			if m1 == li || (p.inPath[m1] && m1 < li) {
+				continue
+			}
+			for m2 := m1 + 1; m2 < p.l; m2++ {
+				if m2 == li || (p.inPath[m2] && m2 < li) {
+					continue
+				}
+				a, b, c := sort3(li, m1, m2)
+				fn(tripleBase + p.tripleIndex(a, b, c))
+			}
+		}
+	}
+}
+
+func sort3(a, b, c int) (int, int, int) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+func (p *Partition) markPath(links []int32) {
+	for _, l := range links {
+		p.inPath[l] = true
+	}
+}
+
+func (p *Partition) unmarkPath(links []int32) {
+	for _, l := range links {
+		p.inPath[l] = false
+	}
+}
+
+// CountSplittable returns the number of groups the path would properly
+// split: groups with at least one member on the path and at least one off
+// it. This is the "# of link sets on path" term of the PMC score (Eq. 1) —
+// the quantity that makes the score monotone, since a group, once refined,
+// can only become harder to split.
+func (p *Partition) CountSplittable(links []int32) int {
+	if p.beta == 0 {
+		return 0
+	}
+	p.markPath(links)
+	p.epoch++
+	e := p.epoch
+	groups := p.scratch[:0]
+	p.forEachElementOnPath(links, func(elem int) {
+		g := p.gid[elem]
+		if p.groupMark[g] != e {
+			p.groupMark[g] = e
+			p.groupOnCnt[g] = 0
+			groups = append(groups, g)
+		}
+		p.groupOnCnt[g]++
+	})
+	n := 0
+	for _, g := range groups {
+		if p.groupOnCnt[g] < p.groupSize[g] {
+			n++
+		}
+	}
+	p.scratch = groups[:0]
+	p.unmarkPath(links)
+	return n
+}
+
+// Split refines the partition with the path: every group with members both
+// on and off the path is split in two. It returns the number of groups that
+// were properly split.
+func (p *Partition) Split(links []int32) int {
+	if p.beta == 0 {
+		return 0
+	}
+	p.markPath(links)
+	p.epoch++
+	e := p.epoch
+	split := 0
+	p.forEachElementOnPath(links, func(elem int) {
+		g := p.gid[elem]
+		if p.groupMark[g] != e {
+			p.groupMark[g] = e
+			if p.groupSize[g] == 1 {
+				// A singleton fully on the path: nothing to split.
+				p.groupNew[g] = g
+				return
+			}
+			ng := int32(len(p.groupSize))
+			p.groupSize = append(p.groupSize, 0)
+			p.groupMark = append(p.groupMark, e)
+			p.groupNew = append(p.groupNew, ng)
+			p.groupOnCnt = append(p.groupOnCnt, 0)
+			p.groupNew[g] = ng
+			p.numGroups++
+			split++ // provisional; retracted below if the split was total
+		}
+		ng := p.groupNew[g]
+		if ng == g {
+			return
+		}
+		p.gid[elem] = ng
+		p.groupSize[g]--
+		p.groupSize[ng]++
+		switch p.groupSize[ng] {
+		case 1:
+			p.numSingle++
+		case 2:
+			p.numSingle--
+		}
+		switch p.groupSize[g] {
+		case 1:
+			p.numSingle++
+		case 0:
+			// Every member moved: not a real split after all.
+			p.numSingle--
+			p.numGroups--
+			split--
+		}
+	})
+	p.unmarkPath(links)
+	return split
+}
+
+// GroupOf returns the group id of physical link l (for tests).
+func (p *Partition) GroupOf(l int) int32 { return p.gid[l] }
+
+// PairGroup returns the group id of the virtual link {i, j} (for tests).
+// Requires beta >= 2.
+func (p *Partition) PairGroup(i, j int) int32 {
+	if p.beta < 2 {
+		panic("refine: PairGroup requires beta >= 2")
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return p.gid[p.l+p.pairIndex(i, j)]
+}

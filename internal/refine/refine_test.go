@@ -1,0 +1,348 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPartitionValidation(t *testing.T) {
+	if _, err := NewPartition(0, 1); err == nil {
+		t.Error("accepted zero links")
+	}
+	if _, err := NewPartition(5, -1); err == nil {
+		t.Error("accepted negative beta")
+	}
+	if _, err := NewPartition(5, MaxBeta+1); err == nil {
+		t.Error("accepted beta above MaxBeta")
+	}
+}
+
+func TestElementCounts(t *testing.T) {
+	cases := []struct {
+		l, beta, want int
+	}{
+		{4, 0, 4},
+		{4, 1, 4},
+		{4, 2, 4 + 6},
+		{4, 3, 4 + 6 + 4},
+		{10, 2, 10 + 45},
+		{10, 3, 10 + 45 + 120},
+	}
+	for _, c := range cases {
+		p := MustPartition(c.l, c.beta)
+		if p.Elements() != c.want {
+			t.Errorf("l=%d beta=%d: %d elements, want %d", c.l, c.beta, p.Elements(), c.want)
+		}
+	}
+}
+
+func TestPairIndexDense(t *testing.T) {
+	p := MustPartition(9, 2)
+	seen := make(map[int]bool)
+	for i := 0; i < 9; i++ {
+		for j := i + 1; j < 9; j++ {
+			idx := p.pairIndex(i, j)
+			if idx < 0 || idx >= 36 {
+				t.Fatalf("pairIndex(%d,%d) = %d out of range", i, j, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("pairIndex(%d,%d) = %d collides", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 36 {
+		t.Fatalf("pair index space not dense: %d of 36", len(seen))
+	}
+}
+
+func TestTripleIndexDense(t *testing.T) {
+	p := MustPartition(8, 3)
+	seen := make(map[int]bool)
+	want := 8 * 7 * 6 / 6
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			for k := j + 1; k < 8; k++ {
+				idx := p.tripleIndex(i, j, k)
+				if idx < 0 || idx >= want {
+					t.Fatalf("tripleIndex(%d,%d,%d) = %d out of range", i, j, k, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("tripleIndex(%d,%d,%d) = %d collides", i, j, k, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("triple index space not dense: %d of %d", len(seen), want)
+	}
+}
+
+// TestSplitExample reproduces the worked example of paper Fig. 3: three
+// links, paths p1={l1,l2}, p2={l1,l3}, p3={l3}. Selecting p1 and p2 yields a
+// 1-identifiable matrix (all three signatures distinct).
+func TestSplitExample(t *testing.T) {
+	p := MustPartition(3, 1)
+	if p.Done() {
+		t.Fatal("fresh partition reports done")
+	}
+	p.Split([]int32{0, 1}) // p1
+	if p.Groups() != 2 {
+		t.Fatalf("after p1: %d groups, want 2", p.Groups())
+	}
+	p.Split([]int32{0, 2}) // p2
+	if !p.Done() {
+		t.Fatalf("after p1,p2: groups=%d singles=%d, want identifiable", p.Groups(), p.Singletons())
+	}
+}
+
+// TestPairSeparation verifies the β=2 semantics on Fig. 3: with paths p1, p2
+// the pairs {l1,l2} and {l1,l3} have signatures {p1,p2} each — wait, no:
+// sig({l1,l2}) = {p1,p2} ∪ {p1} = {p1,p2}; sig({l1,l3}) = {p1,p2};
+// indistinguishable, so 2-identifiability needs more paths, exactly as the
+// paper argues for this example.
+func TestPairSeparation(t *testing.T) {
+	p := MustPartition(3, 2)
+	p.Split([]int32{0, 1})
+	p.Split([]int32{0, 2})
+	if p.Done() {
+		t.Fatal("p1,p2 cannot be 2-identifiable for 3 links")
+	}
+	if p.PairGroup(0, 1) != p.PairGroup(0, 2) {
+		t.Fatal("pairs {l1,l2} and {l1,l3} should be indistinguishable under p1,p2")
+	}
+	// p3 = {l3} separates {l1,l3} and {l2,l3} from {l1} — more groups, but
+	// l1 and the pair {l1,l2} still share a signature ({p1,p2}) until some
+	// path covers l2 without l1.
+	before := p.Groups()
+	p.Split([]int32{2})
+	if p.Groups() <= before {
+		t.Fatal("p3 should split groups")
+	}
+	if p.GroupOf(0) != p.PairGroup(0, 1) {
+		t.Fatal("l1 and pair {l1,l2} should still be indistinguishable")
+	}
+	// p4 = {l2} completes 2-identifiability for this 3-link component.
+	p.Split([]int32{1})
+	if !p.Done() {
+		t.Fatalf("paths {01},{02},{2},{1} should be 2-identifiable; groups=%d singles=%d of %d",
+			p.Groups(), p.Singletons(), p.Elements())
+	}
+}
+
+// bruteSignatures computes element signatures explicitly and counts
+// distinct-signature classes, as ground truth for the refinement.
+func bruteSignatures(l, beta int, paths [][]int32) (groups, singles int) {
+	type elem struct{ a, b, c int } // b,c = -1 when unused
+	var elems []elem
+	for i := 0; i < l; i++ {
+		elems = append(elems, elem{i, -1, -1})
+	}
+	if beta >= 2 {
+		for i := 0; i < l; i++ {
+			for j := i + 1; j < l; j++ {
+				elems = append(elems, elem{i, j, -1})
+			}
+		}
+	}
+	if beta >= 3 {
+		for i := 0; i < l; i++ {
+			for j := i + 1; j < l; j++ {
+				for k := j + 1; k < l; k++ {
+					elems = append(elems, elem{i, j, k})
+				}
+			}
+		}
+	}
+	sigs := make(map[string][]int)
+	for ei, e := range elems {
+		sig := make([]byte, len(paths))
+		for pi, path := range paths {
+			on := false
+			for _, pl := range path {
+				if int(pl) == e.a || int(pl) == e.b || int(pl) == e.c {
+					on = true
+					break
+				}
+			}
+			if on {
+				sig[pi] = 1
+			}
+		}
+		sigs[string(sig)] = append(sigs[string(sig)], ei)
+	}
+	for _, members := range sigs {
+		if len(members) == 1 {
+			singles++
+		}
+	}
+	return len(sigs), singles
+}
+
+// TestRefinementMatchesBruteForce drives random path sequences through the
+// partition and cross-checks group/singleton counts against explicit
+// signature computation, for every supported beta.
+func TestRefinementMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, beta := range []int{1, 2, 3} {
+		for trial := 0; trial < 30; trial++ {
+			l := 3 + rng.Intn(8)
+			nPaths := 1 + rng.Intn(10)
+			p := MustPartition(l, beta)
+			var paths [][]int32
+			for pi := 0; pi < nPaths; pi++ {
+				n := 1 + rng.Intn(l)
+				perm := rng.Perm(l)[:n]
+				path := make([]int32, n)
+				for i, v := range perm {
+					path[i] = int32(v)
+				}
+				paths = append(paths, path)
+				p.Split(path)
+
+				wantGroups, wantSingles := bruteSignatures(l, beta, paths)
+				if p.Groups() != wantGroups || p.Singletons() != wantSingles {
+					t.Fatalf("beta=%d l=%d after %d paths: groups=%d singles=%d, want %d/%d",
+						beta, l, pi+1, p.Groups(), p.Singletons(), wantGroups, wantSingles)
+				}
+			}
+		}
+	}
+}
+
+// TestCountSplittableMatchesSplit: CountSplittable must predict exactly how
+// many groups Split will properly split.
+func TestCountSplittableMatchesSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, beta := range []int{1, 2, 3} {
+		for trial := 0; trial < 40; trial++ {
+			l := 3 + rng.Intn(7)
+			p := MustPartition(l, beta)
+			for pi := 0; pi < 8; pi++ {
+				n := 1 + rng.Intn(l)
+				perm := rng.Perm(l)[:n]
+				path := make([]int32, n)
+				for i, v := range perm {
+					path[i] = int32(v)
+				}
+				predicted := p.CountSplittable(path)
+				actual := p.Split(path)
+				if predicted != actual {
+					t.Fatalf("beta=%d: CountSplittable=%d but Split=%d", beta, predicted, actual)
+				}
+			}
+		}
+	}
+}
+
+// TestSplittableCanIncrease documents the known counterexample to the
+// paper's Observation 2 ("the score of each path is non-decreasing over all
+// iterations"): refining a group with another path can create two groups
+// that a fixed path properly splits, so its split gain — and hence its
+// score's negative term — can grow. PMC's lazy mode therefore re-validates
+// popped candidates against the freshly recomputed score instead of
+// trusting cached keys, and its termination test never relies on
+// monotonicity.
+//
+// Counterexample: links {0,1,2,3}, probe path q = {0,1}. Initially q splits
+// the single group (gain 1). After Split({0,2}) the groups are {0,2} and
+// {1,3}, and q properly splits both (gain 2).
+func TestSplittableCanIncrease(t *testing.T) {
+	p := MustPartition(4, 1)
+	q := []int32{0, 1}
+	if got := p.CountSplittable(q); got != 1 {
+		t.Fatalf("initial gain = %d, want 1", got)
+	}
+	p.Split([]int32{0, 2})
+	if got := p.CountSplittable(q); got != 2 {
+		t.Fatalf("gain after refinement = %d, want 2 (the non-monotone case)", got)
+	}
+}
+
+// TestSplittableBoundedByPathLinks: the split gain of a path can never
+// exceed the number of groups its elements occupy, which for beta=1 is at
+// most the number of links on the path.
+func TestSplittableBoundedByPathLinks(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(11))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 4 + rng.Intn(6)
+		p := MustPartition(l, 1)
+		for i := 0; i < 6; i++ {
+			n := 1 + rng.Intn(l)
+			perm := rng.Perm(l)[:n]
+			path := make([]int32, n)
+			for j, v := range perm {
+				path[j] = int32(v)
+			}
+			if p.CountSplittable(path) > n {
+				return false
+			}
+			p.Split(path)
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZeroGainSplitIsNoOp: selecting a path that cannot split anything must
+// leave the partition state unchanged (PMC's termination rule relies on it).
+func TestZeroGainSplitIsNoOp(t *testing.T) {
+	p := MustPartition(4, 1)
+	p.Split([]int32{0, 1})
+	p.Split([]int32{0, 1}) // identical path: nothing further to split
+	if p.Groups() != 2 {
+		t.Fatalf("repeat split changed groups: %d", p.Groups())
+	}
+	g0, g1 := p.GroupOf(0), p.GroupOf(1)
+	if g0 != g1 {
+		t.Fatal("links 0 and 1 should share a group")
+	}
+}
+
+func TestBetaZeroIsInert(t *testing.T) {
+	p := MustPartition(5, 0)
+	if got := p.Split([]int32{0, 1, 2}); got != 0 {
+		t.Fatalf("beta=0 Split returned %d", got)
+	}
+	if got := p.CountSplittable([]int32{3, 4}); got != 0 {
+		t.Fatalf("beta=0 CountSplittable returned %d", got)
+	}
+}
+
+func TestSingleLinkComponent(t *testing.T) {
+	p := MustPartition(1, 1)
+	if !p.Done() {
+		t.Fatal("one-link partition should start identifiable")
+	}
+}
+
+func BenchmarkSplitBeta2(b *testing.B) {
+	const l = 512
+	path := []int32{3, 77, 201, 400}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := MustPartition(l, 2)
+		p.Split(path)
+	}
+}
+
+func BenchmarkCountSplittableBeta2(b *testing.B) {
+	const l = 512
+	p := MustPartition(l, 2)
+	var rng = rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		perm := rng.Perm(l)[:3]
+		p.Split([]int32{int32(perm[0]), int32(perm[1]), int32(perm[2])})
+	}
+	path := []int32{3, 77, 201, 400}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CountSplittable(path)
+	}
+}

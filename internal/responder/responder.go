@@ -1,0 +1,92 @@
+// Package responder implements deTector's stateless echo agent (paper
+// §3.1): it listens on its server's UDP socket, and on every probe arrival
+// stamps the echo timestamp, reverses the source route and sends the packet
+// back. It retains no per-probe state; all bookkeeping lives in pingers.
+package responder
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/detector-net/detector/internal/fabric"
+	"github.com/detector-net/detector/internal/topo"
+	"github.com/detector-net/detector/internal/wire"
+)
+
+// Responder is one echo agent bound to a server node.
+type Responder struct {
+	Node topo.NodeID
+
+	topo  *topo.Topology
+	rules *fabric.RuleTable
+	reg   *fabric.Registry
+	conn  *net.UDPConn
+
+	echoed  atomic.Int64
+	dropped atomic.Int64
+	done    chan struct{}
+}
+
+// Start opens the server's socket, registers it with the fabric and begins
+// echoing.
+func Start(t *topo.Topology, rules *fabric.RuleTable, reg *fabric.Registry, node topo.NodeID) (*Responder, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	reg.Register(node, conn.LocalAddr().(*net.UDPAddr))
+	r := &Responder{
+		Node: node, topo: t, rules: rules, reg: reg, conn: conn,
+		done: make(chan struct{}),
+	}
+	go r.loop()
+	return r, nil
+}
+
+// Stop closes the socket and waits for the loop.
+func (r *Responder) Stop() {
+	r.conn.Close()
+	<-r.done
+}
+
+// Echoed returns the number of probes echoed.
+func (r *Responder) Echoed() int64 { return r.echoed.Load() }
+
+// Dropped returns probes killed by the last-hop emulated link.
+func (r *Responder) Dropped() int64 { return r.dropped.Load() }
+
+func (r *Responder) loop() {
+	defer close(r.done)
+	buf := make([]byte, 4096)
+	var out []byte
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt, err := wire.Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		if !pkt.AtDestination() || pkt.Dst() != r.Node {
+			continue
+		}
+		if pkt.Flags&wire.FlagReply != 0 {
+			// Echoes belong to pingers; a responder-only server ignores
+			// them.
+			continue
+		}
+		// The final link (ToR, server) still faces the rule table.
+		if fabric.IngressDrop(r.topo, r.rules, pkt) {
+			r.dropped.Add(1)
+			continue
+		}
+		echo := pkt.Reversed(time.Now().UnixNano())
+		out, err = fabric.SendFirstHop(r.conn, r.reg, echo, out)
+		if err != nil {
+			continue
+		}
+		r.echoed.Add(1)
+	}
+}

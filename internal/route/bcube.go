@@ -1,0 +1,82 @@
+package route
+
+import (
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// BCubePaths is the candidate path universe of BCube(n, k): the k+1 parallel
+// paths of BuildPathSet for every ordered server pair (the paper treats
+// BCube servers as switches, §4.4 footnote 2). Index layout is
+// (orderedPair(src,dst) * (k+1)) + parallelIndex.
+type BCubePaths struct {
+	B    *topo.BCube
+	nSrv int
+}
+
+var (
+	_ PathSet   = (*BCubePaths)(nil)
+	_ Symmetric = (*BCubePaths)(nil)
+)
+
+// NewBCubePaths enumerates the candidate paths of b.
+func NewBCubePaths(b *topo.BCube) *BCubePaths {
+	return &BCubePaths{B: b, nSrv: b.NumServers()}
+}
+
+// PerPair returns k+1, the number of parallel paths per ordered pair.
+func (p *BCubePaths) PerPair() int { return p.B.K + 1 }
+
+// Len returns nSrv*(nSrv-1)*(k+1).
+func (p *BCubePaths) Len() int { return p.nSrv * (p.nSrv - 1) * p.PerPair() }
+
+// Decode splits path index idx into (src label, dst label, parallel index).
+func (p *BCubePaths) Decode(idx int) (src, dst, pi int) {
+	pi = idx % p.PerPair()
+	src, dst = unpackPair(idx/p.PerPair(), p.nSrv)
+	return src, dst, pi
+}
+
+// Encode is the inverse of Decode.
+func (p *BCubePaths) Encode(src, dst, pi int) int {
+	return orderedPair(src, dst, p.nSrv)*p.PerPair() + pi
+}
+
+// AppendLinks implements PathSet.
+func (p *BCubePaths) AppendLinks(idx int, buf []topo.LinkID) []topo.LinkID {
+	src, dst, pi := p.Decode(idx)
+	return p.B.BuildPathLinks(src, dst, pi, buf)
+}
+
+// Endpoints implements PathSet.
+func (p *BCubePaths) Endpoints(idx int) (src, dst topo.NodeID) {
+	s, d, _ := p.Decode(idx)
+	return p.B.SrvID[s], p.B.SrvID[d]
+}
+
+// shift applies the automorphism shift generator: every digit of both
+// endpoint labels advances by one modulo n (a translation of the BCube
+// lattice). The generator order is n.
+func (p *BCubePaths) shift(label, r int) int {
+	out := 0
+	for i := 0; i <= p.B.K; i++ {
+		d := (p.B.Digit(label, i) + r) % p.B.N
+		out = p.B.SetDigit(out, i, d)
+	}
+	return out
+}
+
+// IsRepresentative implements Symmetric: the canonical orbit member has
+// source digit 0 equal to zero.
+func (p *BCubePaths) IsRepresentative(idx int) bool {
+	src, _, _ := p.Decode(idx)
+	return p.B.Digit(src, 0) == 0
+}
+
+// AppendOrbit implements Symmetric.
+func (p *BCubePaths) AppendOrbit(idx int, buf []int) []int {
+	src, dst, pi := p.Decode(idx)
+	for r := 1; r < p.B.N; r++ {
+		buf = append(buf, p.Encode(p.shift(src, r), p.shift(dst, r), pi))
+	}
+	return buf
+}

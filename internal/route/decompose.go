@@ -1,0 +1,129 @@
+package route
+
+import (
+	"sort"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Component is one independent subproblem of a routing matrix: a maximal set
+// of links connected through shared paths, together with every candidate
+// path over those links (paper §4.3, Observation 1).
+type Component struct {
+	// Links are the global link IDs of this component, sorted.
+	Links []topo.LinkID
+	// Paths are indices into the originating PathSet, ascending.
+	Paths []int32
+}
+
+// unionFind is a standard weighted quick-union with path halving.
+type unionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Decompose partitions the routing matrix into independent components by
+// building the path-link bipartite graph implicitly: all links of one path
+// are unioned, then paths are grouped by the component of their first link.
+// Links never touched by any path are omitted. This is the generic
+// linear-time decomposition the paper describes; for Fattree it discovers
+// the k/2 aggregation-position subproblems, for VL2 and BCube it returns a
+// single component (and the scan cost is the "extra time to decide whether
+// the matrix is decomposable" visible in Table 2).
+func Decompose(ps PathSet, numLinks int) []Component {
+	uf := newUnionFind(numLinks)
+	touched := make([]bool, numLinks)
+	var buf []topo.LinkID
+	n := ps.Len()
+	for i := 0; i < n; i++ {
+		buf = ps.AppendLinks(i, buf[:0])
+		if len(buf) == 0 {
+			continue
+		}
+		first := int32(buf[0])
+		touched[first] = true
+		for _, l := range buf[1:] {
+			touched[l] = true
+			uf.union(first, int32(l))
+		}
+	}
+
+	rootIdx := make(map[int32]int)
+	var comps []Component
+	for l := 0; l < numLinks; l++ {
+		if !touched[l] {
+			continue
+		}
+		r := uf.find(int32(l))
+		ci, ok := rootIdx[r]
+		if !ok {
+			ci = len(comps)
+			rootIdx[r] = ci
+			comps = append(comps, Component{})
+		}
+		comps[ci].Links = append(comps[ci].Links, topo.LinkID(l))
+	}
+	for i := 0; i < n; i++ {
+		buf = ps.AppendLinks(i, buf[:0])
+		if len(buf) == 0 {
+			continue
+		}
+		ci := rootIdx[uf.find(int32(buf[0]))]
+		comps[ci].Paths = append(comps[ci].Paths, int32(i))
+	}
+	// Deterministic order: by smallest link ID.
+	sort.Slice(comps, func(a, b int) bool { return comps[a].Links[0] < comps[b].Links[0] })
+	return comps
+}
+
+// SingleComponent wraps the whole matrix as one component (the
+// no-decomposition baseline for Table 2's strawman column).
+func SingleComponent(ps PathSet, numLinks int) Component {
+	touched := make([]bool, numLinks)
+	var buf []topo.LinkID
+	n := ps.Len()
+	c := Component{Paths: make([]int32, 0, n)}
+	for i := 0; i < n; i++ {
+		buf = ps.AppendLinks(i, buf[:0])
+		for _, l := range buf {
+			touched[l] = true
+		}
+		c.Paths = append(c.Paths, int32(i))
+	}
+	for l := 0; l < numLinks; l++ {
+		if touched[l] {
+			c.Links = append(c.Links, topo.LinkID(l))
+		}
+	}
+	return c
+}

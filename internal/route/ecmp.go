@@ -1,0 +1,88 @@
+package route
+
+import (
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// mix64 is SplitMix64's finalizer, used to derive per-switch independent
+// ECMP hash decisions from one flow hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ECMPChoice picks one of n equal-cost next hops for a flow at a switch,
+// mimicking per-flow hash load balancing: the same flow always takes the
+// same path, different flows spread uniformly.
+func ECMPChoice(flowHash uint64, sw topo.NodeID, n int) int {
+	return int(mix64(flowHash^uint64(uint32(sw))*0x9e3779b97f4a7c15) % uint64(n))
+}
+
+// ECMPFattreePath returns the links and switch hops of the path a packet
+// from server src to server dst takes in Fattree f under per-flow ECMP.
+// This models how Pingmesh and NetNORAD probes — which do not source-route —
+// actually traverse the network: the probe's flow key determines the path,
+// so low-rate loss on one of the k²/4 parallel paths dilutes into the
+// end-to-end loss rate (the motivation in paper §2).
+func ECMPFattreePath(f *topo.Fattree, src, dst topo.NodeID, flowHash uint64) (links []topo.LinkID, hops []topo.NodeID) {
+	h := f.Half()
+	sn, dn := f.Node(src), f.Node(dst)
+	if sn.Kind != topo.Server || dn.Kind != topo.Server {
+		panic("route: ECMPFattreePath endpoints must be servers")
+	}
+	se, de := f.EdgeID[sn.Pod][sn.Index/h], f.EdgeID[dn.Pod][dn.Index/h]
+	links = append(links, f.MustLink(src, se))
+	hops = append(hops, se)
+	if se == de {
+		links = append(links, f.MustLink(de, dst))
+		return links, hops
+	}
+	// Up to an aggregation switch chosen by hash at the edge.
+	g := ECMPChoice(flowHash, se, h)
+	aggUp := f.AggID[sn.Pod][g]
+	links = append(links, f.MustLink(se, aggUp))
+	hops = append(hops, aggUp)
+	if sn.Pod == dn.Pod {
+		links = append(links, f.MustLink(aggUp, de))
+		hops = append(hops, de)
+		links = append(links, f.MustLink(de, dst))
+		return links, hops
+	}
+	// Up to a core within the agg's group, chosen by hash at the agg.
+	ci := ECMPChoice(flowHash, aggUp, h)
+	core := f.CoreID[g*h+ci]
+	links = append(links, f.MustLink(aggUp, core))
+	hops = append(hops, core)
+	aggDown := f.AggID[dn.Pod][g]
+	links = append(links, f.MustLink(core, aggDown))
+	hops = append(hops, aggDown)
+	links = append(links, f.MustLink(aggDown, de))
+	hops = append(hops, de)
+	links = append(links, f.MustLink(de, dst))
+	return links, hops
+}
+
+// FattreeServerPath returns the links of the source-routed path from server
+// src to server dst via core c (deTector's IP-in-IP tunnel through a fixed
+// core, §3.2). For same-edge pairs the path is src → edge → dst and c is
+// ignored.
+func FattreeServerPath(f *topo.Fattree, src, dst topo.NodeID, c int) (links []topo.LinkID, hops []topo.NodeID) {
+	h := f.Half()
+	sn, dn := f.Node(src), f.Node(dst)
+	se, de := f.EdgeID[sn.Pod][sn.Index/h], f.EdgeID[dn.Pod][dn.Index/h]
+	links = append(links, f.MustLink(src, se))
+	hops = append(hops, se)
+	if se == de {
+		links = append(links, f.MustLink(de, dst))
+		return links, hops
+	}
+	links = f.PathLinks(se, de, c, links)
+	hh := f.PathHops(se, de, c, nil)
+	hops = append(hops, hh[1:]...)
+	links = append(links, f.MustLink(de, dst))
+	return links, hops
+}

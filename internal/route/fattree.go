@@ -1,0 +1,110 @@
+package route
+
+import (
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// FattreePaths is the candidate path universe of a k-ary Fattree: every
+// ordered ToR pair routed via every core switch. Path index layout is
+// (orderedPair(src, dst) * numCores + core).
+//
+// Intra-pod pairs are also routed via cores: this matches the paper's
+// original-path counts (Fattree(12): 72·71·36 = 184,032) and lets the probe
+// matrix cover aggregation-core links from every pod.
+type FattreePaths struct {
+	F *topo.Fattree
+
+	nToR   int
+	nCores int
+}
+
+var (
+	_ PathSet      = (*FattreePaths)(nil)
+	_ Symmetric    = (*FattreePaths)(nil)
+	_ HopsProvider = (*FattreePaths)(nil)
+)
+
+// NewFattreePaths enumerates the candidate paths of f.
+func NewFattreePaths(f *topo.Fattree) *FattreePaths {
+	return &FattreePaths{F: f, nToR: f.NumToRs(), nCores: f.NumCores()}
+}
+
+// Len returns nToR*(nToR-1)*nCores.
+func (p *FattreePaths) Len() int { return p.nToR * (p.nToR - 1) * p.nCores }
+
+// Decode splits path index i into (src ToR index, dst ToR index, core index).
+func (p *FattreePaths) Decode(i int) (s, d, c int) {
+	c = i % p.nCores
+	s, d = unpackPair(i/p.nCores, p.nToR)
+	return s, d, c
+}
+
+// Encode is the inverse of Decode.
+func (p *FattreePaths) Encode(s, d, c int) int {
+	return orderedPair(s, d, p.nToR)*p.nCores + c
+}
+
+// AppendLinks implements PathSet.
+func (p *FattreePaths) AppendLinks(i int, buf []topo.LinkID) []topo.LinkID {
+	s, d, c := p.Decode(i)
+	tors := p.F.ToRList()
+	return p.F.PathLinks(tors[s], tors[d], c, buf)
+}
+
+// Endpoints implements PathSet.
+func (p *FattreePaths) Endpoints(i int) (src, dst topo.NodeID) {
+	s, d, _ := p.Decode(i)
+	tors := p.F.ToRList()
+	return tors[s], tors[d]
+}
+
+// HasHops implements HopsProvider.
+func (p *FattreePaths) HasHops() bool { return true }
+
+// AppendHops implements HopsProvider.
+func (p *FattreePaths) AppendHops(i int, buf []topo.NodeID) []topo.NodeID {
+	s, d, c := p.Decode(i)
+	tors := p.F.ToRList()
+	return p.F.PathHops(tors[s], tors[d], c, buf)
+}
+
+// Component returns the decomposition component (core group) of path i.
+// All links of a via-core path belong to the agg-position group of its core,
+// so the routing matrix splits into k/2 independent subproblems (§4.3,
+// Observation 1). This is exposed for tests; PMC discovers the same
+// components with the generic union-find in Decompose.
+func (p *FattreePaths) Component(i int) int {
+	_, _, c := p.Decode(i)
+	return p.F.CoreGroup(c)
+}
+
+// shift applies the family's automorphism shift generator sigma r times:
+// pods rotate by r and cores rotate by r within their group. sigma has
+// order k (lcm of the pod cycle k and the in-group core cycle k/2).
+func (p *FattreePaths) shift(s, d, c, r int) (int, int, int) {
+	k, h := p.F.K, p.F.Half()
+	sp, se := s/h, s%h
+	dp, de := d/h, d%h
+	g, ci := c/h, c%h
+	sp = (sp + r) % k
+	dp = (dp + r) % k
+	ci = (ci + r) % h
+	return sp*h + se, dp*h + de, g*h + ci
+}
+
+// IsRepresentative implements Symmetric: the canonical orbit member is the
+// unique rotation with source pod 0.
+func (p *FattreePaths) IsRepresentative(i int) bool {
+	s, _, _ := p.Decode(i)
+	return s/p.F.Half() == 0
+}
+
+// AppendOrbit implements Symmetric: the k-1 non-identity rotations.
+func (p *FattreePaths) AppendOrbit(i int, buf []int) []int {
+	s, d, c := p.Decode(i)
+	for r := 1; r < p.F.K; r++ {
+		s2, d2, c2 := p.shift(s, d, c, r)
+		buf = append(buf, p.Encode(s2, d2, c2))
+	}
+	return buf
+}

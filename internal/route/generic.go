@@ -1,0 +1,131 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// SlicePathSet is an explicit PathSet backed by slices. It is the generic
+// representation for hand-built matrices (tests, file-loaded matrices) and
+// for probe matrices extracted from larger candidate sets.
+type SlicePathSet struct {
+	LinkSets  [][]topo.LinkID
+	Ends      [][2]topo.NodeID
+	HopsLists [][]topo.NodeID // optional; nil when unknown
+}
+
+var _ PathSet = (*SlicePathSet)(nil)
+
+// NewSlicePathSet builds a SlicePathSet from explicit link sets. Endpoints
+// default to zero nodes when ends is nil.
+func NewSlicePathSet(linkSets [][]topo.LinkID, ends [][2]topo.NodeID) *SlicePathSet {
+	if ends == nil {
+		ends = make([][2]topo.NodeID, len(linkSets))
+	}
+	if len(ends) != len(linkSets) {
+		panic(fmt.Sprintf("route: %d link sets but %d endpoint pairs", len(linkSets), len(ends)))
+	}
+	return &SlicePathSet{LinkSets: linkSets, Ends: ends}
+}
+
+// Len implements PathSet.
+func (s *SlicePathSet) Len() int { return len(s.LinkSets) }
+
+// AppendLinks implements PathSet.
+func (s *SlicePathSet) AppendLinks(i int, buf []topo.LinkID) []topo.LinkID {
+	return append(buf, s.LinkSets[i]...)
+}
+
+// Endpoints implements PathSet.
+func (s *SlicePathSet) Endpoints(i int) (src, dst topo.NodeID) {
+	return s.Ends[i][0], s.Ends[i][1]
+}
+
+// HasHops implements HopsProvider.
+func (s *SlicePathSet) HasHops() bool { return s.HopsLists != nil }
+
+// AppendHops implements HopsProvider when hop lists were recorded.
+func (s *SlicePathSet) AppendHops(i int, buf []topo.NodeID) []topo.NodeID {
+	if s.HopsLists == nil {
+		panic("route: SlicePathSet has no recorded hops")
+	}
+	return append(buf, s.HopsLists[i]...)
+}
+
+// Materialize copies the selected paths of ps into a SlicePathSet,
+// preserving hop sequences when ps provides them. selected indices refer to
+// ps; the result is indexed 0..len(selected)-1.
+func Materialize(ps PathSet, selected []int) *SlicePathSet {
+	out := &SlicePathSet{
+		LinkSets: make([][]topo.LinkID, len(selected)),
+		Ends:     make([][2]topo.NodeID, len(selected)),
+	}
+	hp, hasHops := ps.(HopsProvider)
+	hasHops = hasHops && hp.HasHops()
+	if hasHops {
+		out.HopsLists = make([][]topo.NodeID, len(selected))
+	}
+	for i, idx := range selected {
+		out.LinkSets[i] = ps.AppendLinks(idx, nil)
+		s, d := ps.Endpoints(idx)
+		out.Ends[i] = [2]topo.NodeID{s, d}
+		if hasHops {
+			out.HopsLists[i] = hp.AppendHops(idx, nil)
+		}
+	}
+	return out
+}
+
+// CoverageHistogram returns, for every link covered by at least one path of
+// ps, the number of paths covering it. Useful for evenness analysis
+// (paper §4.2 discusses the max-min coverage gap).
+func CoverageHistogram(ps PathSet, numLinks int) map[topo.LinkID]int {
+	cov := make(map[topo.LinkID]int)
+	var buf []topo.LinkID
+	for i := 0; i < ps.Len(); i++ {
+		buf = ps.AppendLinks(i, buf[:0])
+		for _, l := range buf {
+			cov[l]++
+		}
+	}
+	return cov
+}
+
+// EvennessGap returns the difference between the maximum and minimum
+// coverage over the given links (links absent from cov count as zero).
+func EvennessGap(cov map[topo.LinkID]int, links []topo.LinkID) int {
+	if len(links) == 0 {
+		return 0
+	}
+	minC, maxC := int(^uint(0)>>1), 0
+	for _, l := range links {
+		c := cov[l]
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC - minC
+}
+
+// SortedLinks returns the sorted unique link IDs appearing in ps.
+func SortedLinks(ps PathSet) []topo.LinkID {
+	seen := make(map[topo.LinkID]struct{})
+	var buf []topo.LinkID
+	for i := 0; i < ps.Len(); i++ {
+		buf = ps.AppendLinks(i, buf[:0])
+		for _, l := range buf {
+			seen[l] = struct{}{}
+		}
+	}
+	out := make([]topo.LinkID, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

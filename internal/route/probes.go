@@ -1,0 +1,105 @@
+package route
+
+import (
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Probes is a materialized probe matrix: the subset of candidate paths PMC
+// selected, with an inverted link→paths index. It is the input to the PLL
+// localizer and to pinglist construction.
+type Probes struct {
+	// PathLinks[i] is the undirected link set of probe path i.
+	PathLinks [][]topo.LinkID
+	// Src and Dst are the endpoints of each probe path.
+	Src, Dst []topo.NodeID
+	// Hops[i] is the switch-level route of path i, when known (needed for
+	// source routing in the fabric; nil otherwise).
+	Hops [][]topo.NodeID
+	// NumLinks is the link-ID space size of the topology.
+	NumLinks int
+
+	linkPaths [][]int32
+}
+
+// NewProbes materializes the selected paths of ps into a probe matrix.
+func NewProbes(ps PathSet, selected []int, numLinks int) *Probes {
+	p := &Probes{
+		PathLinks: make([][]topo.LinkID, len(selected)),
+		Src:       make([]topo.NodeID, len(selected)),
+		Dst:       make([]topo.NodeID, len(selected)),
+		NumLinks:  numLinks,
+	}
+	hp, hasHops := ps.(HopsProvider)
+	hasHops = hasHops && hp.HasHops()
+	if hasHops {
+		p.Hops = make([][]topo.NodeID, len(selected))
+	}
+	for i, idx := range selected {
+		p.PathLinks[i] = ps.AppendLinks(idx, nil)
+		p.Src[i], p.Dst[i] = ps.Endpoints(idx)
+		if hasHops {
+			p.Hops[i] = hp.AppendHops(idx, nil)
+		}
+	}
+	p.buildIndex()
+	return p
+}
+
+// NewProbesFromLinks builds a probe matrix directly from explicit link sets
+// (tests and loaded matrices).
+func NewProbesFromLinks(pathLinks [][]topo.LinkID, numLinks int) *Probes {
+	p := &Probes{
+		PathLinks: pathLinks,
+		Src:       make([]topo.NodeID, len(pathLinks)),
+		Dst:       make([]topo.NodeID, len(pathLinks)),
+		NumLinks:  numLinks,
+	}
+	p.buildIndex()
+	return p
+}
+
+func (p *Probes) buildIndex() {
+	p.linkPaths = make([][]int32, p.NumLinks)
+	for i, links := range p.PathLinks {
+		for _, l := range links {
+			p.linkPaths[l] = append(p.linkPaths[l], int32(i))
+		}
+	}
+}
+
+// NumPaths returns the number of probe paths.
+func (p *Probes) NumPaths() int { return len(p.PathLinks) }
+
+// PathsThrough returns the probe paths covering link l. The slice is shared;
+// callers must not modify it.
+func (p *Probes) PathsThrough(l topo.LinkID) []int32 { return p.linkPaths[l] }
+
+// CoveredLinks returns the sorted IDs of links covered by at least one path.
+func (p *Probes) CoveredLinks() []topo.LinkID {
+	var out []topo.LinkID
+	for l, paths := range p.linkPaths {
+		if len(paths) > 0 {
+			out = append(out, topo.LinkID(l))
+		}
+	}
+	return out
+}
+
+// MinCoverage returns the minimum coverage over the given links; links with
+// no covering path yield zero.
+func (p *Probes) MinCoverage(links []topo.LinkID) int {
+	if len(links) == 0 {
+		return 0
+	}
+	minC := int(^uint(0) >> 1)
+	for _, l := range links {
+		if c := len(p.linkPaths[l]); c < minC {
+			minC = c
+		}
+	}
+	return minC
+}
+
+// Signature returns, for each link in links, the set of path indices
+// covering it, for identifiability checks.
+func (p *Probes) Signature(l topo.LinkID) []int32 { return p.linkPaths[l] }

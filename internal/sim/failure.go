@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Failure is one injected fault: a loss model bound to a link. When the
+// fault emulates a switch failure, FromSwitch names the switch and the
+// scenario holds one Failure per incident link.
+type Failure struct {
+	Link       topo.LinkID
+	Model      LossModel
+	FromSwitch topo.NodeID // -1 for link-level failures
+}
+
+// Scenario is a set of concurrent failures — one "failure event" in the
+// paper's terminology (§6.4 cites Gill et al.: <10% of events have more
+// than four concurrent failures).
+type Scenario struct {
+	Failures []Failure
+	models   map[topo.LinkID]LossModel
+}
+
+// NewScenario builds a scenario from explicit failures. Later failures on
+// the same link override earlier ones.
+func NewScenario(failures ...Failure) *Scenario {
+	s := &Scenario{models: make(map[topo.LinkID]LossModel, len(failures))}
+	for _, f := range failures {
+		s.Failures = append(s.Failures, f)
+		s.models[f.Link] = f.Model
+	}
+	return s
+}
+
+// Model returns the loss model of a link, if failed.
+func (s *Scenario) Model(l topo.LinkID) (LossModel, bool) {
+	m, ok := s.models[l]
+	return m, ok
+}
+
+// BadLinks returns the ground-truth failed links, sorted — what a perfect
+// localizer would output.
+func (s *Scenario) BadLinks() []topo.LinkID {
+	out := make([]topo.LinkID, 0, len(s.models))
+	for l := range s.models {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FailureConfig parameterizes random scenario generation following the
+// failure measurements the paper builds on (Gill et al. SIGCOMM'11 for
+// failure mix, Benson et al. SIGCOMM'10 for per-tier loss distribution).
+type FailureConfig struct {
+	// Failures is the number of concurrent faults (links + switches).
+	Failures int
+	// SwitchFrac is the fraction of faults that take down a whole switch.
+	SwitchFrac float64
+	// FullFrac, DetFrac, RandFrac weight the loss kinds for link faults;
+	// they need not sum to one (they are normalized).
+	FullFrac, DetFrac, RandFrac float64
+	// MinRate and MaxRate bound random-partial loss rates; rates are drawn
+	// log-uniformly, matching the paper's 1e-4..1 span (§6.2).
+	MinRate, MaxRate float64
+	// GrayFrac is the fraction of faults that are silent (no counters).
+	GrayFrac float64
+	// TierWeight biases link selection by tier; zero-valued tiers use
+	// weight 1. Benson et al. observe most loss at the edge.
+	TierWeight map[topo.Tier]float64
+	// SwitchKinds weights switch choice by node kind for switch faults;
+	// zero-valued kinds use weight 1.
+	SwitchKinds map[topo.NodeKind]float64
+	// IncludeServerLinks allows faults on server-ToR links.
+	IncludeServerLinks bool
+}
+
+// DefaultFailureConfig mirrors the paper's evaluation setup.
+func DefaultFailureConfig() FailureConfig {
+	return FailureConfig{
+		Failures:   1,
+		SwitchFrac: 0.25, // Gill et al.: most failure events are link-level
+		FullFrac:   0.3,
+		DetFrac:    0.35,
+		RandFrac:   0.35,
+		MinRate:    1e-4,
+		MaxRate:    1,
+		GrayFrac:   0.3,
+		TierWeight: map[topo.Tier]float64{
+			topo.TierServerEdge: 0.5,
+			topo.TierEdgeAgg:    1.5, // edge-adjacent links dominate loss events
+			topo.TierAggCore:    1.0,
+		},
+	}
+}
+
+// Generate draws a random failure scenario. Faults never collide: a link
+// (or switch) is failed at most once per scenario.
+func Generate(t *topo.Topology, cfg FailureConfig, rng *rand.Rand) (*Scenario, error) {
+	if cfg.Failures <= 0 {
+		return nil, fmt.Errorf("sim: Failures must be positive, got %d", cfg.Failures)
+	}
+	candLinks := candidateLinks(t, cfg)
+	if len(candLinks) == 0 {
+		return nil, fmt.Errorf("sim: topology has no candidate links")
+	}
+	var switches []topo.NodeID
+	for _, n := range t.Nodes {
+		if n.Kind != topo.Server {
+			switches = append(switches, n.ID)
+		}
+	}
+
+	s := &Scenario{models: make(map[topo.LinkID]LossModel)}
+	usedSwitch := make(map[topo.NodeID]bool)
+	guard := 0
+	for len(s.Failures) == 0 || countFaults(s) < cfg.Failures {
+		if guard++; guard > 1000*cfg.Failures {
+			return nil, fmt.Errorf("sim: could not place %d faults (topology too small?)", cfg.Failures)
+		}
+		if rng.Float64() < cfg.SwitchFrac {
+			sw := switches[rng.Intn(len(switches))]
+			if usedSwitch[sw] {
+				continue
+			}
+			usedSwitch[sw] = true
+			gray := rng.Float64() < cfg.GrayFrac
+			for _, l := range t.LinksOf(sw) {
+				if _, dup := s.models[l]; dup {
+					continue
+				}
+				m := FullLoss{Gray: gray}
+				s.Failures = append(s.Failures, Failure{Link: l, Model: m, FromSwitch: sw})
+				s.models[l] = m
+			}
+			continue
+		}
+		l := pickWeightedLink(t, candLinks, cfg, rng)
+		if _, dup := s.models[l]; dup {
+			continue
+		}
+		m := drawModel(cfg, rng)
+		s.Failures = append(s.Failures, Failure{Link: l, Model: m, FromSwitch: -1})
+		s.models[l] = m
+	}
+	return s, nil
+}
+
+// countFaults counts fault events: a switch failure is one event however
+// many links it kills.
+func countFaults(s *Scenario) int {
+	events := 0
+	seen := make(map[topo.NodeID]bool)
+	for _, f := range s.Failures {
+		if f.FromSwitch >= 0 {
+			if !seen[f.FromSwitch] {
+				seen[f.FromSwitch] = true
+				events++
+			}
+		} else {
+			events++
+		}
+	}
+	return events
+}
+
+func candidateLinks(t *topo.Topology, cfg FailureConfig) []topo.LinkID {
+	var out []topo.LinkID
+	for _, l := range t.Links {
+		if !cfg.IncludeServerLinks && l.Tier == topo.TierServerEdge {
+			continue
+		}
+		out = append(out, l.ID)
+	}
+	return out
+}
+
+func pickWeightedLink(t *topo.Topology, cands []topo.LinkID, cfg FailureConfig, rng *rand.Rand) topo.LinkID {
+	weight := func(l topo.LinkID) float64 {
+		w := cfg.TierWeight[t.Link(l).Tier]
+		if w == 0 {
+			w = 1
+		}
+		return w
+	}
+	total := 0.0
+	for _, l := range cands {
+		total += weight(l)
+	}
+	x := rng.Float64() * total
+	for _, l := range cands {
+		x -= weight(l)
+		if x <= 0 {
+			return l
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+func drawModel(cfg FailureConfig, rng *rand.Rand) LossModel {
+	gray := rng.Float64() < cfg.GrayFrac
+	total := cfg.FullFrac + cfg.DetFrac + cfg.RandFrac
+	if total <= 0 {
+		total, cfg.FullFrac = 1, 1
+	}
+	x := rng.Float64() * total
+	switch {
+	case x < cfg.FullFrac:
+		return FullLoss{Gray: gray}
+	case x < cfg.FullFrac+cfg.DetFrac:
+		// 1..16 of 32 buckets blackholed: 3%..50% of flows.
+		n := 1 + rng.Intn(16)
+		var mask uint32
+		for bits := 0; bits < n; {
+			b := uint32(1) << rng.Intn(32)
+			if mask&b == 0 {
+				mask |= b
+				bits++
+			}
+		}
+		return DeterministicLoss{Buckets: mask, Seed: rng.Uint64(), Gray: gray}
+	default:
+		return RandomLoss{P: logUniform(cfg.MinRate, cfg.MaxRate, rng), Gray: gray}
+	}
+}
+
+// logUniform draws from [lo, hi] with log-uniform density.
+func logUniform(lo, hi float64, rng *rand.Rand) float64 {
+	if lo <= 0 || hi <= lo {
+		return lo
+	}
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}

@@ -1,0 +1,53 @@
+// Package sim is the packet-loss simulator used to evaluate deTector at
+// scales beyond the UDP fabric: flow-keyed loss models (full, deterministic
+// partial, random partial), measurement-driven failure scenario generation,
+// probing simulation with per-probe flow-key variation, a synthetic workload
+// generator, and the queueing model behind the RTT/jitter figures.
+//
+// It substitutes the paper's FPGA testbed and the IMC'10 traces; every
+// substitution is documented in DESIGN.md.
+package sim
+
+import (
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// FlowKey is the 5-tuple-plus-DSCP identity of a probe or workload packet.
+// Deterministic partial loss (packet blackholes) and ECMP hashing key on it.
+type FlowKey struct {
+	Src, Dst         topo.NodeID
+	SrcPort, DstPort uint16
+	Proto            uint8
+	DSCP             uint8
+}
+
+// Reverse returns the flow key of the echo direction.
+func (f FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		Src: f.Dst, Dst: f.Src,
+		SrcPort: f.DstPort, DstPort: f.SrcPort,
+		Proto: f.Proto, DSCP: f.DSCP,
+	}
+}
+
+// Hash folds the flow key into 64 bits (FNV-1a over the packed fields).
+func (f FlowKey) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(uint32(f.Src)))
+	mix(uint64(uint32(f.Dst))<<32 | uint64(f.SrcPort)<<16 | uint64(f.DstPort))
+	mix(uint64(f.Proto)<<8 | uint64(f.DSCP))
+	return h
+}
+
+// UDPProto is the protocol number probes use.
+const UDPProto = 17

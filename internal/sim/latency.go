@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// LatencyModel converts per-link utilization into packet delays with an
+// M/M/1-style queueing approximation: each link adds a fixed base delay
+// plus a queueing wait whose mean grows as rho/(1-rho). It produces the
+// RTT and jitter curves of paper Fig. 4(c)/(d): nearly flat until probe
+// traffic pushes links toward saturation — which at deTector's default 10
+// probes/second never happens.
+type LatencyModel struct {
+	// CapacityBps is the link capacity in bits per second (testbed: 1 GbE).
+	CapacityBps float64
+	// BaseDelay is the fixed per-link, per-direction latency (switching +
+	// propagation).
+	BaseDelay time.Duration
+	// PacketBits is the mean packet size used for the service time.
+	PacketBits float64
+	// MaxRho clamps utilization to keep the queue stable.
+	MaxRho float64
+}
+
+// DefaultLatencyModel matches the paper's 1 GbE testbed.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		CapacityBps: 1e9,
+		BaseDelay:   20 * time.Microsecond,
+		PacketBits:  12000, // 1500 B
+		MaxRho:      0.95,
+	}
+}
+
+// linkDelay samples the one-way delay of one link at the given load.
+func (m LatencyModel) linkDelay(bytesPerSec float64, rng *rand.Rand) time.Duration {
+	rho := bytesPerSec * 8 / m.CapacityBps
+	if rho > m.MaxRho {
+		rho = m.MaxRho
+	}
+	service := m.PacketBits / m.CapacityBps // seconds
+	meanWait := service * rho / (1 - rho)
+	wait := rng.ExpFloat64() * meanWait
+	return m.BaseDelay + time.Duration((service+wait)*float64(time.Second))
+}
+
+// RTT samples one request/response round trip across the links under load.
+func (m LatencyModel) RTT(links []topo.LinkID, load *Load, rng *rand.Rand) time.Duration {
+	var d time.Duration
+	for _, l := range links {
+		d += m.linkDelay(load.BytesPerSec[l], rng) // forward
+		d += m.linkDelay(load.BytesPerSec[l], rng) // reverse
+	}
+	return d
+}
+
+// RTTSamples draws n round trips and returns them in order.
+func (m LatencyModel) RTTSamples(links []topo.LinkID, load *Load, n int, rng *rand.Rand) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = m.RTT(links, load, rng)
+	}
+	return out
+}
+
+// Jitter computes the RFC 3550 interarrival jitter estimate of an RTT
+// series: the smoothed mean of |D(i-1,i)|.
+func Jitter(rtts []time.Duration) time.Duration {
+	if len(rtts) < 2 {
+		return 0
+	}
+	j := 0.0
+	for i := 1; i < len(rtts); i++ {
+		d := math.Abs(float64(rtts[i] - rtts[i-1]))
+		j += (d - j) / 16
+	}
+	return time.Duration(j)
+}

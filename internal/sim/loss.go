@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LossKind classifies the paper's three emulated failure modes (§6.2).
+type LossKind uint8
+
+const (
+	// FullLossKind drops every packet on the link (link down, switch down).
+	FullLossKind LossKind = iota
+	// DeterministicKind drops all packets of a flow subset (packet
+	// blackhole, misconfigured rules): loss depends only on the flow key.
+	DeterministicKind
+	// RandomKind drops each packet independently with a fixed probability
+	// (bit flips, CRC errors, buffer overflow).
+	RandomKind
+)
+
+// String names the kind as in the paper.
+func (k LossKind) String() string {
+	switch k {
+	case FullLossKind:
+		return "full"
+	case DeterministicKind:
+		return "deterministic-partial"
+	case RandomKind:
+		return "random-partial"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// LossModel decides the drop probability of a packet on a failed link.
+type LossModel interface {
+	// DropProb returns the probability that a packet of flow f is dropped.
+	DropProb(f FlowKey) float64
+	// Kind reports the failure mode.
+	Kind() LossKind
+	// MeanRate is the expected drop fraction over uniformly random flows —
+	// the ground-truth loss rate of the link.
+	MeanRate() float64
+	// Silent reports a gray failure: drops that do not bump switch
+	// counters (undetectable by SNMP polling, paper §2).
+	Silent() bool
+}
+
+// FullLoss drops everything.
+type FullLoss struct {
+	// Gray marks the drop as silent (no counter increment).
+	Gray bool
+}
+
+// DropProb implements LossModel.
+func (FullLoss) DropProb(FlowKey) float64 { return 1 }
+
+// Kind implements LossModel.
+func (FullLoss) Kind() LossKind { return FullLossKind }
+
+// MeanRate implements LossModel.
+func (FullLoss) MeanRate() float64 { return 1 }
+
+// Silent implements LossModel.
+func (m FullLoss) Silent() bool { return m.Gray }
+
+// RandomLoss drops packets independently with probability P.
+type RandomLoss struct {
+	P    float64
+	Gray bool
+}
+
+// DropProb implements LossModel.
+func (m RandomLoss) DropProb(FlowKey) float64 { return m.P }
+
+// Kind implements LossModel.
+func (RandomLoss) Kind() LossKind { return RandomKind }
+
+// MeanRate implements LossModel.
+func (m RandomLoss) MeanRate() float64 { return m.P }
+
+// Silent implements LossModel.
+func (m RandomLoss) Silent() bool { return m.Gray }
+
+// DeterministicLoss models a packet blackhole: flows are hashed into 32
+// buckets and the flows landing in a masked bucket lose every packet.
+// deTector catches these because its probes vary ports (hence buckets);
+// systems that reuse one flow per path may miss them entirely.
+type DeterministicLoss struct {
+	// Buckets is the 32-bit mask of dropped buckets.
+	Buckets uint32
+	// Seed decorrelates the bucket hash from ECMP hashing.
+	Seed uint64
+	Gray bool
+}
+
+// DropProb implements LossModel.
+func (m DeterministicLoss) DropProb(f FlowKey) float64 {
+	b := (f.Hash() ^ m.Seed) % 32
+	if m.Buckets&(1<<b) != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Kind implements LossModel.
+func (DeterministicLoss) Kind() LossKind { return DeterministicKind }
+
+// MeanRate implements LossModel.
+func (m DeterministicLoss) MeanRate() float64 {
+	return float64(bits.OnesCount32(m.Buckets)) / 32
+}
+
+// Silent implements LossModel.
+func (m DeterministicLoss) Silent() bool { return m.Gray }

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Network simulates probe transmission over a topology with an active
+// failure scenario. It is single-goroutine by design: callers own the RNG
+// and may shard simulations across goroutines with independent Networks.
+type Network struct {
+	Topo     *topo.Topology
+	Scenario *Scenario
+	// Baseline is the ambient per-link loss rate from transient congestion
+	// and bit errors (paper §5.1 cites 1e-4..1e-5); it is non-silent.
+	Baseline float64
+	// Counters accumulates per-link non-silent drops when enabled — the
+	// data source of the SNMP baseline.
+	Counters map[topo.LinkID]int64
+}
+
+// NewNetwork wires a topology to a scenario. scenario may be nil (healthy).
+func NewNetwork(t *topo.Topology, s *Scenario) *Network {
+	if s == nil {
+		s = NewScenario()
+	}
+	return &Network{Topo: t, Scenario: s, Counters: make(map[topo.LinkID]int64)}
+}
+
+// linkDrop rolls the fate of one packet of flow f on link l.
+func (n *Network) linkDrop(l topo.LinkID, f FlowKey, rng *rand.Rand) bool {
+	if m, ok := n.Scenario.Model(l); ok {
+		p := m.DropProb(f)
+		if p >= 1 || (p > 0 && rng.Float64() < p) {
+			if !m.Silent() {
+				n.Counters[l]++
+			}
+			return true
+		}
+	}
+	if n.Baseline > 0 && rng.Float64() < n.Baseline {
+		n.Counters[l]++
+		return true
+	}
+	return false
+}
+
+// Deliver simulates one one-way packet of flow f across the links; it
+// returns false if any link drops it.
+func (n *Network) Deliver(links []topo.LinkID, f FlowKey, rng *rand.Rand) bool {
+	for _, l := range links {
+		if n.linkDrop(l, f, rng) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProbeOnce simulates a request/echo probe: the request traverses links
+// with flow f, the echo traverses them in reverse with the reversed flow
+// key. Either direction dropping loses the probe, which is why a probe
+// path's column covers both directions of its links (paper §4.1).
+func (n *Network) ProbeOnce(links []topo.LinkID, f FlowKey, rng *rand.Rand) bool {
+	if !n.Deliver(links, f, rng) {
+		return false
+	}
+	rev := f.Reverse()
+	for i := len(links) - 1; i >= 0; i-- {
+		if n.linkDrop(links[i], rev, rng) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProbePath sends count probes along the links, rotating the source port
+// over portRange values as the pinger does ("a pinger loops over a range of
+// ports for each path", §6.1) so that deterministic blackholes hit only the
+// matching subset of probes. It returns the number lost.
+func (n *Network) ProbePath(links []topo.LinkID, base FlowKey, count, portRange int, rng *rand.Rand) (lost int) {
+	if portRange <= 0 {
+		portRange = 16
+	}
+	for i := 0; i < count; i++ {
+		f := base
+		f.SrcPort = base.SrcPort + uint16(i%portRange)
+		if !n.ProbeOnce(links, f, rng) {
+			lost++
+		}
+	}
+	return lost
+}
+
+// ProbeWindowConfig shapes one simulated measurement window.
+type ProbeWindowConfig struct {
+	// ProbesPerPath is how many probes each probe path gets in the window.
+	ProbesPerPath int
+	// PortRange is the source-port rotation width (default 16).
+	PortRange int
+	// BasePort is the first source port.
+	BasePort uint16
+}
+
+// SimulateWindow runs one measurement window over the whole probe matrix
+// and returns per-path observations ready for PLL.
+func SimulateWindow(n *Network, probes *route.Probes, cfg ProbeWindowConfig, rng *rand.Rand) []pll.Observation {
+	obs := make([]pll.Observation, probes.NumPaths())
+	basePort := cfg.BasePort
+	if basePort == 0 {
+		basePort = 33434
+	}
+	for i := range probes.PathLinks {
+		f := FlowKey{
+			Src: probes.Src[i], Dst: probes.Dst[i],
+			SrcPort: basePort, DstPort: 7,
+			Proto: UDPProto,
+		}
+		lost := n.ProbePath(probes.PathLinks[i], f, cfg.ProbesPerPath, cfg.PortRange, rng)
+		obs[i] = pll.Observation{Path: i, Sent: cfg.ProbesPerPath, Lost: lost}
+	}
+	return obs
+}
+
+// CounterSnapshot returns a copy of the per-link drop counters.
+func (n *Network) CounterSnapshot() map[topo.LinkID]int64 {
+	out := make(map[topo.LinkID]int64, len(n.Counters))
+	for l, c := range n.Counters {
+		out[l] = c
+	}
+	return out
+}

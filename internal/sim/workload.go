@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// WorkloadConfig shapes the synthetic background traffic that stands in for
+// the IMC'10 university data-center traces the paper replays (§6.3): mostly
+// short HTTP-like flows with a heavy tail, random server pairs, ECMP routed.
+type WorkloadConfig struct {
+	// FlowsPerSecond is the aggregate flow arrival rate.
+	FlowsPerSecond float64
+	// MeanFlowBytes and SigmaLog parameterize the log-normal flow size
+	// distribution (mean of the underlying normal is derived).
+	MeanFlowBytes float64
+	SigmaLog      float64
+	// SampleFlows is how many flows are drawn to estimate the per-link
+	// load split; more samples smooth the estimate.
+	SampleFlows int
+}
+
+// DefaultWorkloadConfig models a busy HTTP-dominated rack workload.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		FlowsPerSecond: 2000,
+		MeanFlowBytes:  20 << 10, // 20 KiB mean, heavy-tailed
+		SigmaLog:       1.5,
+		SampleFlows:    4000,
+	}
+}
+
+// Load is the steady-state per-link byte rate of the workload.
+type Load struct {
+	// BytesPerSec maps link to one-direction load; probes and workload
+	// flows both add here.
+	BytesPerSec map[topo.LinkID]float64
+}
+
+// NewLoad returns an empty load map.
+func NewLoad() *Load { return &Load{BytesPerSec: make(map[topo.LinkID]float64)} }
+
+// Add accumulates rate on every link of a path.
+func (ld *Load) Add(links []topo.LinkID, bytesPerSec float64) {
+	for _, l := range links {
+		ld.BytesPerSec[l] += bytesPerSec
+	}
+}
+
+// GenerateLoad estimates per-link load by sampling random ECMP-routed flows
+// between servers of the Fattree and spreading the aggregate byte rate
+// proportionally to sampled flow sizes.
+func GenerateLoad(f *topo.Fattree, cfg WorkloadConfig, rng *rand.Rand) (*Load, error) {
+	if cfg.SampleFlows <= 0 || cfg.FlowsPerSecond <= 0 || cfg.MeanFlowBytes <= 0 {
+		return nil, fmt.Errorf("sim: workload config must be positive: %+v", cfg)
+	}
+	servers := f.Servers()
+	if len(servers) < 2 {
+		return nil, fmt.Errorf("sim: topology has %d servers", len(servers))
+	}
+	// Log-normal with the requested mean: mu = ln(mean) - sigma^2/2.
+	mu := math.Log(cfg.MeanFlowBytes) - cfg.SigmaLog*cfg.SigmaLog/2
+
+	type sample struct {
+		links []topo.LinkID
+		bytes float64
+	}
+	samples := make([]sample, 0, cfg.SampleFlows)
+	totalBytes := 0.0
+	for i := 0; i < cfg.SampleFlows; i++ {
+		src := servers[rng.Intn(len(servers))]
+		dst := servers[rng.Intn(len(servers))]
+		if src == dst {
+			continue
+		}
+		size := math.Exp(mu + cfg.SigmaLog*rng.NormFloat64())
+		fk := FlowKey{Src: src, Dst: dst, SrcPort: uint16(1024 + rng.Intn(60000)), DstPort: 80, Proto: 6}
+		links, _ := route.ECMPFattreePath(f, src, dst, fk.Hash())
+		samples = append(samples, sample{links, size})
+		totalBytes += size
+	}
+	aggregate := cfg.FlowsPerSecond * cfg.MeanFlowBytes // bytes/sec offered
+	load := NewLoad()
+	for _, s := range samples {
+		load.Add(s.links, aggregate*s.bytes/totalBytes)
+	}
+	return load, nil
+}

@@ -1,0 +1,184 @@
+package topo
+
+import "fmt"
+
+// BCube is the server-centric topology from Guo et al. (SIGCOMM'09).
+// BCube(n, k) has k+1 levels of n-port mini-switches and n^(k+1) servers,
+// each with k+1 ports. A server is labeled by k+1 base-n digits
+// a_k ... a_1 a_0; the level-i switch with label w (the server label with
+// digit i removed) connects the n servers that agree on every digit except
+// digit i.
+//
+// All links are server-switch links. Following the paper (§4.4, footnote 2),
+// servers are treated as switches when constructing the routing matrix, so
+// every link is a probe-matrix column.
+type BCube struct {
+	*Topology
+	N, K int // n-port switches, levels 0..K
+
+	// SrvID[a] is the server with label a (base-n integer), a in [0, n^(k+1)).
+	SrvID []NodeID
+	// SwID[level][w] is the level-`level` switch with label w, w in [0, n^k).
+	SwID [][]NodeID
+
+	pow []int // pow[i] = n^i
+}
+
+// NewBCube builds a BCube(n, k) topology. n >= 2, k >= 0.
+func NewBCube(n, k int) (*BCube, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: bcube n must be >= 2, got %d", n)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("topo: bcube k must be >= 0, got %d", k)
+	}
+	b := &BCube{
+		Topology: New(fmt.Sprintf("BCube(%d,%d)", n, k)),
+		N:        n, K: k,
+	}
+	b.pow = make([]int, k+2)
+	b.pow[0] = 1
+	for i := 1; i <= k+1; i++ {
+		b.pow[i] = b.pow[i-1] * n
+	}
+	nServers := b.pow[k+1]
+	nSwPerLevel := b.pow[k]
+	for a := 0; a < nServers; a++ {
+		b.SrvID = append(b.SrvID, b.AddNode(Node{
+			Kind: Server, Pod: -1, Level: -1, Index: a,
+			Name: fmt.Sprintf("srv-%s", b.label(a)),
+		}))
+	}
+	b.SwID = make([][]NodeID, k+1)
+	for lvl := 0; lvl <= k; lvl++ {
+		b.SwID[lvl] = make([]NodeID, nSwPerLevel)
+		for w := 0; w < nSwPerLevel; w++ {
+			b.SwID[lvl][w] = b.AddNode(Node{
+				Kind: MiniSwitch, Pod: -1, Level: lvl, Index: w,
+				Name: fmt.Sprintf("sw-%d-%d", lvl, w),
+			})
+		}
+	}
+	for a := 0; a < nServers; a++ {
+		for lvl := 0; lvl <= k; lvl++ {
+			b.AddLink(b.SrvID[a], b.SwID[lvl][b.switchLabel(a, lvl)], TierServerEdge)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// MustBCube builds a BCube and panics on invalid parameters.
+func MustBCube(n, k int) *BCube {
+	b, err := NewBCube(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// NumServers returns n^(k+1).
+func (b *BCube) NumServers() int { return b.pow[b.K+1] }
+
+// Digit returns digit i of server label a.
+func (b *BCube) Digit(a, i int) int { return (a / b.pow[i]) % b.N }
+
+// SetDigit returns label a with digit i replaced by v.
+func (b *BCube) SetDigit(a, i, v int) int {
+	return a + (v-b.Digit(a, i))*b.pow[i]
+}
+
+// switchLabel returns the label of the level-i switch adjacent to server a:
+// the base-n number formed by removing digit i from a.
+func (b *BCube) switchLabel(a, i int) int {
+	hi := a / b.pow[i+1]
+	lo := a % b.pow[i]
+	return hi*b.pow[i] + lo
+}
+
+// label renders a server label as digits, most-significant first.
+func (b *BCube) label(a int) string {
+	s := make([]byte, 0, b.K+1)
+	for i := b.K; i >= 0; i-- {
+		s = append(s, byte('0'+b.Digit(a, i)))
+	}
+	return string(s)
+}
+
+// HopLinks appends the two links of the single-digit hop from server x to
+// server y, which must differ in exactly digit i: x → level-i switch → y.
+func (b *BCube) HopLinks(x, y, i int, buf []LinkID) []LinkID {
+	sw := b.SwID[i][b.switchLabel(x, i)]
+	buf = append(buf, b.MustLink(b.SrvID[x], sw))
+	return append(buf, b.MustLink(sw, b.SrvID[y]))
+}
+
+// DCRoutingLinks appends the links of the BCube DCRouting path from server
+// src to server dst, correcting differing digits in the order given by perm
+// (a permutation of digit indices 0..K). Digits already equal are skipped.
+// It returns the link set and the intermediate server sequence (excluding
+// src, including dst) for callers that need hops.
+func (b *BCube) DCRoutingLinks(src, dst int, perm []int, buf []LinkID) []LinkID {
+	cur := src
+	for _, i := range perm {
+		if b.Digit(cur, i) == b.Digit(dst, i) {
+			continue
+		}
+		next := b.SetDigit(cur, i, b.Digit(dst, i))
+		buf = b.HopLinks(cur, next, i, buf)
+		cur = next
+	}
+	return buf
+}
+
+// shiftPerm returns the digit-correction order (i, i-1, ..., 0, K, ..., i+1)
+// used by BuildPathSet path i (BCube paper, Fig. 5).
+func (b *BCube) shiftPerm(i int) []int {
+	perm := make([]int, 0, b.K+1)
+	for d := i; d >= 0; d-- {
+		perm = append(perm, d)
+	}
+	for d := b.K; d > i; d-- {
+		perm = append(perm, d)
+	}
+	return perm
+}
+
+// BuildPathLinks appends the link set of parallel path i (i in [0, K]) from
+// server src to server dst per the BCube BuildPathSet construction:
+//
+//   - if digit i differs between src and dst, the path is DCRouting with
+//     correction order starting at digit i;
+//   - otherwise the path detours through a neighbor of src at level i
+//     (altering digit i to a value that differs from both), corrects the
+//     remaining digits, and restores digit i last.
+//
+// The K+1 paths so constructed are the parallel paths BCube's BSR protocol
+// load-balances across; deTector's candidate set contains all of them for
+// every ordered server pair (Table 2: BCube(8,4) has 5,368,545,280 paths).
+func (b *BCube) BuildPathLinks(src, dst, i int, buf []LinkID) []LinkID {
+	if src == dst {
+		panic("topo: bcube path endpoints must differ")
+	}
+	if b.Digit(src, i) != b.Digit(dst, i) {
+		return b.DCRoutingLinks(src, dst, b.shiftPerm(i), buf)
+	}
+	// Detour: alter digit i to a value c != src[i] (== dst[i]).
+	c := (b.Digit(src, i) + 1) % b.N
+	mid := b.SetDigit(src, i, c)
+	buf = b.HopLinks(src, mid, i, buf)
+	// Correct all other digits in the order (i-1, ..., 0, K, ..., i+1),
+	// then restore digit i.
+	perm := make([]int, 0, b.K+1)
+	for d := i - 1; d >= 0; d-- {
+		perm = append(perm, d)
+	}
+	for d := b.K; d > i; d-- {
+		perm = append(perm, d)
+	}
+	buf = b.DCRoutingLinks(mid, b.SetDigit(dst, i, c), perm, buf)
+	last := b.SetDigit(dst, i, c)
+	return b.HopLinks(last, dst, i, buf)
+}

@@ -1,0 +1,186 @@
+package topo
+
+import "fmt"
+
+// Fattree is a k-ary Fattree (Al-Fares et al., SIGCOMM'08): k pods, each with
+// k/2 edge (ToR) and k/2 aggregation switches, (k/2)^2 core switches, and
+// k/2 servers under each edge switch.
+//
+// Wiring follows the canonical construction:
+//   - edge e of pod p connects to every agg a of pod p;
+//   - agg a of pod p connects to cores a*(k/2) .. a*(k/2)+k/2-1
+//     (core group a: the cores reachable via aggregation position a).
+//
+// Core switch c (global index) therefore belongs to group c/(k/2) and is
+// connected to aggregation position c/(k/2) in every pod. Paths through a
+// group-g core touch only edge-agg links of agg position g, which is what
+// makes the routing matrix decompose into k/2 independent subproblems
+// (paper §4.3, Observation 1).
+type Fattree struct {
+	*Topology
+	K int
+
+	// CoreID[c] is the node ID of global core c, c in [0, (k/2)^2).
+	CoreID []NodeID
+	// AggID[p][a] is the node ID of aggregation switch a of pod p.
+	AggID [][]NodeID
+	// EdgeID[p][e] is the node ID of edge switch e of pod p.
+	EdgeID [][]NodeID
+	// ServerID[p][e][s] is the node ID of server s under edge e of pod p.
+	ServerID [][][]NodeID
+
+	// torList caches ToR node IDs in (pod, edge) order.
+	torList []NodeID
+}
+
+// NewFattree builds a k-ary Fattree. k must be even and >= 4.
+func NewFattree(k int) (*Fattree, error) {
+	if k < 4 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fattree k must be even and >= 4, got %d", k)
+	}
+	h := k / 2
+	f := &Fattree{
+		Topology: New(fmt.Sprintf("Fattree(%d)", k)),
+		K:        k,
+		CoreID:   make([]NodeID, h*h),
+		AggID:    make([][]NodeID, k),
+		EdgeID:   make([][]NodeID, k),
+		ServerID: make([][][]NodeID, k),
+	}
+	for c := 0; c < h*h; c++ {
+		f.CoreID[c] = f.AddNode(Node{
+			Kind: Core, Pod: -1, Level: 2, Index: c,
+			Name: fmt.Sprintf("core-%d", c),
+		})
+	}
+	for p := 0; p < k; p++ {
+		f.AggID[p] = make([]NodeID, h)
+		f.EdgeID[p] = make([]NodeID, h)
+		f.ServerID[p] = make([][]NodeID, h)
+		for a := 0; a < h; a++ {
+			f.AggID[p][a] = f.AddNode(Node{
+				Kind: Agg, Pod: p, Level: 1, Index: a,
+				Name: fmt.Sprintf("agg-%d-%d", p, a),
+			})
+		}
+		for e := 0; e < h; e++ {
+			f.EdgeID[p][e] = f.AddNode(Node{
+				Kind: Edge, Pod: p, Level: 0, Index: e,
+				Name: fmt.Sprintf("edge-%d-%d", p, e),
+			})
+			f.ServerID[p][e] = make([]NodeID, h)
+			for s := 0; s < h; s++ {
+				f.ServerID[p][e][s] = f.AddNode(Node{
+					Kind: Server, Pod: p, Level: -1, Index: e*h + s,
+					Name: fmt.Sprintf("srv-%d-%d-%d", p, e, s),
+				})
+			}
+		}
+	}
+	// Edge-agg and server-edge links.
+	for p := 0; p < k; p++ {
+		for e := 0; e < h; e++ {
+			for a := 0; a < h; a++ {
+				f.AddLink(f.EdgeID[p][e], f.AggID[p][a], TierEdgeAgg)
+			}
+			for s := 0; s < h; s++ {
+				f.AddLink(f.ServerID[p][e][s], f.EdgeID[p][e], TierServerEdge)
+			}
+		}
+	}
+	// Agg-core links: agg position a serves core group a.
+	for p := 0; p < k; p++ {
+		for a := 0; a < h; a++ {
+			for i := 0; i < h; i++ {
+				f.AddLink(f.AggID[p][a], f.CoreID[a*h+i], TierAggCore)
+			}
+		}
+	}
+	for p := 0; p < k; p++ {
+		for e := 0; e < h; e++ {
+			f.torList = append(f.torList, f.EdgeID[p][e])
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustFattree builds a k-ary Fattree and panics on invalid k. Intended for
+// tests and examples where k is a constant.
+func MustFattree(k int) *Fattree {
+	f, err := NewFattree(k)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Half returns k/2, the radix of each switch layer grouping.
+func (f *Fattree) Half() int { return f.K / 2 }
+
+// NumCores returns (k/2)^2.
+func (f *Fattree) NumCores() int { return f.Half() * f.Half() }
+
+// NumToRs returns k^2/2.
+func (f *Fattree) NumToRs() int { return f.K * f.Half() }
+
+// ToRList returns ToR node IDs in (pod, edge) order. The slice is shared.
+func (f *Fattree) ToRList() []NodeID { return f.torList }
+
+// CoreGroup returns the agg position (and decomposition component) of global
+// core index c.
+func (f *Fattree) CoreGroup(c int) int { return c / f.Half() }
+
+// ToRAt returns the ToR node at (pod, edge).
+func (f *Fattree) ToRAt(pod, edge int) NodeID { return f.EdgeID[pod][edge] }
+
+// ToRIndex maps a ToR node ID back to its flat (pod*k/2 + edge) index.
+func (f *Fattree) ToRIndex(n NodeID) int {
+	node := f.Nodes[n]
+	if node.Kind != Edge {
+		panic(fmt.Sprintf("topo: node %d is %s, not an edge switch", n, node.Kind))
+	}
+	return node.Pod*f.Half() + node.Index
+}
+
+// PathLinks appends to buf the 4 undirected links of the via-core path
+// between ToRs src and dst through global core c: src-edge→agg, agg→core,
+// core→agg, agg→dst-edge. When src and dst are in the same pod the first and
+// last pod-local links coincide pairwise only if src == dst, which callers
+// exclude; the up and down agg links are distinct because the edges differ.
+func (f *Fattree) PathLinks(srcToR, dstToR NodeID, c int, buf []LinkID) []LinkID {
+	g := f.CoreGroup(c)
+	sp, dp := f.Nodes[srcToR].Pod, f.Nodes[dstToR].Pod
+	aggUp := f.AggID[sp][g]
+	aggDown := f.AggID[dp][g]
+	core := f.CoreID[c]
+	buf = append(buf, f.MustLink(srcToR, aggUp))
+	buf = append(buf, f.MustLink(aggUp, core))
+	if dp != sp {
+		buf = append(buf, f.MustLink(core, aggDown))
+		buf = append(buf, f.MustLink(aggDown, dstToR))
+	} else {
+		// Same pod: the path re-descends through the same agg switch, so
+		// the agg-core link is traversed twice; as a link set it appears
+		// once, and only the downward edge-agg link is new.
+		buf = append(buf, f.MustLink(aggDown, dstToR))
+	}
+	return buf
+}
+
+// PathHops appends the node sequence of the via-core path (excluding
+// servers): srcToR, aggUp, core, aggDown, dstToR. For same-pod pairs aggUp
+// and aggDown are the same switch and the core is visited between them.
+func (f *Fattree) PathHops(srcToR, dstToR NodeID, c int, buf []NodeID) []NodeID {
+	g := f.CoreGroup(c)
+	sp, dp := f.Nodes[srcToR].Pod, f.Nodes[dstToR].Pod
+	buf = append(buf, srcToR, f.AggID[sp][g], f.CoreID[c])
+	if dp != sp {
+		buf = append(buf, f.AggID[dp][g])
+	} else {
+		buf = append(buf, f.AggID[sp][g])
+	}
+	return append(buf, dstToR)
+}

@@ -1,0 +1,343 @@
+// Package topo models data-center network topologies as undirected graphs of
+// switches, servers and links, and provides builders for the three DCN
+// families evaluated in the deTector paper: Fattree, VL2 and BCube.
+//
+// Links between switches are undirected: the deTector probe matrix treats
+// link AB as a single column because a probe and its echo traverse both
+// directions, and localizing AB implicates either direction or either
+// endpoint switch (paper §4.1).
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (switch or server) within one Topology.
+type NodeID int32
+
+// LinkID identifies an undirected link within one Topology.
+type LinkID int32
+
+// NodeKind classifies a node by its role in the topology.
+type NodeKind uint8
+
+const (
+	// Server is an end host. Servers run pingers and responders.
+	Server NodeKind = iota
+	// Edge is a top-of-rack (ToR) switch.
+	Edge
+	// Agg is an aggregation-layer switch.
+	Agg
+	// Core is a core/intermediate-layer switch.
+	Core
+	// MiniSwitch is a BCube commodity switch (its level is Node.Level).
+	MiniSwitch
+)
+
+// String returns the lower-case role name.
+func (k NodeKind) String() string {
+	switch k {
+	case Server:
+		return "server"
+	case Edge:
+		return "edge"
+	case Agg:
+		return "agg"
+	case Core:
+		return "core"
+	case MiniSwitch:
+		return "miniswitch"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Tier classifies a link by the layers it connects.
+type Tier uint8
+
+const (
+	// TierServerEdge connects a server to its ToR (or, in BCube, to a
+	// mini-switch).
+	TierServerEdge Tier = iota
+	// TierEdgeAgg connects a ToR to an aggregation switch.
+	TierEdgeAgg
+	// TierAggCore connects an aggregation switch to a core/intermediate
+	// switch.
+	TierAggCore
+)
+
+// String returns a short tier name.
+func (t Tier) String() string {
+	switch t {
+	case TierServerEdge:
+		return "server-edge"
+	case TierEdgeAgg:
+		return "edge-agg"
+	case TierAggCore:
+		return "agg-core"
+	default:
+		return fmt.Sprintf("tier(%d)", uint8(t))
+	}
+}
+
+// Node is a switch or server.
+type Node struct {
+	ID    NodeID
+	Kind  NodeKind
+	Pod   int // pod (Fattree), agg-pair group (VL2 ToRs), -1 if n/a
+	Level int // layer index; BCube switch level
+	Index int // index within (kind, pod/level)
+	Name  string
+}
+
+// Link is an undirected link. A and B are ordered so that A < B.
+type Link struct {
+	ID   LinkID
+	A, B NodeID
+	Tier Tier
+}
+
+// Other returns the endpoint of l that is not n.
+func (l Link) Other(n NodeID) NodeID {
+	if l.A == n {
+		return l.B
+	}
+	return l.A
+}
+
+// Adjacency records one neighbor of a node and the link reaching it.
+type Adjacency struct {
+	Peer NodeID
+	Link LinkID
+}
+
+// Topology is an immutable-after-build undirected multigraphless graph.
+type Topology struct {
+	Name  string
+	Nodes []Node
+	Links []Link
+
+	adj       [][]Adjacency
+	linkIndex map[uint64]LinkID
+}
+
+// New returns an empty topology with the given name.
+func New(name string) *Topology {
+	return &Topology{Name: name, linkIndex: make(map[uint64]LinkID)}
+}
+
+// AddNode appends a node and returns its ID. Name is derived from kind and
+// indices when empty.
+func (t *Topology) AddNode(n Node) NodeID {
+	id := NodeID(len(t.Nodes))
+	n.ID = id
+	if n.Name == "" {
+		n.Name = fmt.Sprintf("%s-%d", n.Kind, id)
+	}
+	t.Nodes = append(t.Nodes, n)
+	t.adj = append(t.adj, nil)
+	return id
+}
+
+func pairKey(a, b NodeID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// AddLink connects a and b with an undirected link and returns its ID.
+// Adding a duplicate link or a self-loop panics: topology builders are
+// deterministic constructors and a duplicate indicates a builder bug.
+func (t *Topology) AddLink(a, b NodeID, tier Tier) LinkID {
+	if a == b {
+		panic(fmt.Sprintf("topo: self-loop on node %d", a))
+	}
+	key := pairKey(a, b)
+	if _, dup := t.linkIndex[key]; dup {
+		panic(fmt.Sprintf("topo: duplicate link %d-%d", a, b))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	id := LinkID(len(t.Links))
+	t.Links = append(t.Links, Link{ID: id, A: a, B: b, Tier: tier})
+	t.linkIndex[key] = id
+	t.adj[a] = append(t.adj[a], Adjacency{Peer: b, Link: id})
+	t.adj[b] = append(t.adj[b], Adjacency{Peer: a, Link: id})
+	return id
+}
+
+// LinkBetween returns the link connecting a and b, if any.
+func (t *Topology) LinkBetween(a, b NodeID) (LinkID, bool) {
+	id, ok := t.linkIndex[pairKey(a, b)]
+	return id, ok
+}
+
+// MustLink returns the link connecting a and b and panics if absent. It is
+// intended for topology-family path constructors where absence is a bug.
+func (t *Topology) MustLink(a, b NodeID) LinkID {
+	id, ok := t.LinkBetween(a, b)
+	if !ok {
+		panic(fmt.Sprintf("topo: no link between %d and %d", a, b))
+	}
+	return id
+}
+
+// Neighbors returns the adjacency list of n. The returned slice is shared;
+// callers must not modify it.
+func (t *Topology) Neighbors(n NodeID) []Adjacency {
+	return t.adj[n]
+}
+
+// Degree returns the number of links incident to n.
+func (t *Topology) Degree(n NodeID) int { return len(t.adj[n]) }
+
+// Node returns the node with the given id.
+func (t *Topology) Node(id NodeID) Node { return t.Nodes[id] }
+
+// Link returns the link with the given id.
+func (t *Topology) Link(id LinkID) Link { return t.Links[id] }
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// NumLinks returns the link count (all tiers, including server links).
+func (t *Topology) NumLinks() int { return len(t.Links) }
+
+// NodesOfKind returns the IDs of all nodes with the given kind, in ID order.
+func (t *Topology) NodesOfKind(k NodeKind) []NodeID {
+	var out []NodeID
+	for _, n := range t.Nodes {
+		if n.Kind == k {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Servers returns all server IDs in ID order.
+func (t *Topology) Servers() []NodeID { return t.NodesOfKind(Server) }
+
+// ToRs returns the IDs of switches that have at least one attached server
+// (the rack switches probes originate from), in ID order.
+func (t *Topology) ToRs() []NodeID {
+	var out []NodeID
+	for _, n := range t.Nodes {
+		if n.Kind == Server {
+			continue
+		}
+		for _, a := range t.adj[n.ID] {
+			if t.Nodes[a.Peer].Kind == Server {
+				out = append(out, n.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ServersUnder returns the servers directly attached to switch sw.
+func (t *Topology) ServersUnder(sw NodeID) []NodeID {
+	var out []NodeID
+	for _, a := range t.adj[sw] {
+		if t.Nodes[a.Peer].Kind == Server {
+			out = append(out, a.Peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SwitchLinks returns the IDs of links that connect two switches (the
+// candidate fault-localization columns of the probe matrix).
+func (t *Topology) SwitchLinks() []LinkID {
+	var out []LinkID
+	for _, l := range t.Links {
+		if l.Tier != TierServerEdge {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// LinksOf returns the IDs of all links incident to node n.
+func (t *Topology) LinksOf(n NodeID) []LinkID {
+	adj := t.adj[n]
+	out := make([]LinkID, len(adj))
+	for i, a := range adj {
+		out[i] = a.Link
+	}
+	return out
+}
+
+// Validate checks structural invariants: canonical link endpoint order,
+// adjacency symmetry and graph connectivity. Builders call it; tests may too.
+func (t *Topology) Validate() error {
+	for _, l := range t.Links {
+		if l.A >= l.B {
+			return fmt.Errorf("topo %s: link %d endpoints not canonical (%d,%d)", t.Name, l.ID, l.A, l.B)
+		}
+		if int(l.A) >= len(t.Nodes) || int(l.B) >= len(t.Nodes) {
+			return fmt.Errorf("topo %s: link %d references missing node", t.Name, l.ID)
+		}
+	}
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("topo %s: empty", t.Name)
+	}
+	// Connectivity via BFS.
+	seen := make([]bool, len(t.Nodes))
+	queue := []NodeID{0}
+	seen[0] = true
+	visited := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, a := range t.adj[n] {
+			if !seen[a.Peer] {
+				seen[a.Peer] = true
+				visited++
+				queue = append(queue, a.Peer)
+			}
+		}
+	}
+	if visited != len(t.Nodes) {
+		return fmt.Errorf("topo %s: disconnected (%d of %d nodes reachable)", t.Name, visited, len(t.Nodes))
+	}
+	return nil
+}
+
+// Stats summarizes a topology for reporting (Table 2 columns).
+type Stats struct {
+	Nodes       int
+	Links       int
+	SwitchLinks int
+	Servers     int
+	Switches    int
+}
+
+// Stats computes summary counts.
+func (t *Topology) Stats() Stats {
+	s := Stats{Nodes: len(t.Nodes), Links: len(t.Links)}
+	for _, n := range t.Nodes {
+		if n.Kind == Server {
+			s.Servers++
+		} else {
+			s.Switches++
+		}
+	}
+	for _, l := range t.Links {
+		if l.Tier != TierServerEdge {
+			s.SwitchLinks++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (t *Topology) String() string {
+	s := t.Stats()
+	return fmt.Sprintf("%s{nodes: %d, links: %d, servers: %d, switches: %d}",
+		t.Name, s.Nodes, s.Links, s.Servers, s.Switches)
+}

@@ -1,0 +1,329 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestAddLinkCanonicalOrder(t *testing.T) {
+	tp := New("t")
+	a := tp.AddNode(Node{Kind: Edge})
+	b := tp.AddNode(Node{Kind: Agg})
+	id := tp.AddLink(b, a, TierEdgeAgg) // reversed on purpose
+	l := tp.Link(id)
+	if l.A != a || l.B != b {
+		t.Fatalf("link endpoints not canonical: got (%d,%d), want (%d,%d)", l.A, l.B, a, b)
+	}
+	if got, ok := tp.LinkBetween(a, b); !ok || got != id {
+		t.Fatalf("LinkBetween(a,b) = %d,%v; want %d,true", got, ok, id)
+	}
+	if got, ok := tp.LinkBetween(b, a); !ok || got != id {
+		t.Fatalf("LinkBetween(b,a) = %d,%v; want %d,true", got, ok, id)
+	}
+}
+
+func TestAddLinkDuplicatePanics(t *testing.T) {
+	tp := New("t")
+	a := tp.AddNode(Node{Kind: Edge})
+	b := tp.AddNode(Node{Kind: Agg})
+	tp.AddLink(a, b, TierEdgeAgg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddLink did not panic")
+		}
+	}()
+	tp.AddLink(b, a, TierEdgeAgg)
+}
+
+func TestAddLinkSelfLoopPanics(t *testing.T) {
+	tp := New("t")
+	a := tp.AddNode(Node{Kind: Edge})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop AddLink did not panic")
+		}
+	}()
+	tp.AddLink(a, a, TierEdgeAgg)
+}
+
+func TestLinkOther(t *testing.T) {
+	l := Link{A: 3, B: 7}
+	if l.Other(3) != 7 || l.Other(7) != 3 {
+		t.Fatalf("Other: got %d and %d", l.Other(3), l.Other(7))
+	}
+}
+
+func TestValidateDisconnected(t *testing.T) {
+	tp := New("t")
+	tp.AddNode(Node{Kind: Edge})
+	tp.AddNode(Node{Kind: Edge})
+	if err := tp.Validate(); err == nil {
+		t.Fatal("Validate accepted a disconnected graph")
+	}
+}
+
+// TestFattreeCounts pins the Fattree sizes reported in paper Table 2:
+// Fattree(12) has 612 nodes and 1,296 links.
+func TestFattreeCounts(t *testing.T) {
+	cases := []struct {
+		k                   int
+		nodes, links, cores int
+		tors, servers       int
+	}{
+		{4, 36, 48, 4, 8, 16},
+		{8, 8*8 + 16 + 128, 256 + 128, 16, 32, 128},
+		{12, 612, 1296, 36, 72, 432},
+		{24, 4176, 10368, 144, 288, 3456},
+	}
+	for _, c := range cases {
+		f := MustFattree(c.k)
+		s := f.Stats()
+		if s.Nodes != c.nodes {
+			t.Errorf("Fattree(%d): %d nodes, want %d", c.k, s.Nodes, c.nodes)
+		}
+		if s.Links != c.links {
+			t.Errorf("Fattree(%d): %d links, want %d", c.k, s.Links, c.links)
+		}
+		if got := f.NumCores(); got != c.cores {
+			t.Errorf("Fattree(%d): %d cores, want %d", c.k, got, c.cores)
+		}
+		if got := f.NumToRs(); got != c.tors {
+			t.Errorf("Fattree(%d): %d ToRs, want %d", c.k, got, c.tors)
+		}
+		if s.Servers != c.servers {
+			t.Errorf("Fattree(%d): %d servers, want %d", c.k, s.Servers, c.servers)
+		}
+		if got := len(f.ToRList()); got != c.tors {
+			t.Errorf("Fattree(%d): ToRList has %d entries, want %d", c.k, got, c.tors)
+		}
+		if got := len(f.SwitchLinks()); got != c.k*c.k*c.k/2 {
+			t.Errorf("Fattree(%d): %d switch links, want %d", c.k, got, c.k*c.k*c.k/2)
+		}
+	}
+}
+
+func TestFattreeInvalidK(t *testing.T) {
+	for _, k := range []int{0, 2, 3, 5, 7} {
+		if _, err := NewFattree(k); err == nil {
+			t.Errorf("NewFattree(%d) succeeded, want error", k)
+		}
+	}
+}
+
+func TestFattreePathLinksInterPod(t *testing.T) {
+	f := MustFattree(4)
+	src, dst := f.ToRAt(0, 0), f.ToRAt(1, 1)
+	for c := 0; c < f.NumCores(); c++ {
+		links := f.PathLinks(src, dst, c, nil)
+		if len(links) != 4 {
+			t.Fatalf("inter-pod path via core %d: %d links, want 4", c, len(links))
+		}
+		seen := map[LinkID]bool{}
+		for _, l := range links {
+			if seen[l] {
+				t.Fatalf("inter-pod path via core %d repeats link %d", c, l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestFattreePathLinksIntraPod(t *testing.T) {
+	f := MustFattree(4)
+	src, dst := f.ToRAt(2, 0), f.ToRAt(2, 1)
+	for c := 0; c < f.NumCores(); c++ {
+		links := f.PathLinks(src, dst, c, nil)
+		if len(links) != 3 {
+			t.Fatalf("intra-pod path via core %d: %d links, want 3 (agg-core link appears once)", c, len(links))
+		}
+	}
+}
+
+func TestFattreePathHopsMatchLinks(t *testing.T) {
+	f := MustFattree(8)
+	src, dst := f.ToRAt(0, 1), f.ToRAt(3, 2)
+	for c := 0; c < f.NumCores(); c++ {
+		hops := f.PathHops(src, dst, c, nil)
+		if hops[0] != src || hops[len(hops)-1] != dst {
+			t.Fatalf("hops do not start/end at the ToRs: %v", hops)
+		}
+		// Consecutive hops must be adjacent.
+		for i := 0; i+1 < len(hops); i++ {
+			if _, ok := f.LinkBetween(hops[i], hops[i+1]); !ok {
+				t.Fatalf("hops %d and %d (%d->%d) not adjacent", i, i+1, hops[i], hops[i+1])
+			}
+		}
+	}
+}
+
+func TestFattreeToRIndexRoundTrip(t *testing.T) {
+	f := MustFattree(8)
+	for i, tor := range f.ToRList() {
+		if got := f.ToRIndex(tor); got != i {
+			t.Fatalf("ToRIndex(%d) = %d, want %d", tor, got, i)
+		}
+	}
+}
+
+// TestVL2Counts pins the VL2 sizes from paper Table 2: VL2(20,12,20) has
+// 1,282 nodes and 1,440 links; VL2(40,24,40) has 9,884 nodes and 10,560
+// links.
+func TestVL2Counts(t *testing.T) {
+	cases := []struct {
+		da, di, tt   int
+		nodes, links int
+		tors         int
+	}{
+		{20, 12, 20, 1282, 1440, 60},
+		{40, 24, 40, 9884, 10560, 240},
+	}
+	for _, c := range cases {
+		v := MustVL2(c.da, c.di, c.tt)
+		s := v.Stats()
+		if s.Nodes != c.nodes {
+			t.Errorf("VL2(%d,%d,%d): %d nodes, want %d", c.da, c.di, c.tt, s.Nodes, c.nodes)
+		}
+		if s.Links != c.links {
+			t.Errorf("VL2(%d,%d,%d): %d links, want %d", c.da, c.di, c.tt, s.Links, c.links)
+		}
+		if got := v.NumToRs(); got != c.tors {
+			t.Errorf("VL2(%d,%d,%d): %d ToRs, want %d", c.da, c.di, c.tt, got, c.tors)
+		}
+	}
+}
+
+func TestVL2InvalidParams(t *testing.T) {
+	if _, err := NewVL2(3, 12, 20); err == nil {
+		t.Error("odd DA accepted")
+	}
+	if _, err := NewVL2(20, 5, 20); err == nil {
+		t.Error("odd DI accepted")
+	}
+	if _, err := NewVL2(20, 12, 0); err == nil {
+		t.Error("zero T accepted")
+	}
+}
+
+func TestVL2AggPair(t *testing.T) {
+	v := MustVL2(20, 12, 2)
+	// ToRs 0..9 are group 0 (aggs 0,1); ToRs 10..19 group 1 (aggs 2,3).
+	a, b := v.AggPair(0)
+	if a != v.AggID[0] || b != v.AggID[1] {
+		t.Fatalf("AggPair(0) = (%d,%d), want (%d,%d)", a, b, v.AggID[0], v.AggID[1])
+	}
+	a, b = v.AggPair(10)
+	if a != v.AggID[2] || b != v.AggID[3] {
+		t.Fatalf("AggPair(10) = (%d,%d), want (%d,%d)", a, b, v.AggID[2], v.AggID[3])
+	}
+}
+
+func TestVL2PathLinks(t *testing.T) {
+	v := MustVL2(20, 12, 2)
+	// Cross-group pair: 4 distinct links.
+	links := v.PathLinks(0, 10, 0, 3, 1, nil)
+	if len(links) != 4 {
+		t.Fatalf("cross-group path: %d links, want 4", len(links))
+	}
+	// Same-group pair with up == down: agg-int link deduplicated, 3 links.
+	links = v.PathLinks(0, 1, 1, 3, 1, nil)
+	if len(links) != 3 {
+		t.Fatalf("same-group same-agg path: %d links, want 3", len(links))
+	}
+	// Same-group pair with up != down: still 4 links.
+	links = v.PathLinks(0, 1, 0, 3, 1, nil)
+	if len(links) != 4 {
+		t.Fatalf("same-group cross-agg path: %d links, want 4", len(links))
+	}
+}
+
+// TestBCubeCounts pins the BCube sizes from paper Table 2: BCube(4,2) has
+// 112 nodes and 192 links; BCube(8,2) has 704 nodes and 1,536 links.
+func TestBCubeCounts(t *testing.T) {
+	cases := []struct {
+		n, k         int
+		nodes, links int
+		servers      int
+	}{
+		{4, 2, 112, 192, 64},
+		{8, 2, 704, 1536, 512},
+	}
+	for _, c := range cases {
+		b := MustBCube(c.n, c.k)
+		s := b.Stats()
+		if s.Nodes != c.nodes {
+			t.Errorf("BCube(%d,%d): %d nodes, want %d", c.n, c.k, s.Nodes, c.nodes)
+		}
+		if s.Links != c.links {
+			t.Errorf("BCube(%d,%d): %d links, want %d", c.n, c.k, s.Links, c.links)
+		}
+		if s.Servers != c.servers {
+			t.Errorf("BCube(%d,%d): %d servers, want %d", c.n, c.k, s.Servers, c.servers)
+		}
+	}
+}
+
+func TestBCubeDigits(t *testing.T) {
+	b := MustBCube(4, 2)
+	a := 0*16 + 3*4 + 2 // digits (0,3,2)
+	if b.Digit(a, 0) != 2 || b.Digit(a, 1) != 3 || b.Digit(a, 2) != 0 {
+		t.Fatalf("Digit decomposition wrong for %d", a)
+	}
+	if got := b.SetDigit(a, 2, 1); b.Digit(got, 2) != 1 || b.Digit(got, 0) != 2 {
+		t.Fatalf("SetDigit wrong: %d", got)
+	}
+}
+
+// TestBCubeParallelPaths verifies the BuildPathSet invariant: the k+1 paths
+// between any server pair are pairwise link-disjoint (BCube SIGCOMM'09,
+// Theorem 3), which is what makes them independent probe-matrix rows.
+func TestBCubeParallelPaths(t *testing.T) {
+	b := MustBCube(4, 2)
+	n := b.NumServers()
+	pairs := [][2]int{{0, 1}, {0, 5}, {0, 21}, {0, n - 1}, {7, 42}, {63, 0}, {17, 17 ^ 0}}
+	for _, pr := range pairs {
+		src, dst := pr[0], pr[1]
+		if src == dst {
+			continue
+		}
+		used := map[LinkID]int{}
+		for i := 0; i <= b.K; i++ {
+			links := b.BuildPathLinks(src, dst, i, nil)
+			if len(links) == 0 {
+				t.Fatalf("pair (%d,%d) path %d empty", src, dst, i)
+			}
+			seen := map[LinkID]bool{}
+			for _, l := range links {
+				if seen[l] {
+					t.Fatalf("pair (%d,%d) path %d repeats link %d", src, dst, i, l)
+				}
+				seen[l] = true
+				used[l]++
+			}
+		}
+		for l, c := range used {
+			if c > 1 {
+				t.Errorf("pair (%d,%d): link %d shared by %d parallel paths", src, dst, l, c)
+			}
+		}
+	}
+}
+
+func TestToRsAndServersUnder(t *testing.T) {
+	f := MustFattree(4)
+	tors := f.ToRs()
+	if len(tors) != 8 {
+		t.Fatalf("ToRs: %d, want 8", len(tors))
+	}
+	for _, tor := range tors {
+		srv := f.ServersUnder(tor)
+		if len(srv) != 2 {
+			t.Fatalf("ServersUnder(%d): %d, want 2", tor, len(srv))
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	f := MustFattree(4)
+	if s := f.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

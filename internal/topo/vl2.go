@@ -1,0 +1,137 @@
+package topo
+
+import "fmt"
+
+// VL2 is the Clos topology from Greenberg et al. (SIGCOMM'09),
+// parameterized as in the deTector paper: VL2(DA, DI, T) where DA is the
+// aggregation-switch degree, DI the intermediate-switch degree, and T the
+// number of servers per ToR.
+//
+//   - DA/2 intermediate switches, each with DI ports, one to every
+//     aggregation switch;
+//   - DI aggregation switches, each with DA ports: DA/2 up to the
+//     intermediates and DA/2 down to ToRs;
+//   - DI*DA/4 ToRs, each with 2 uplinks to one *pair* of aggregation
+//     switches (aggs 2g and 2g+1 serve ToR group g);
+//   - T servers per ToR.
+//
+// Node and link counts match deTector Table 2: VL2(20,12,20) has 1,282
+// nodes and 1,440 links.
+type VL2 struct {
+	*Topology
+	DA, DI, T int
+
+	// IntID[i] is intermediate switch i, i in [0, DA/2).
+	IntID []NodeID
+	// AggID[a] is aggregation switch a, a in [0, DI).
+	AggID []NodeID
+	// TorID[t] is ToR t, t in [0, DI*DA/4).
+	TorID []NodeID
+	// ServerIDs[t] are the servers under ToR t.
+	ServerIDs [][]NodeID
+}
+
+// NewVL2 builds a VL2(da, di, t) topology. da and di must be even and >= 2,
+// t must be >= 1.
+func NewVL2(da, di, t int) (*VL2, error) {
+	if da < 2 || da%2 != 0 {
+		return nil, fmt.Errorf("topo: vl2 DA must be even and >= 2, got %d", da)
+	}
+	if di < 2 || di%2 != 0 {
+		return nil, fmt.Errorf("topo: vl2 DI must be even and >= 2, got %d", di)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("topo: vl2 T must be >= 1, got %d", t)
+	}
+	v := &VL2{
+		Topology: New(fmt.Sprintf("VL2(%d,%d,%d)", da, di, t)),
+		DA:       da, DI: di, T: t,
+	}
+	nInt, nAgg, nTor := da/2, di, di*da/4
+	for i := 0; i < nInt; i++ {
+		v.IntID = append(v.IntID, v.AddNode(Node{
+			Kind: Core, Pod: -1, Level: 2, Index: i,
+			Name: fmt.Sprintf("int-%d", i),
+		}))
+	}
+	for a := 0; a < nAgg; a++ {
+		v.AggID = append(v.AggID, v.AddNode(Node{
+			Kind: Agg, Pod: a / 2, Level: 1, Index: a,
+			Name: fmt.Sprintf("agg-%d", a),
+		}))
+	}
+	v.ServerIDs = make([][]NodeID, nTor)
+	for tr := 0; tr < nTor; tr++ {
+		group := tr / (da / 2) // agg pair serving this ToR
+		v.TorID = append(v.TorID, v.AddNode(Node{
+			Kind: Edge, Pod: group, Level: 0, Index: tr,
+			Name: fmt.Sprintf("tor-%d", tr),
+		}))
+		for s := 0; s < t; s++ {
+			v.ServerIDs[tr] = append(v.ServerIDs[tr], v.AddNode(Node{
+				Kind: Server, Pod: group, Level: -1, Index: tr*t + s,
+				Name: fmt.Sprintf("srv-%d-%d", tr, s),
+			}))
+		}
+	}
+	// Complete bipartite agg-intermediate mesh.
+	for a := 0; a < nAgg; a++ {
+		for i := 0; i < nInt; i++ {
+			v.AddLink(v.AggID[a], v.IntID[i], TierAggCore)
+		}
+	}
+	// ToR uplinks to its agg pair; server downlinks.
+	for tr := 0; tr < nTor; tr++ {
+		g := tr / (da / 2)
+		v.AddLink(v.TorID[tr], v.AggID[2*g], TierEdgeAgg)
+		v.AddLink(v.TorID[tr], v.AggID[2*g+1], TierEdgeAgg)
+		for _, s := range v.ServerIDs[tr] {
+			v.AddLink(s, v.TorID[tr], TierServerEdge)
+		}
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustVL2 builds a VL2 and panics on invalid parameters.
+func MustVL2(da, di, t int) *VL2 {
+	v, err := NewVL2(da, di, t)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// NumToRs returns DI*DA/4.
+func (v *VL2) NumToRs() int { return v.DI * v.DA / 4 }
+
+// NumInts returns DA/2.
+func (v *VL2) NumInts() int { return v.DA / 2 }
+
+// AggPair returns the two aggregation switches serving ToR index tr.
+func (v *VL2) AggPair(tr int) (NodeID, NodeID) {
+	g := tr / (v.DA / 2)
+	return v.AggID[2*g], v.AggID[2*g+1]
+}
+
+// PathLinks appends the links of the path ToR(src) → agg(up) → int(mid) →
+// agg(down) → ToR(dst), where up and down select within each ToR's agg pair
+// (0 or 1) and mid is an intermediate switch index. Duplicate links (same-
+// group pairs routing up and down through the same aggregation switch) are
+// deduplicated so the result is a set.
+func (v *VL2) PathLinks(src, dst int, up, mid, down int, buf []LinkID) []LinkID {
+	sg, dg := src/(v.DA/2), dst/(v.DA/2)
+	aggUp := v.AggID[2*sg+up]
+	aggDown := v.AggID[2*dg+down]
+	in := v.IntID[mid]
+	buf = append(buf, v.MustLink(v.TorID[src], aggUp))
+	buf = append(buf, v.MustLink(aggUp, in))
+	if aggDown != aggUp {
+		// Same-group pairs with up == down re-descend through the same
+		// aggregation switch; the agg-int link then appears once as a set.
+		buf = append(buf, v.MustLink(in, aggDown))
+	}
+	return append(buf, v.MustLink(aggDown, v.TorID[dst]))
+}

@@ -1,0 +1,71 @@
+package watchdog
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestUnhealthyAfterTTL(t *testing.T) {
+	now := time.Now()
+	clock := &now
+	s := New(time.Second)
+	s.SetClock(func() time.Time { return *clock })
+
+	s.Track(1)
+	s.Track(2)
+	s.Heartbeat(1)
+	if got := s.Unhealthy(); len(got) != 0 {
+		t.Fatalf("fresh servers unhealthy: %v", got)
+	}
+	later := now.Add(2 * time.Second)
+	clock = &later
+	unhealthy := s.UnhealthySet()
+	if !unhealthy[1] || !unhealthy[2] {
+		t.Fatalf("stale servers not flagged: %v", unhealthy)
+	}
+	// A heartbeat revives node 1.
+	s.Heartbeat(1)
+	unhealthy = s.UnhealthySet()
+	if unhealthy[1] || !unhealthy[2] {
+		t.Fatalf("revival wrong: %v", unhealthy)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	s := New(time.Minute)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	if err := SendHeartbeat(client, srv.URL, 42); err != nil {
+		t.Fatal(err)
+	}
+	s.Track(43) // tracked but never heartbeating... fresh until TTL
+	unhealthy, err := FetchUnhealthy(client, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unhealthy[42] {
+		t.Fatal("heartbeating node flagged unhealthy")
+	}
+
+	// Bad requests are rejected.
+	resp, err := client.Post(srv.URL+"/heartbeat?node=abc", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad node id accepted: %s", resp.Status)
+	}
+	resp, err = client.Get(srv.URL + "/heartbeat?node=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET heartbeat accepted: %s", resp.Status)
+	}
+}

@@ -1,0 +1,178 @@
+// Package wire defines the binary probe packet format exchanged between
+// pingers, fabric switches and responders over UDP.
+//
+// The packet carries an explicit source route (the node IDs to traverse),
+// which is the emulation analog of the paper's IP-in-IP encapsulation
+// through a fixed core switch (§3.2): forwarding state lives entirely in
+// the packet, switches just follow it. A synthetic flow label stands in for
+// the source-port rotation the pinger uses for packet entropy (§6.1/§7),
+// and is what deterministic blackhole rules hash on.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Magic identifies probe packets.
+const Magic uint16 = 0xDE7E
+
+// Version is the current format version.
+const Version = 1
+
+// Flag bits.
+const (
+	// FlagReply marks the echo direction.
+	FlagReply uint8 = 1 << iota
+	// FlagConfirm marks a loss-confirmation retransmit (the pinger sends
+	// two extra probes of the same content when it detects a loss, §3.1).
+	FlagConfirm
+)
+
+// MaxRouteLen bounds the source route; Fattree server-to-server needs 7.
+const MaxRouteLen = 32
+
+// headerLen is the fixed prefix before the route.
+const headerLen = 2 + 1 + 1 + 1 + 1 + 1 + 1 + 8 + 4 + 4 + 4 + 8 + 8
+
+// Packet is one probe or echo.
+type Packet struct {
+	Flags  uint8
+	DSCP   uint8
+	HopIdx uint8 // index of the node currently holding the packet
+	// ProbeID identifies the probe uniquely per pinger; Seq counts
+	// retransmits of the same content.
+	ProbeID uint64
+	PathID  uint32 // pinglist path this probe exercises
+	Seq     uint32
+	// FlowLabel diversifies flow identity across probes of one path.
+	FlowLabel uint32
+	// SendNS and EchoNS are pinger send and responder echo timestamps.
+	SendNS int64
+	EchoNS int64
+	// Route is the full node sequence, source server to destination
+	// server inclusive.
+	Route []topo.NodeID
+}
+
+// MarshaledSize returns the encoded length.
+func (p *Packet) MarshaledSize() int { return headerLen + 4*len(p.Route) }
+
+// Marshal encodes the packet, appending to buf.
+func (p *Packet) Marshal(buf []byte) ([]byte, error) {
+	if len(p.Route) < 2 {
+		return nil, fmt.Errorf("wire: route needs at least 2 nodes, got %d", len(p.Route))
+	}
+	if len(p.Route) > MaxRouteLen {
+		return nil, fmt.Errorf("wire: route length %d exceeds max %d", len(p.Route), MaxRouteLen)
+	}
+	if int(p.HopIdx) >= len(p.Route) {
+		return nil, fmt.Errorf("wire: hop index %d outside route of %d", p.HopIdx, len(p.Route))
+	}
+	var b [headerLen]byte
+	binary.BigEndian.PutUint16(b[0:], Magic)
+	b[2] = Version
+	b[3] = p.Flags
+	b[4] = p.DSCP
+	b[5] = p.HopIdx
+	b[6] = uint8(len(p.Route))
+	b[7] = 0 // reserved
+	binary.BigEndian.PutUint64(b[8:], p.ProbeID)
+	binary.BigEndian.PutUint32(b[16:], p.PathID)
+	binary.BigEndian.PutUint32(b[20:], p.Seq)
+	binary.BigEndian.PutUint32(b[24:], p.FlowLabel)
+	binary.BigEndian.PutUint64(b[28:], uint64(p.SendNS))
+	binary.BigEndian.PutUint64(b[36:], uint64(p.EchoNS))
+	buf = append(buf, b[:]...)
+	for _, n := range p.Route {
+		var nb [4]byte
+		binary.BigEndian.PutUint32(nb[:], uint32(n))
+		buf = append(buf, nb[:]...)
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a packet.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("wire: packet too short: %d bytes", len(b))
+	}
+	if binary.BigEndian.Uint16(b[0:]) != Magic {
+		return nil, fmt.Errorf("wire: bad magic %#x", binary.BigEndian.Uint16(b[0:]))
+	}
+	if b[2] != Version {
+		return nil, fmt.Errorf("wire: unsupported version %d", b[2])
+	}
+	routeLen := int(b[6])
+	if routeLen < 2 || routeLen > MaxRouteLen {
+		return nil, fmt.Errorf("wire: bad route length %d", routeLen)
+	}
+	if len(b) < headerLen+4*routeLen {
+		return nil, fmt.Errorf("wire: truncated route: have %d bytes, need %d", len(b), headerLen+4*routeLen)
+	}
+	p := &Packet{
+		Flags:     b[3],
+		DSCP:      b[4],
+		HopIdx:    b[5],
+		ProbeID:   binary.BigEndian.Uint64(b[8:]),
+		PathID:    binary.BigEndian.Uint32(b[16:]),
+		Seq:       binary.BigEndian.Uint32(b[20:]),
+		FlowLabel: binary.BigEndian.Uint32(b[24:]),
+		SendNS:    int64(binary.BigEndian.Uint64(b[28:])),
+		EchoNS:    int64(binary.BigEndian.Uint64(b[36:])),
+		Route:     make([]topo.NodeID, routeLen),
+	}
+	if int(p.HopIdx) >= routeLen {
+		return nil, fmt.Errorf("wire: hop index %d outside route of %d", p.HopIdx, routeLen)
+	}
+	for i := 0; i < routeLen; i++ {
+		p.Route[i] = topo.NodeID(binary.BigEndian.Uint32(b[headerLen+4*i:]))
+	}
+	return p, nil
+}
+
+// Src returns the originating server of the route.
+func (p *Packet) Src() topo.NodeID { return p.Route[0] }
+
+// Dst returns the final server of the route.
+func (p *Packet) Dst() topo.NodeID { return p.Route[len(p.Route)-1] }
+
+// Current returns the node the packet is at.
+func (p *Packet) Current() topo.NodeID { return p.Route[p.HopIdx] }
+
+// AtDestination reports whether the packet reached the route's end.
+func (p *Packet) AtDestination() bool { return int(p.HopIdx) == len(p.Route)-1 }
+
+// PrevHop returns the node the packet came from (valid when HopIdx > 0).
+func (p *Packet) PrevHop() topo.NodeID { return p.Route[p.HopIdx-1] }
+
+// NextHop returns the node the packet goes to next.
+func (p *Packet) NextHop() (topo.NodeID, error) {
+	if p.AtDestination() {
+		return 0, fmt.Errorf("wire: packet already at destination")
+	}
+	return p.Route[p.HopIdx+1], nil
+}
+
+// Reversed returns the echo packet: same identifiers, reversed route,
+// reply flag set, hop index reset to the new source.
+func (p *Packet) Reversed(echoNS int64) *Packet {
+	rev := &Packet{
+		Flags:     p.Flags | FlagReply,
+		DSCP:      p.DSCP,
+		HopIdx:    0,
+		ProbeID:   p.ProbeID,
+		PathID:    p.PathID,
+		Seq:       p.Seq,
+		FlowLabel: p.FlowLabel,
+		SendNS:    p.SendNS,
+		EchoNS:    echoNS,
+		Route:     make([]topo.NodeID, len(p.Route)),
+	}
+	for i, n := range p.Route {
+		rev.Route[len(p.Route)-1-i] = n
+	}
+	return rev
+}

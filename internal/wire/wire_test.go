@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Flags:     FlagConfirm,
+		DSCP:      46,
+		HopIdx:    2,
+		ProbeID:   0xDEADBEEF01020304,
+		PathID:    77,
+		Seq:       3,
+		FlowLabel: 0xABCD1234,
+		SendNS:    1234567890123,
+		EchoNS:    0,
+		Route:     []topo.NodeID{10, 4, 0, 6, 12},
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := samplePacket()
+	b, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != p.MarshaledSize() {
+		t.Fatalf("encoded %d bytes, MarshaledSize says %d", len(b), p.MarshaledSize())
+	}
+	q, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Flags != p.Flags || q.DSCP != p.DSCP || q.HopIdx != p.HopIdx ||
+		q.ProbeID != p.ProbeID || q.PathID != p.PathID || q.Seq != p.Seq ||
+		q.FlowLabel != p.FlowLabel || q.SendNS != p.SendNS || q.EchoNS != p.EchoNS {
+		t.Fatalf("round trip mismatch: %+v vs %+v", q, p)
+	}
+	for i := range p.Route {
+		if q.Route[i] != p.Route[i] {
+			t.Fatalf("route mismatch at %d", i)
+		}
+	}
+}
+
+func TestMarshalRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	f := func(flags, dscp uint8, probeID uint64, pathID, seq, label uint32, sendNS int64, routeSeed int64) bool {
+		rng := rand.New(rand.NewSource(routeSeed))
+		route := make([]topo.NodeID, 2+rng.Intn(MaxRouteLen-2))
+		for i := range route {
+			route[i] = topo.NodeID(rng.Intn(1 << 20))
+		}
+		p := &Packet{
+			Flags: flags, DSCP: dscp, HopIdx: uint8(rng.Intn(len(route))),
+			ProbeID: probeID, PathID: pathID, Seq: seq, FlowLabel: label,
+			SendNS: sendNS, Route: route,
+		}
+		b, err := p.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		q, err := Unmarshal(b)
+		if err != nil || q.ProbeID != p.ProbeID || len(q.Route) != len(p.Route) {
+			return false
+		}
+		for i := range route {
+			if q.Route[i] != route[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalValidation(t *testing.T) {
+	p := samplePacket()
+	p.Route = p.Route[:1]
+	if _, err := p.Marshal(nil); err == nil {
+		t.Error("1-node route accepted")
+	}
+	p = samplePacket()
+	p.Route = make([]topo.NodeID, MaxRouteLen+1)
+	if _, err := p.Marshal(nil); err == nil {
+		t.Error("oversized route accepted")
+	}
+	p = samplePacket()
+	p.HopIdx = uint8(len(p.Route))
+	if _, err := p.Marshal(nil); err == nil {
+		t.Error("out-of-route hop index accepted")
+	}
+}
+
+func TestUnmarshalValidation(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Error("short packet accepted")
+	}
+	p := samplePacket()
+	b, _ := p.Marshal(nil)
+	b[0] = 0x00 // corrupt magic
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("bad magic accepted")
+	}
+	b, _ = p.Marshal(nil)
+	b[2] = 99 // version
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("bad version accepted")
+	}
+	b, _ = p.Marshal(nil)
+	if _, err := Unmarshal(b[:len(b)-4]); err == nil {
+		t.Error("truncated route accepted")
+	}
+	b, _ = p.Marshal(nil)
+	b[5] = b[6] // hop index == route length
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("out-of-route hop index accepted")
+	}
+}
+
+func TestRouteAccessors(t *testing.T) {
+	p := samplePacket()
+	if p.Src() != 10 || p.Dst() != 12 {
+		t.Fatalf("src/dst = %d/%d", p.Src(), p.Dst())
+	}
+	if p.Current() != 0 {
+		t.Fatalf("current = %d, want 0", p.Current())
+	}
+	if p.PrevHop() != 4 {
+		t.Fatalf("prev = %d, want 4", p.PrevHop())
+	}
+	next, err := p.NextHop()
+	if err != nil || next != 6 {
+		t.Fatalf("next = %d, %v", next, err)
+	}
+	p.HopIdx = uint8(len(p.Route) - 1)
+	if !p.AtDestination() {
+		t.Fatal("should be at destination")
+	}
+	if _, err := p.NextHop(); err == nil {
+		t.Fatal("NextHop at destination should error")
+	}
+}
+
+func TestReversed(t *testing.T) {
+	p := samplePacket()
+	r := p.Reversed(999)
+	if r.Flags&FlagReply == 0 {
+		t.Fatal("reply flag unset")
+	}
+	if r.Src() != p.Dst() || r.Dst() != p.Src() {
+		t.Fatal("route not reversed")
+	}
+	if r.HopIdx != 0 {
+		t.Fatal("hop index not reset")
+	}
+	if r.EchoNS != 999 || r.SendNS != p.SendNS {
+		t.Fatal("timestamps wrong")
+	}
+	// Original unchanged.
+	if p.Flags&FlagReply != 0 || p.Route[0] != 10 {
+		t.Fatal("Reversed mutated the original")
+	}
+}
