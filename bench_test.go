@@ -66,6 +66,22 @@ func BenchmarkTable2PMCSymmetry(b *testing.B) {
 	benchPMC(b, pmc.Options{Alpha: 2, Beta: 1, Decompose: true, Lazy: true, Symmetry: true})
 }
 
+// BenchmarkPMCMaterializeCSR isolates the one-time cost of flattening the
+// Fattree(8) candidate matrix into the CSR arena that the PMC scoring
+// engine (and DecomposeCSR) run on — the only place AppendLinks-equivalent
+// work happens per construction.
+func BenchmarkPMCMaterializeCSR(b *testing.B) {
+	f := topo.MustFattree(8)
+	ps := route.NewFattreePaths(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if csr := route.MaterializeCSR(ps); csr.Len() != ps.Len() {
+			b.Fatal("short materialization")
+		}
+	}
+}
+
 // BenchmarkTable3Paths regenerates the selected-path counts (paper Table 3).
 func BenchmarkTable3Paths(b *testing.B) {
 	p := benchParams()

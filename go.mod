@@ -1,0 +1,3 @@
+module github.com/detector-net/detector
+
+go 1.22

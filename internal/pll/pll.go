@@ -135,33 +135,53 @@ func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	// pathsThrough counts observed paths per link; lossyThrough counts the
-	// lossy ones. Hit ratios are computed once, before the greedy (Step 2).
-	pathsThrough := make(map[topo.LinkID]int)
-	lossyThrough := make(map[topo.LinkID][]int) // link -> indices into lossy
+	// pathsThrough counts observed paths per link; lossyThrough collects the
+	// lossy ones, built as a flat CSR slab (count, prefix-sum, fill) so the
+	// hot path allocates three slices instead of a map entry per link. Hit
+	// ratios are computed once, before the greedy (Step 2).
+	pathsThrough := make([]int32, p.NumLinks)
 	for _, o := range obs {
-		if o.Sent <= 0 {
+		if o.Sent <= 0 || o.Path < 0 || o.Path >= p.NumPaths() {
 			continue
 		}
 		for _, l := range p.PathLinks[o.Path] {
 			pathsThrough[l]++
 		}
 	}
+	lossyOff := make([]int32, p.NumLinks+1)
+	for _, o := range lossy {
+		for _, l := range p.PathLinks[o.Path] {
+			lossyOff[l+1]++
+		}
+	}
+	for l := 0; l < p.NumLinks; l++ {
+		lossyOff[l+1] += lossyOff[l]
+	}
+	lossyArena := make([]int32, lossyOff[p.NumLinks])
+	fill := make([]int32, p.NumLinks)
+	copy(fill, lossyOff[:p.NumLinks])
 	for i, o := range lossy {
 		for _, l := range p.PathLinks[o.Path] {
-			lossyThrough[l] = append(lossyThrough[l], i)
+			lossyArena[fill[l]] = int32(i)
+			fill[l]++
 		}
 	}
 
-	// Candidate links pass the hit-ratio threshold.
+	// Candidate links pass the hit-ratio threshold. Walking links in ID
+	// order replaces the map iteration + sort of the previous
+	// implementation and reuses the probe matrix's inverted link→paths
+	// index shape: lossyArena rows are ascending lossy-observation indices.
 	var cands []candidate
-	for l, lp := range lossyThrough {
+	for l := 0; l < p.NumLinks; l++ {
+		lp := lossyArena[lossyOff[l]:lossyOff[l+1]]
+		if len(lp) == 0 {
+			continue
+		}
 		hit := float64(len(lp)) / float64(pathsThrough[l])
 		if hit >= cfg.HitRatio {
-			cands = append(cands, candidate{l, lp, hit})
+			cands = append(cands, candidate{topo.LinkID(l), lp, hit})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].link < cands[j].link })
 
 	// Step 1: decompose into components over the lossy paths, then run the
 	// greedy per component in parallel. Components are independent: no
@@ -174,6 +194,17 @@ func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
 	if workers > len(comps) {
 		workers = len(comps)
 	}
+	// componentOf and explained are shared across workers: lossy paths
+	// partition into components, so each goroutine only reads and writes
+	// its own component's indices. This keeps the per-window footprint
+	// O(lossy) instead of O(components × lossy).
+	componentOf := make([]int32, len(lossy))
+	for ci, paths := range comps {
+		for _, pi := range paths {
+			componentOf[pi] = int32(ci)
+		}
+	}
+	explained := make([]bool, len(lossy))
 	verdicts := make([][]Verdict, len(comps))
 	unexplained := make([]int, len(comps))
 	var wg sync.WaitGroup
@@ -184,7 +215,7 @@ func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
 		go func(ci int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			verdicts[ci], unexplained[ci] = greedyExplain(lossy, comps[ci], cands)
+			verdicts[ci], unexplained[ci] = greedyExplain(int32(ci), componentOf, explained, lossy, comps[ci], cands)
 		}(ci)
 	}
 	wg.Wait()
@@ -199,12 +230,14 @@ func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
 }
 
 // lossyComponents groups lossy-observation indices into link-connected
-// components of the probe matrix.
+// components of the probe matrix with an array-backed union-find over the
+// link-ID space (no maps on the localization path).
 func lossyComponents(p *route.Probes, lossy []Observation) [][]int {
-	// Union links of each lossy path, then bucket paths by root.
-	parent := make(map[topo.LinkID]topo.LinkID)
-	var find func(topo.LinkID) topo.LinkID
-	find = func(x topo.LinkID) topo.LinkID {
+	parent := make([]int32, p.NumLinks)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
@@ -213,22 +246,18 @@ func lossyComponents(p *route.Probes, lossy []Observation) [][]int {
 	}
 	for _, o := range lossy {
 		links := p.PathLinks[o.Path]
-		for _, l := range links {
-			if _, ok := parent[l]; !ok {
-				parent[l] = l
-			}
-		}
 		for _, l := range links[1:] {
-			ra, rb := find(links[0]), find(l)
+			ra, rb := find(int32(links[0])), find(int32(l))
 			if ra != rb {
 				parent[rb] = ra
 			}
 		}
 	}
-	byRoot := make(map[topo.LinkID][]int)
-	var roots []topo.LinkID
+	// Bucket lossy observations by root, components ordered by root id.
+	var roots []int32
+	byRoot := make(map[int32][]int)
 	for i, o := range lossy {
-		r := find(p.PathLinks[o.Path][0])
+		r := find(int32(p.PathLinks[o.Path][0]))
 		if _, ok := byRoot[r]; !ok {
 			roots = append(roots, r)
 		}
@@ -243,21 +272,20 @@ func lossyComponents(p *route.Probes, lossy []Observation) [][]int {
 }
 
 // candidate is a link that passed the hit-ratio threshold, with the indices
-// of the lossy observations whose paths cross it.
+// of the lossy observations whose paths cross it (a row of the lossy
+// inverted index, ascending).
 type candidate struct {
 	link  topo.LinkID
-	paths []int
+	paths []int32
 	hit   float64
 }
 
 // greedyExplain runs Steps 3-5 of PLL on one component: repeatedly pick the
 // candidate link explaining the most lost packets and remove its paths.
-func greedyExplain(lossy []Observation, compPaths []int, cands []candidate) ([]Verdict, int) {
-	inComp := make(map[int]bool, len(compPaths))
-	for _, pi := range compPaths {
-		inComp[pi] = true
-	}
-	explained := make(map[int]bool)
+// Component membership is checked against the shared componentOf labeling,
+// and explained is the shared per-lossy-observation state (only this
+// component's indices are touched).
+func greedyExplain(comp int32, componentOf []int32, explained []bool, lossy []Observation, compPaths []int, cands []candidate) ([]Verdict, int) {
 	var out []Verdict
 	for {
 		remaining := 0
@@ -278,7 +306,7 @@ func greedyExplain(lossy []Observation, compPaths []int, cands []candidate) ([]V
 		for ci, c := range cands {
 			score := 0
 			for _, pi := range c.paths {
-				if inComp[pi] && !explained[pi] {
+				if componentOf[pi] == comp && !explained[pi] {
 					score += lossy[pi].Lost
 				}
 			}
@@ -292,7 +320,7 @@ func greedyExplain(lossy []Observation, compPaths []int, cands []candidate) ([]V
 		v := Verdict{Link: cands[best].link}
 		sent := 0
 		for _, pi := range cands[best].paths {
-			if inComp[pi] && !explained[pi] {
+			if componentOf[pi] == comp && !explained[pi] {
 				explained[pi] = true
 				v.Explained += lossy[pi].Lost
 				sent += lossy[pi].Sent

@@ -1,0 +1,108 @@
+package pmc
+
+import (
+	"fmt"
+
+	"github.com/detector-net/detector/internal/route"
+)
+
+// bitset is a fixed-size bit vector over candidate rows.
+type bitset []uint64
+
+func newBitset(n int) bitset      { return make(bitset, (n+63)/64) }
+func (b bitset) get(i int32) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << uint(i&63) }
+
+func (b bitset) fill() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+// compArena is one component's candidate paths flattened into a CSR arena
+// of *local* link indices, plus the inverted link→rows index. Rows are
+// candidate positions (0..len(pathIDs)-1) in ascending global path order,
+// so row order and path-index order agree everywhere. After the arena is
+// built, the greedy loops never call PathSet.AppendLinks, never translate a
+// global link id, and never touch a map: scoring walks links[offsets[r]:
+// offsets[r+1]], and dirty propagation walks invRows[invOff[l]:invOff[l+1]].
+type compArena struct {
+	pathIDs []int32 // row -> global path index (== Component.Paths)
+	offsets []int32 // len(pathIDs)+1; row r spans [offsets[r], offsets[r+1])
+	links   []int32 // local link indices, concatenated rows
+	invOff  []int32 // local link -> start into invRows; len = numLocal+1
+	invRows []int32 // rows through each link, ascending within a link
+}
+
+func (a *compArena) numRows() int { return len(a.pathIDs) }
+
+func (a *compArena) row(r int32) []int32 {
+	return a.links[a.offsets[r]:a.offsets[r+1]]
+}
+
+func (a *compArena) rowsThrough(l int32) []int32 {
+	return a.invRows[a.invOff[l]:a.invOff[l+1]]
+}
+
+// rowOf resolves a global path index to its row by binary search (pathIDs
+// is ascending), or -1 when the path is outside the component.
+func (a *compArena) rowOf(path int32) int32 {
+	lo, hi := 0, len(a.pathIDs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.pathIDs[mid] < path {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a.pathIDs) && a.pathIDs[lo] == path {
+		return int32(lo)
+	}
+	return -1
+}
+
+// buildArena translates the component's slice of the materialized matrix
+// into local link indices and builds the inverted index with a counting
+// sort: one pass to size, one prefix sum, one pass to fill.
+func buildArena(csr *route.CSR, comp *route.Component, localOf []int32) *compArena {
+	n := len(comp.Paths)
+	numLocal := len(comp.Links)
+	total := 0
+	for _, pid := range comp.Paths {
+		total += int(csr.Offsets[pid+1] - csr.Offsets[pid])
+	}
+	a := &compArena{
+		pathIDs: comp.Paths,
+		offsets: make([]int32, n+1),
+		links:   make([]int32, total),
+		invOff:  make([]int32, numLocal+1),
+	}
+	pos := int32(0)
+	for r, pid := range comp.Paths {
+		for _, gl := range csr.Row(int(pid)) {
+			li := localOf[gl]
+			if li < 0 {
+				panic(fmt.Sprintf("pmc: path %d leaves its component (link %d)", pid, gl))
+			}
+			a.links[pos] = li
+			a.invOff[li+1]++
+			pos++
+		}
+		a.offsets[r+1] = pos
+	}
+	for l := 0; l < numLocal; l++ {
+		a.invOff[l+1] += a.invOff[l]
+	}
+	a.invRows = make([]int32, total)
+	fill := make([]int32, numLocal)
+	copy(fill, a.invOff[:numLocal])
+	for r := 0; r < n; r++ {
+		for _, li := range a.links[a.offsets[r]:a.offsets[r+1]] {
+			a.invRows[fill[li]] = int32(r)
+			fill[li]++
+		}
+	}
+	return a
+}

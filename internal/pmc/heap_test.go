@@ -1,0 +1,98 @@
+package pmc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMinHeapOrdering drains randomly pushed entries and checks exact
+// (score, row) ascending order, duplicates included.
+func TestMinHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 1000
+	type entry struct{ s, r int32 }
+	entries := make([]entry, n)
+	h := newMinHeap(n)
+	for i := range entries {
+		entries[i] = entry{int32(rng.Intn(50) - 25), int32(i)}
+	}
+	rng.Shuffle(n, func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	for _, e := range entries {
+		h.push(e.s, e.r)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].s != entries[j].s {
+			return entries[i].s < entries[j].s
+		}
+		return entries[i].r < entries[j].r
+	})
+	for i, want := range entries {
+		s, r := h.pop()
+		if s != want.s || r != want.r {
+			t.Fatalf("pop %d: got (%d,%d), want (%d,%d)", i, s, r, want.s, want.r)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.len())
+	}
+}
+
+// TestMinHeapInitMatchesPushes heapifies a raw array and checks the pop
+// sequence equals the push-built heap's.
+func TestMinHeapInitMatchesPushes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 513
+	a, b := newMinHeap(n), newMinHeap(n)
+	for i := 0; i < n; i++ {
+		s := int32(rng.Intn(9))
+		a.score = append(a.score, s)
+		a.row = append(a.row, int32(i))
+		b.push(s, int32(i))
+	}
+	a.init()
+	for i := 0; i < n; i++ {
+		as, ar := a.pop()
+		bs, br := b.pop()
+		if as != bs || ar != br {
+			t.Fatalf("pop %d: init-heap (%d,%d) vs push-heap (%d,%d)", i, as, ar, bs, br)
+		}
+	}
+}
+
+// TestMinHeapZeroAllocSteadyState enforces the lazy greedy's allocation
+// contract: once the heap is at capacity, push/pop cycles allocate nothing
+// (the container/heap predecessor boxed every element through `any`).
+func TestMinHeapZeroAllocSteadyState(t *testing.T) {
+	const n = 4096
+	h := newMinHeap(n)
+	for i := 0; i < n; i++ {
+		h.push(int32(i%97), int32(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s, r := h.pop()
+		h.push(s+1, r)
+		s, r = h.pop()
+		h.push(s-1, r)
+	})
+	if allocs != 0 {
+		t.Fatalf("heap push/pop allocated %v times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkMinHeapPushPop measures the steady-state cost of one
+// pop-then-push cycle at the Fattree(8) component heap size; allocs/op must
+// report 0.
+func BenchmarkMinHeapPushPop(b *testing.B) {
+	const n = 4096
+	h := newMinHeap(n)
+	for i := 0; i < n; i++ {
+		h.push(int32(i%97), int32(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, r := h.pop()
+		h.push(s+1, r)
+	}
+}

@@ -47,6 +47,18 @@ type Partition struct {
 	groupOnCnt []int32 // group -> members-on-path count for current epoch
 	inPath     []bool  // physical link -> is on current path
 	scratch    []int32 // reusable visited-group list
+
+	// Intrusive membership lists, maintained only at beta == 1 (elements
+	// are exactly the physical links): memberHead[g] threads group g's
+	// members through memberNext/memberPrev. They let SplitAffected
+	// enumerate every member of a properly split group in O(|group|);
+	// beta >= 2 has no lists for the O(L²) virtual elements, so
+	// SplitAffected degrades to a conservative "everything may have
+	// changed" report there.
+	memberHead  []int32
+	memberNext  []int32
+	memberPrev  []int32
+	splitGroups []int32 // scratch: groups that allocated a new id this Split
 }
 
 // NewPartition creates the refinement state for a component with l physical
@@ -81,6 +93,16 @@ func NewPartition(l, beta int) (*Partition, error) {
 	p.numGroups = 1
 	if total == 1 {
 		p.numSingle = 1
+	}
+	if beta == 1 {
+		p.memberHead = []int32{0}
+		p.memberNext = make([]int32, l)
+		p.memberPrev = make([]int32, l)
+		for i := 0; i < l; i++ {
+			p.memberNext[i] = int32(i + 1)
+			p.memberPrev[i] = int32(i - 1)
+		}
+		p.memberNext[l-1] = -1
 	}
 	return p, nil
 }
@@ -229,6 +251,9 @@ func (p *Partition) CountSplittable(links []int32) int {
 	if p.beta == 0 {
 		return 0
 	}
+	if p.beta == 1 {
+		return p.countSplittableLinks(links)
+	}
 	p.markPath(links)
 	p.epoch++
 	e := p.epoch
@@ -253,6 +278,33 @@ func (p *Partition) CountSplittable(links []int32) int {
 	return n
 }
 
+// countSplittableLinks is the beta == 1 fast path of CountSplittable: the
+// element universe is exactly the physical links, so the count needs no
+// path marking and no pair/triple enumeration — one pass over the links
+// with epoch-stamped group visits.
+func (p *Partition) countSplittableLinks(links []int32) int {
+	p.epoch++
+	e := p.epoch
+	groups := p.scratch[:0]
+	for _, l := range links {
+		g := p.gid[l]
+		if p.groupMark[g] != e {
+			p.groupMark[g] = e
+			p.groupOnCnt[g] = 0
+			groups = append(groups, g)
+		}
+		p.groupOnCnt[g]++
+	}
+	n := 0
+	for _, g := range groups {
+		if p.groupOnCnt[g] < p.groupSize[g] {
+			n++
+		}
+	}
+	p.scratch = groups[:0]
+	return n
+}
+
 // Split refines the partition with the path: every group with members both
 // on and off the path is split in two. It returns the number of groups that
 // were properly split.
@@ -264,6 +316,7 @@ func (p *Partition) Split(links []int32) int {
 	p.epoch++
 	e := p.epoch
 	split := 0
+	p.splitGroups = p.splitGroups[:0]
 	p.forEachElementOnPath(links, func(elem int) {
 		g := p.gid[elem]
 		if p.groupMark[g] != e {
@@ -278,7 +331,11 @@ func (p *Partition) Split(links []int32) int {
 			p.groupMark = append(p.groupMark, e)
 			p.groupNew = append(p.groupNew, ng)
 			p.groupOnCnt = append(p.groupOnCnt, 0)
+			if p.memberHead != nil {
+				p.memberHead = append(p.memberHead, -1)
+			}
 			p.groupNew[g] = ng
+			p.splitGroups = append(p.splitGroups, g)
 			p.numGroups++
 			split++ // provisional; retracted below if the split was total
 		}
@@ -287,6 +344,9 @@ func (p *Partition) Split(links []int32) int {
 			return
 		}
 		p.gid[elem] = ng
+		if p.memberHead != nil {
+			p.moveMember(int32(elem), g, ng)
+		}
 		p.groupSize[g]--
 		p.groupSize[ng]++
 		switch p.groupSize[ng] {
@@ -307,6 +367,89 @@ func (p *Partition) Split(links []int32) int {
 	})
 	p.unmarkPath(links)
 	return split
+}
+
+// moveMember unlinks element e from group g's membership list and pushes it
+// onto ng's.
+func (p *Partition) moveMember(e, g, ng int32) {
+	prev, next := p.memberPrev[e], p.memberNext[e]
+	if prev >= 0 {
+		p.memberNext[prev] = next
+	} else {
+		p.memberHead[g] = next
+	}
+	if next >= 0 {
+		p.memberPrev[next] = prev
+	}
+	head := p.memberHead[ng]
+	p.memberNext[e] = head
+	p.memberPrev[e] = -1
+	if head >= 0 {
+		p.memberPrev[head] = e
+	}
+	p.memberHead[ng] = e
+}
+
+// SplitAffected refines the partition like Split and additionally reports
+// which physical links may have had their splittability context changed —
+// the members of every group that was properly split (both halves). This is
+// the incremental-scoring contract PMC relies on: a candidate path's
+// CountSplittable term can only change when one of its links is in a group
+// the selected path split, so rescoring can be confined to paths touching
+// the returned links (plus, for the Σw term, the selected path's own links).
+//
+// Affected links are appended to aff and the extended slice is returned.
+// exact reports whether the list is trustworthy: it is true for beta <= 1
+// (beta == 0 refines nothing, beta == 1 tracks membership lists); for
+// beta >= 2 the O(L²) pair universe has no membership lists, exact is
+// false, and callers must treat every path as affected.
+func (p *Partition) SplitAffected(links []int32, aff []int32) (split int, out []int32, exact bool) {
+	split = p.Split(links)
+	if p.beta == 0 {
+		return split, aff, true
+	}
+	if p.memberHead == nil {
+		return split, aff, false
+	}
+	for _, g := range p.splitGroups {
+		ng := p.groupNew[g]
+		if p.groupSize[g] == 0 {
+			// Every member moved: membership is unchanged, only the
+			// group id differs, so no path's count changed.
+			continue
+		}
+		for e := p.memberHead[g]; e >= 0; e = p.memberNext[e] {
+			aff = append(aff, e)
+		}
+		for e := p.memberHead[ng]; e >= 0; e = p.memberNext[e] {
+			aff = append(aff, e)
+		}
+	}
+	return split, aff, true
+}
+
+// CountSplittableRows evaluates CountSplittable for every CSR row: row r
+// spans links[offsets[r]:offsets[r+1]] and its count is written to out[r].
+// At beta <= 1 the loop runs without the per-call path marking that the
+// pair/triple enumeration needs, amortizing the batch to a single pass over
+// the arena.
+func (p *Partition) CountSplittableRows(offsets []int32, links []int32, out []int32) {
+	n := len(offsets) - 1
+	if p.beta == 0 {
+		for r := 0; r < n; r++ {
+			out[r] = 0
+		}
+		return
+	}
+	if p.beta >= 2 {
+		for r := 0; r < n; r++ {
+			out[r] = int32(p.CountSplittable(links[offsets[r]:offsets[r+1]]))
+		}
+		return
+	}
+	for r := 0; r < n; r++ {
+		out[r] = int32(p.countSplittableLinks(links[offsets[r]:offsets[r+1]]))
+	}
 }
 
 // GroupOf returns the group id of physical link l (for tests).

@@ -346,3 +346,166 @@ func BenchmarkCountSplittableBeta2(b *testing.B) {
 		p.CountSplittable(path)
 	}
 }
+
+// randomPaths generates distinct-link random paths over l links.
+func randomPaths(rng *rand.Rand, l, n, maxLen int) [][]int32 {
+	paths := make([][]int32, n)
+	for i := range paths {
+		perm := rng.Perm(l)
+		length := 1 + rng.Intn(maxLen)
+		if length > l {
+			length = l
+		}
+		p := make([]int32, length)
+		for j := 0; j < length; j++ {
+			p[j] = int32(perm[j])
+		}
+		paths[i] = p
+	}
+	return paths
+}
+
+// TestSplitAffectedSoundness is the incremental-scoring contract check: a
+// path's CountSplittable may only change across a split when the path
+// touches a reported affected link or a link of the split path itself.
+// Randomized over beta=1 partitions; a violation would silently corrupt
+// PMC's cached scores.
+func TestSplitAffectedSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const l = 24
+	for trial := 0; trial < 200; trial++ {
+		p := MustPartition(l, 1)
+		probes := randomPaths(rng, l, 40, 5)
+		before := make([]int, len(probes))
+		splits := randomPaths(rng, l, 12, 5)
+		for _, sp := range splits {
+			for i, q := range probes {
+				before[i] = p.CountSplittable(q)
+			}
+			_, aff, exact := p.SplitAffected(sp, nil)
+			if !exact {
+				t.Fatal("beta=1 SplitAffected must be exact")
+			}
+			touched := make([]bool, l)
+			for _, li := range sp {
+				touched[li] = true
+			}
+			for _, li := range aff {
+				touched[li] = true
+			}
+			for i, q := range probes {
+				after := p.CountSplittable(q)
+				if after == before[i] {
+					continue
+				}
+				hit := false
+				for _, li := range q {
+					if touched[li] {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					t.Fatalf("trial %d: path %v count changed %d -> %d after splitting %v, but no affected link (%v) is on it",
+						trial, q, before[i], after, sp, aff)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitAffectedExactness checks the advertised exactness per beta:
+// beta=0 splits nothing and is exact, beta=1 is exact, beta>=2 must
+// declare itself conservative.
+func TestSplitAffectedExactness(t *testing.T) {
+	links := []int32{0, 2}
+	p0 := MustPartition(5, 0)
+	if _, aff, exact := p0.SplitAffected(links, nil); !exact || len(aff) != 0 {
+		t.Errorf("beta=0: exact=%v aff=%v, want exact with no affected links", exact, aff)
+	}
+	p1 := MustPartition(5, 1)
+	if _, aff, exact := p1.SplitAffected(links, nil); !exact || len(aff) != 5 {
+		// The single initial group {0..4} splits into {0,2} and {1,3,4}:
+		// every link is a member of a split half.
+		t.Errorf("beta=1: exact=%v aff=%v, want exact with all 5 links affected", exact, aff)
+	}
+	p2 := MustPartition(5, 2)
+	if _, _, exact := p2.SplitAffected(links, nil); exact {
+		t.Error("beta=2 SplitAffected claims exactness without membership lists")
+	}
+}
+
+// TestSplitAffectedTotalMoveSkipped: a path covering an entire group moves
+// every member to a fresh group id — membership is unchanged, so no link
+// may be reported affected.
+func TestSplitAffectedTotalMoveSkipped(t *testing.T) {
+	p := MustPartition(4, 1)
+	p.Split([]int32{0, 1}) // groups {0,1} and {2,3}
+	if _, aff, _ := p.SplitAffected([]int32{2, 3}, nil); len(aff) != 0 {
+		t.Errorf("total move of {2,3} reported affected links %v, want none", aff)
+	}
+}
+
+// TestSplitMaintainsMembershipLists runs random split sequences and cross-
+// checks the beta=1 membership lists against the gid array after every
+// split, via SplitAffected's reported members.
+func TestSplitMaintainsMembershipLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const l = 16
+	p := MustPartition(l, 1)
+	for step := 0; step < 60; step++ {
+		path := randomPaths(rng, l, 1, 4)[0]
+		_, aff, _ := p.SplitAffected(path, nil)
+		// Every affected link must share its group with at least one other
+		// affected link or have just left one — weak check; the strong
+		// check is list/gid agreement:
+		for g := int32(0); int(g) < l*4; g++ {
+			members := map[int32]bool{}
+			for e := int32(0); int(e) < l; e++ {
+				if p.gid[e] == g {
+					members[e] = true
+				}
+			}
+			count := 0
+			if int(g) < len(p.memberHead) {
+				for e := p.memberHead[g]; e >= 0; e = p.memberNext[e] {
+					if !members[e] {
+						t.Fatalf("step %d: list of group %d contains %d whose gid is %d", step, g, e, p.gid[e])
+					}
+					count++
+				}
+			}
+			if count != len(members) {
+				t.Fatalf("step %d: group %d list has %d members, gid says %d", step, g, count, len(members))
+			}
+		}
+		_ = aff
+	}
+}
+
+// TestCountSplittableRowsMatchesScalar compares the batch CSR evaluation
+// against per-row CountSplittable across betas and random partitions.
+func TestCountSplittableRowsMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, beta := range []int{0, 1, 2} {
+		const l = 10
+		p := MustPartition(l, beta)
+		for _, sp := range randomPaths(rng, l, 5, 4) {
+			p.Split(sp)
+		}
+		rows := randomPaths(rng, l, 30, 4)
+		offsets := make([]int32, 1, len(rows)+1)
+		var links []int32
+		for _, r := range rows {
+			links = append(links, r...)
+			offsets = append(offsets, int32(len(links)))
+		}
+		out := make([]int32, len(rows))
+		p.CountSplittableRows(offsets, links, out)
+		for i, r := range rows {
+			if want := p.CountSplittable(r); int(out[i]) != want {
+				t.Errorf("beta=%d row %d (%v): batch %d, scalar %d", beta, i, r, out[i], want)
+			}
+		}
+	}
+}

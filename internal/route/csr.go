@@ -1,0 +1,76 @@
+package route
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// CSR is a routing matrix materialized in compressed-sparse-row form: the
+// link sets of every candidate path, concatenated into one arena. Row i of
+// the matrix is Links[Offsets[i]:Offsets[i+1]]. Materializing once and
+// walking contiguous rows is the backbone of PMC's scoring engine — the
+// greedy loops never call PathSet.AppendLinks again after construction.
+type CSR struct {
+	// Offsets has Len()+1 entries; row i spans [Offsets[i], Offsets[i+1]).
+	// Offsets are int32, capping the arena at MaxInt32 total link entries
+	// (≈2.1 G — a Fattree(48)-scale candidate universe overflows it);
+	// MaterializeCSR panics with a clear message rather than wrapping.
+	Offsets []int32
+	// Links is the concatenation of every path's link set.
+	Links []topo.LinkID
+}
+
+// checkArenaSize panics when the arena would exceed int32 offset range.
+func checkArenaSize(total int) {
+	if total > math.MaxInt32 {
+		panic(fmt.Sprintf("route: CSR arena needs %d link entries, above the int32 offset limit %d; shard the candidate set before materializing", total, math.MaxInt32))
+	}
+}
+
+// Len returns the number of rows (paths).
+func (c *CSR) Len() int { return len(c.Offsets) - 1 }
+
+// Row returns the link set of path i. The slice aliases the arena; callers
+// must not modify it.
+func (c *CSR) Row(i int) []topo.LinkID {
+	return c.Links[c.Offsets[i]:c.Offsets[i+1]]
+}
+
+// BulkLinker is an optional PathSet fast path for materialization: a single
+// call emits every path's links in index order, avoiding the per-path
+// interface-call and index-decode overhead of AppendLinks.
+type BulkLinker interface {
+	PathSet
+	// AppendAllLinks appends the links of every path, in path-index order,
+	// to links, and appends each path's end position to offsets (one entry
+	// per path). It returns the extended slices.
+	AppendAllLinks(links []topo.LinkID, offsets []int32) ([]topo.LinkID, []int32)
+}
+
+// MaterializeCSR walks ps once and returns its CSR form. PathSets implementing
+// BulkLinker are materialized through the bulk fast path.
+func MaterializeCSR(ps PathSet) *CSR {
+	n := ps.Len()
+	offsets := make([]int32, 1, n+1)
+	if bl, ok := ps.(BulkLinker); ok {
+		links, offsets := bl.AppendAllLinks(nil, offsets)
+		return &CSR{Offsets: offsets, Links: links}
+	}
+	var links []topo.LinkID
+	if n > 0 {
+		// Size the arena from the first path; families have near-uniform
+		// path lengths, so this avoids regrowing the slab log(n) times.
+		links = ps.AppendLinks(0, make([]topo.LinkID, 0, 16))
+		checkArenaSize(len(links) * n)
+		links = append(make([]topo.LinkID, 0, len(links)*n+1), links...)
+		offsets = append(offsets, int32(len(links)))
+	}
+	for i := 1; i < n; i++ {
+		links = ps.AppendLinks(i, links)
+		checkArenaSize(len(links))
+		offsets = append(offsets, int32(len(links)))
+	}
+	return &CSR{Offsets: offsets, Links: links}
+}

@@ -1,0 +1,92 @@
+package route
+
+import (
+	"testing"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// TestMaterializeCSRMatchesAppendLinks: the CSR rows must equal per-path
+// AppendLinks output, in order, for every family — including Fattree, whose
+// BulkLinker fast path bypasses AppendLinks entirely.
+func TestMaterializeCSRMatchesAppendLinks(t *testing.T) {
+	f := topo.MustFattree(4)
+	v := topo.MustVL2(4, 4, 1)
+	b := topo.MustBCube(4, 1)
+	sets := []struct {
+		name string
+		ps   PathSet
+	}{
+		{"Fattree4", NewFattreePaths(f)},
+		{"VL2", NewVL2Paths(v)},
+		{"BCube41", NewBCubePaths(b)},
+	}
+	for _, s := range sets {
+		csr := MaterializeCSR(s.ps)
+		if csr.Len() != s.ps.Len() {
+			t.Fatalf("%s: CSR has %d rows, PathSet has %d", s.name, csr.Len(), s.ps.Len())
+		}
+		var buf []topo.LinkID
+		for i := 0; i < s.ps.Len(); i++ {
+			buf = s.ps.AppendLinks(i, buf[:0])
+			row := csr.Row(i)
+			if len(row) != len(buf) {
+				t.Fatalf("%s path %d: CSR row %v, AppendLinks %v", s.name, i, row, buf)
+			}
+			for j := range buf {
+				if row[j] != buf[j] {
+					t.Fatalf("%s path %d: CSR row %v, AppendLinks %v", s.name, i, row, buf)
+				}
+			}
+		}
+	}
+}
+
+// TestFattreeBulkLinkerUsed guards the fast path registration: losing the
+// interface assertion would silently fall back to the slow path.
+func TestFattreeBulkLinkerUsed(t *testing.T) {
+	ps := NewFattreePaths(topo.MustFattree(4))
+	if _, ok := interface{}(ps).(BulkLinker); !ok {
+		t.Fatal("FattreePaths no longer implements BulkLinker")
+	}
+}
+
+// TestDecomposeCSRMatchesDecompose: the CSR decomposition must produce the
+// same components as the PathSet wrapper.
+func TestDecomposeCSRMatchesDecompose(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := NewFattreePaths(f)
+	a := Decompose(ps, f.NumLinks())
+	b := DecomposeCSR(MaterializeCSR(ps), f.NumLinks())
+	if len(a) != len(b) {
+		t.Fatalf("component counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Links) != len(b[i].Links) || len(a[i].Paths) != len(b[i].Paths) {
+			t.Fatalf("component %d shape differs", i)
+		}
+		for j := range a[i].Links {
+			if a[i].Links[j] != b[i].Links[j] {
+				t.Fatalf("component %d link %d differs", i, j)
+			}
+		}
+		for j := range a[i].Paths {
+			if a[i].Paths[j] != b[i].Paths[j] {
+				t.Fatalf("component %d path %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestFattreeRepresentativePrefix: the O(1) representative test must agree
+// with the definition (source pod 0) for every path index.
+func TestFattreeRepresentativePrefix(t *testing.T) {
+	ps := NewFattreePaths(topo.MustFattree(4))
+	for i := 0; i < ps.Len(); i++ {
+		s, _, _ := ps.Decode(i)
+		want := s/ps.F.Half() == 0
+		if got := ps.IsRepresentative(i); got != want {
+			t.Fatalf("path %d: IsRepresentative=%v, source pod %d", i, got, s/ps.F.Half())
+		}
+	}
+}

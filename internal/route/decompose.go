@@ -61,24 +61,33 @@ func (u *unionFind) union(a, b int32) {
 // single component (and the scan cost is the "extra time to decide whether
 // the matrix is decomposable" visible in Table 2).
 func Decompose(ps PathSet, numLinks int) []Component {
+	return DecomposeCSR(MaterializeCSR(ps), numLinks)
+}
+
+// DecomposeCSR is Decompose over an already-materialized matrix: one walk of
+// the CSR arena instead of two AppendLinks passes. PMC materializes once and
+// shares the CSR between decomposition and its scoring engine.
+func DecomposeCSR(csr *CSR, numLinks int) []Component {
 	uf := newUnionFind(numLinks)
 	touched := make([]bool, numLinks)
-	var buf []topo.LinkID
-	n := ps.Len()
+	n := csr.Len()
 	for i := 0; i < n; i++ {
-		buf = ps.AppendLinks(i, buf[:0])
-		if len(buf) == 0 {
+		row := csr.Row(i)
+		if len(row) == 0 {
 			continue
 		}
-		first := int32(buf[0])
+		first := int32(row[0])
 		touched[first] = true
-		for _, l := range buf[1:] {
+		for _, l := range row[1:] {
 			touched[l] = true
 			uf.union(first, int32(l))
 		}
 	}
 
+	// Label every touched link with its component index; the paths pass
+	// then resolves membership with one array load instead of a find.
 	rootIdx := make(map[int32]int)
+	compOf := make([]int32, numLinks)
 	var comps []Component
 	for l := 0; l < numLinks; l++ {
 		if !touched[l] {
@@ -91,14 +100,15 @@ func Decompose(ps PathSet, numLinks int) []Component {
 			rootIdx[r] = ci
 			comps = append(comps, Component{})
 		}
+		compOf[l] = int32(ci)
 		comps[ci].Links = append(comps[ci].Links, topo.LinkID(l))
 	}
 	for i := 0; i < n; i++ {
-		buf = ps.AppendLinks(i, buf[:0])
-		if len(buf) == 0 {
+		row := csr.Row(i)
+		if len(row) == 0 {
 			continue
 		}
-		ci := rootIdx[uf.find(int32(buf[0]))]
+		ci := compOf[row[0]]
 		comps[ci].Paths = append(comps[ci].Paths, int32(i))
 	}
 	// Deterministic order: by smallest link ID.
@@ -109,13 +119,16 @@ func Decompose(ps PathSet, numLinks int) []Component {
 // SingleComponent wraps the whole matrix as one component (the
 // no-decomposition baseline for Table 2's strawman column).
 func SingleComponent(ps PathSet, numLinks int) Component {
+	return SingleComponentCSR(MaterializeCSR(ps), numLinks)
+}
+
+// SingleComponentCSR is SingleComponent over a materialized matrix.
+func SingleComponentCSR(csr *CSR, numLinks int) Component {
 	touched := make([]bool, numLinks)
-	var buf []topo.LinkID
-	n := ps.Len()
+	n := csr.Len()
 	c := Component{Paths: make([]int32, 0, n)}
 	for i := 0; i < n; i++ {
-		buf = ps.AppendLinks(i, buf[:0])
-		for _, l := range buf {
+		for _, l := range csr.Row(i) {
 			touched[l] = true
 		}
 		c.Paths = append(c.Paths, int32(i))

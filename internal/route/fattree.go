@@ -16,17 +16,23 @@ type FattreePaths struct {
 
 	nToR   int
 	nCores int
+	// repBound caches the representative cutoff: source-pod-0 paths form a
+	// contiguous index prefix, so IsRepresentative is one comparison.
+	repBound int
 }
 
 var (
 	_ PathSet      = (*FattreePaths)(nil)
 	_ Symmetric    = (*FattreePaths)(nil)
 	_ HopsProvider = (*FattreePaths)(nil)
+	_ BulkLinker   = (*FattreePaths)(nil)
 )
 
 // NewFattreePaths enumerates the candidate paths of f.
 func NewFattreePaths(f *topo.Fattree) *FattreePaths {
-	return &FattreePaths{F: f, nToR: f.NumToRs(), nCores: f.NumCores()}
+	p := &FattreePaths{F: f, nToR: f.NumToRs(), nCores: f.NumCores()}
+	p.repBound = f.Half() * (p.nToR - 1) * p.nCores
+	return p
 }
 
 // Len returns nToR*(nToR-1)*nCores.
@@ -49,6 +55,57 @@ func (p *FattreePaths) AppendLinks(i int, buf []topo.LinkID) []topo.LinkID {
 	s, d, c := p.Decode(i)
 	tors := p.F.ToRList()
 	return p.F.PathLinks(tors[s], tors[d], c, buf)
+}
+
+// AppendAllLinks implements BulkLinker: it emits every candidate path's
+// links in index order with pure arithmetic per path. Every distinct
+// ToR–agg and agg–core link is resolved through the topology's link map
+// exactly once up front; a naive per-path materialization pays four map
+// lookups per path, which dominates the whole scan.
+func (p *FattreePaths) AppendAllLinks(links []topo.LinkID, offsets []int32) ([]topo.LinkID, []int32) {
+	f := p.F
+	tors := f.ToRList()
+	h := f.Half()
+	torAgg := make([]topo.LinkID, p.nToR*h)
+	for t, tor := range tors {
+		pod := t / h
+		for g := 0; g < h; g++ {
+			torAgg[t*h+g] = f.MustLink(tor, f.AggID[pod][g])
+		}
+	}
+	aggCore := make([]topo.LinkID, f.K*p.nCores)
+	for pod := 0; pod < f.K; pod++ {
+		for c := 0; c < p.nCores; c++ {
+			aggCore[pod*p.nCores+c] = f.MustLink(f.AggID[pod][c/h], f.CoreID[c])
+		}
+	}
+	checkArenaSize(len(links) + p.Len()*4)
+	if cap(links)-len(links) < p.Len()*4 {
+		grown := make([]topo.LinkID, len(links), len(links)+p.Len()*4)
+		copy(grown, links)
+		links = grown
+	}
+	for s := 0; s < p.nToR; s++ {
+		sp := s / h
+		for d := 0; d < p.nToR; d++ {
+			if d == s {
+				continue
+			}
+			dp := d / h
+			for c := 0; c < p.nCores; c++ {
+				g := c / h
+				// Same link order as PathLinks: up edge-agg, up agg-core,
+				// [down agg-core,] down edge-agg.
+				links = append(links, torAgg[s*h+g], aggCore[sp*p.nCores+c])
+				if dp != sp {
+					links = append(links, aggCore[dp*p.nCores+c])
+				}
+				links = append(links, torAgg[d*h+g])
+				offsets = append(offsets, int32(len(links)))
+			}
+		}
+	}
+	return links, offsets
 }
 
 // Endpoints implements PathSet.
@@ -93,10 +150,11 @@ func (p *FattreePaths) shift(s, d, c, r int) (int, int, int) {
 }
 
 // IsRepresentative implements Symmetric: the canonical orbit member is the
-// unique rotation with source pod 0.
+// unique rotation with source pod 0. Source ToR index is the major axis of
+// the path-index layout, so pod-0 sources are exactly the indices below
+// repBound.
 func (p *FattreePaths) IsRepresentative(i int) bool {
-	s, _, _ := p.Decode(i)
-	return s/p.F.Half() == 0
+	return i < p.repBound
 }
 
 // AppendOrbit implements Symmetric: the k-1 non-identity rotations.

@@ -58,12 +58,34 @@ func NewProbesFromLinks(pathLinks [][]topo.LinkID, numLinks int) *Probes {
 	return p
 }
 
+// buildIndex materializes the link→paths inverted index as a CSR slab: one
+// counting pass, one prefix sum, one fill. Rows alias the shared arena, so
+// the index costs two allocations regardless of link count, and each row
+// lists path indices in ascending order.
 func (p *Probes) buildIndex() {
-	p.linkPaths = make([][]int32, p.NumLinks)
+	counts := make([]int32, p.NumLinks+1)
+	total := 0
+	for _, links := range p.PathLinks {
+		for _, l := range links {
+			counts[l+1]++
+		}
+		total += len(links)
+	}
+	for l := 0; l < p.NumLinks; l++ {
+		counts[l+1] += counts[l]
+	}
+	arena := make([]int32, total)
+	fill := make([]int32, p.NumLinks)
+	copy(fill, counts[:p.NumLinks])
 	for i, links := range p.PathLinks {
 		for _, l := range links {
-			p.linkPaths[l] = append(p.linkPaths[l], int32(i))
+			arena[fill[l]] = int32(i)
+			fill[l]++
 		}
+	}
+	p.linkPaths = make([][]int32, p.NumLinks)
+	for l := 0; l < p.NumLinks; l++ {
+		p.linkPaths[l] = arena[counts[l]:counts[l+1]:counts[l+1]]
 	}
 }
 
