@@ -37,6 +37,7 @@ func main() {
 		k      = flag.Int("k", 4, "Fattree radix")
 		window = flag.Duration("window", 2*time.Second, "diagnoser window")
 		rate   = flag.Int("rate", 60, "probes per second per pinger")
+		shards = flag.Int("shards", 1, "controller shards (>1 boots the sharded controller plane)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		Control:      cfg,
 		Window:       *window,
 		ProbeTimeout: 400 * time.Millisecond,
+		Shards:       *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detectord:", err)
@@ -57,6 +59,10 @@ func main() {
 
 	fmt.Printf("detectord: Fattree(%d) up — %d switches, %d servers, %d pingers, %d probe routes\n",
 		*k, c.F.Stats().Switches, c.F.Stats().Servers, len(c.Pingers), c.Controller.ProbeMatrix().NumPaths())
+	if coord := c.Controller.Coordinator(); coord != nil {
+		fmt.Printf("sharded controller plane: %d shards over %d components\n",
+			coord.NumShards(), coord.Components())
+	}
 	fmt.Printf("controller %s | diagnoser %s | watchdog %s\n", c.ControllerURL, c.DiagnoserURL, c.WatchdogURL)
 	fmt.Println("commands: fail <link> full|gray|blackhole|rate <p> · repair <link> · links · alerts · quit")
 

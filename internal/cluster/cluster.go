@@ -37,6 +37,16 @@ type Options struct {
 	WatchdogTTL time.Duration
 	// RuleSeed fixes probabilistic-drop randomness.
 	RuleSeed int64
+	// Shards, when > 1, boots that many controller shards in-process: the
+	// controller constructs through the shard coordinator and the
+	// diagnoser localizes through the shard plane. The served pinglists,
+	// matrix and alerts are identical to a single-controller boot; what
+	// changes is that construction distributes and survives shard death
+	// (see Controller.Coordinator for the failover hooks).
+	Shards int
+	// ShardTTL marks a controller shard dead after this heartbeat
+	// silence (default 4 windows, like WatchdogTTL).
+	ShardTTL time.Duration
 	// PLL overrides the diagnoser's localization config. Compressed-time
 	// runs should raise LossRatioFloor/MinLoss: with windows of a few
 	// hundred milliseconds, a single scheduler stall mimics a burst of
@@ -90,6 +100,13 @@ func Start(opts Options) (*Cluster, error) {
 		opts.Control = control.DefaultConfig()
 		opts.Control.WindowMS = int(opts.Window / time.Millisecond)
 	}
+	if opts.Shards > 1 {
+		opts.Control.Shards = opts.Shards
+		if opts.ShardTTL == 0 {
+			opts.ShardTTL = 4 * opts.Window
+		}
+		opts.Control.ShardTTL = opts.ShardTTL
+	}
 	f, err := topo.NewFattree(opts.K)
 	if err != nil {
 		return nil, err
@@ -124,6 +141,7 @@ func Start(opts Options) (*Cluster, error) {
 		Window: opts.Window,
 		PLL:    pllCfg,
 		Topo:   f.Topology,
+		Shards: opts.Shards,
 	})
 	srv, url, err = serveHTTP(c.Diagnoser.Handler())
 	if err != nil {
@@ -221,6 +239,9 @@ func (c *Cluster) Stop() {
 	}
 	if c.Diagnoser != nil {
 		c.Diagnoser.Stop()
+	}
+	if c.Controller != nil {
+		c.Controller.Close()
 	}
 	for _, s := range c.servers {
 		s.Close()

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/pmc"
+)
+
+// TestShardFailoverRecoversCoverage boots the cluster on the sharded
+// controller plane, kills one shard mid-window, and checks the recovery
+// contract: once the shard watchdog declares the death, a single recompute
+// cycle reassigns the dead shard's components to the survivors and the
+// served probe matrix again covers every switch link at full alpha.
+func TestShardFailoverRecoversCoverage(t *testing.T) {
+	opts := fastOptions()
+	opts.Shards = 2
+	opts.ShardTTL = 300 * time.Millisecond
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	coord := c.Controller.Coordinator()
+	if coord == nil {
+		t.Fatal("sharded boot produced no coordinator")
+	}
+	if coord.Components() != 2 {
+		t.Fatalf("Fattree(4) should decompose into 2 components, got %d", coord.Components())
+	}
+	alpha := opts.Control.Alpha
+	v := pmc.Verify(c.Controller.ProbeMatrix(), c.F.SwitchLinks(), false)
+	if v.MinCoverage < alpha {
+		t.Fatalf("pre-failure coverage %d below alpha %d", v.MinCoverage, alpha)
+	}
+
+	// Kill the shard owning the first component while probing is live.
+	victim := int(coord.Assignment()[0])
+	victimComps := 0
+	for _, s := range coord.Assignment() {
+		if int(s) == victim {
+			victimComps++
+		}
+	}
+	coord.Kill(victim)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		u := coord.Unhealthy()
+		if len(u) == 1 && u[0] == victim {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard watchdog never declared shard %d dead (unhealthy=%v)", victim, u)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// One recompute cycle must re-cover the dead shard's components.
+	version := c.Controller.Version()
+	if err := c.Controller.RunCycle(nil); err != nil {
+		t.Fatalf("post-failure recompute: %v", err)
+	}
+	if c.Controller.Version() != version+1 {
+		t.Fatalf("recompute did not advance the version")
+	}
+	for ci, s := range coord.Assignment() {
+		if int(s) == victim {
+			t.Errorf("component %d still assigned to dead shard %d after recompute", ci, victim)
+		}
+	}
+	if victimComps == 0 {
+		t.Fatalf("victim shard owned no components; test is vacuous")
+	}
+	v = pmc.Verify(c.Controller.ProbeMatrix(), c.F.SwitchLinks(), false)
+	if v.MinCoverage < alpha {
+		t.Errorf("post-failover coverage %d below alpha %d — reassignment did not re-cover the dead shard's components",
+			v.MinCoverage, alpha)
+	}
+	if !v.Identifiable1 {
+		t.Errorf("post-failover matrix lost 1-identifiability: %v", v.Collisions)
+	}
+}

@@ -10,11 +10,20 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
+	"github.com/detector-net/detector/internal/httpx"
+	"github.com/detector-net/detector/internal/metrics"
 	"github.com/detector-net/detector/internal/pmc"
 	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shard"
 	"github.com/detector-net/detector/internal/topo"
 )
+
+// badRequests counts malformed controller API requests (bad node ids,
+// wrong methods) so that a misconfigured agent fleet is visible without
+// log scraping.
+var badRequests = metrics.NewCounter("control_bad_requests")
 
 // Config tunes the controller.
 type Config struct {
@@ -36,6 +45,16 @@ type Config struct {
 	ReportURL string
 	// DSCP marks probe QoS class.
 	DSCP uint8
+	// Shards, when > 1, runs probe matrix construction on the sharded
+	// controller plane: the coordinator decomposes the candidate matrix,
+	// assigns components to Shards controller shards, and merges the
+	// per-shard selections — bit-identical to the single-controller
+	// result, but with the construction critical path divided across
+	// shards (and surviving shard death via ShardTTL).
+	Shards int
+	// ShardTTL marks a shard dead after this heartbeat silence
+	// (default 10 s).
+	ShardTTL time.Duration
 }
 
 // DefaultConfig mirrors the paper's operating point, with the aggregation
@@ -98,6 +117,7 @@ type Controller struct {
 	pinglists map[topo.NodeID]*Pinglist
 	matrix    *Matrix
 	pmcStats  pmc.Stats
+	coord     *shard.Coordinator
 }
 
 // New creates a controller; call RunCycle before serving.
@@ -105,15 +125,63 @@ func New(f *topo.Fattree, cfg Config) *Controller {
 	return &Controller{F: f, Cfg: cfg, pinglists: make(map[topo.NodeID]*Pinglist)}
 }
 
+// Coordinator returns the sharded-plane coordinator, or nil when running
+// single-controller (Cfg.Shards <= 1) or before the first cycle.
+func (c *Controller) Coordinator() *shard.Coordinator {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.coord
+}
+
+// Close stops the shard heartbeat loops (no-op when unsharded).
+func (c *Controller) Close() {
+	c.mu.Lock()
+	coord := c.coord
+	c.coord = nil
+	c.mu.Unlock()
+	if coord != nil {
+		coord.Stop()
+	}
+}
+
+// construct runs one PMC cycle, through the sharded plane when configured.
+// Either way the selection is the same: the coordinator's merge guarantee
+// means pinglists and the served matrix do not depend on the shard count.
+func (c *Controller) construct(ps *route.FattreePaths) (*pmc.Result, error) {
+	if c.Cfg.Shards <= 1 {
+		return pmc.Construct(ps, c.F.NumLinks(), pmc.Options{
+			Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta,
+			Decompose: true, Lazy: true,
+		})
+	}
+	c.mu.Lock()
+	if c.coord == nil {
+		coord, err := shard.New(ps, c.F.NumLinks(), shard.Options{
+			Shards: c.Cfg.Shards,
+			TTL:    c.Cfg.ShardTTL,
+			PMC:    pmc.Options{Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta, Lazy: true},
+		})
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.coord = coord
+	}
+	coord := c.coord
+	c.mu.Unlock()
+	res, err := coord.Construct()
+	if err != nil {
+		return nil, err
+	}
+	return res.Result, nil
+}
+
 // RunCycle recomputes the probe matrix and pinglists (paper: every 10
 // minutes). unhealthy servers are skipped when selecting pingers and
 // responders.
 func (c *Controller) RunCycle(unhealthy map[topo.NodeID]bool) error {
 	ps := route.NewFattreePaths(c.F)
-	res, err := pmc.Construct(ps, c.F.NumLinks(), pmc.Options{
-		Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta,
-		Decompose: true, Lazy: true,
-	})
+	res, err := c.construct(ps)
 	if err != nil {
 		return fmt.Errorf("control: PMC: %w", err)
 	}
@@ -280,39 +348,56 @@ func matrixToProbes(m *Matrix) *route.Probes {
 }
 
 // Handler serves GET /pinglist?node=ID, GET /matrix and GET /version.
+// Malformed requests get structured JSON errors with accurate status codes
+// and bump the control_bad_requests counter.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pinglist", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.Atoi(r.URL.Query().Get("node"))
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			badRequests.Inc()
+			return
+		}
+		node := r.URL.Query().Get("node")
+		id, err := strconv.Atoi(node)
 		if err != nil {
-			http.Error(w, "bad node id", http.StatusBadRequest)
+			badRequests.Inc()
+			httpx.Error(w, http.StatusBadRequest, "bad node id %q: %v", node, err)
 			return
 		}
 		pl := c.PinglistFor(topo.NodeID(id))
 		if pl == nil {
-			http.Error(w, "not a pinger", http.StatusNotFound)
+			httpx.Error(w, http.StatusNotFound, "node %d is not a pinger this cycle", id)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(pl); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		httpx.WriteJSON(w, pl)
 	})
 	mux.HandleFunc("/matrix", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			badRequests.Inc()
+			return
+		}
 		c.mu.RLock()
 		m := c.matrix
 		c.mu.RUnlock()
 		if m == nil {
-			http.Error(w, "no cycle yet", http.StatusServiceUnavailable)
+			httpx.Error(w, http.StatusServiceUnavailable, "no construction cycle has completed yet")
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(m); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+		httpx.WriteJSON(w, m)
 	})
 	mux.HandleFunc("/version", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			badRequests.Inc()
+			return
+		}
 		fmt.Fprintf(w, "%d", c.Version())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			badRequests.Inc()
+			return
+		}
+		httpx.WriteJSON(w, metrics.Counters())
 	})
 	return mux
 }

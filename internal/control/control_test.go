@@ -1,9 +1,14 @@
 package control
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 
+	"github.com/detector-net/detector/internal/httpx"
+	"github.com/detector-net/detector/internal/metrics"
 	"github.com/detector-net/detector/internal/pmc"
 	"github.com/detector-net/detector/internal/topo"
 )
@@ -161,5 +166,95 @@ func TestCycleVersionAdvances(t *testing.T) {
 	}
 	if c.Version() != 2 {
 		t.Fatalf("version = %d, want 2", c.Version())
+	}
+}
+
+// TestShardedServingIdentical pins the serving-side guarantee of the
+// sharded controller plane: the served matrix and every pinglist are
+// byte-identical to a single-controller cycle, for any shard count — the
+// pinger protocol cannot tell the difference.
+func TestShardedServingIdentical(t *testing.T) {
+	f := topo.MustFattree(4)
+	cfg := DefaultConfig()
+	cfg.ReportURL = "http://diagnoser.test"
+	single := New(f, cfg)
+	if err := single.RunCycle(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3} {
+		scfg := cfg
+		scfg.Shards = shards
+		sharded := New(f, scfg)
+		if err := sharded.RunCycle(nil); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		t.Cleanup(sharded.Close)
+		if sharded.Coordinator() == nil {
+			t.Fatalf("shards=%d: no coordinator", shards)
+		}
+
+		want, _ := json.Marshal(single.matrix)
+		got, _ := json.Marshal(sharded.matrix)
+		if !bytes.Equal(want, got) {
+			t.Errorf("shards=%d: served matrix differs from single controller", shards)
+		}
+		for _, node := range single.PingerNodes() {
+			w, _ := json.Marshal(single.PinglistFor(node))
+			g, _ := json.Marshal(sharded.PinglistFor(node))
+			if !bytes.Equal(w, g) {
+				t.Errorf("shards=%d: pinglist for node %d differs", shards, node)
+			}
+		}
+		if len(sharded.PingerNodes()) != len(single.PingerNodes()) {
+			t.Errorf("shards=%d: pinger set size differs", shards)
+		}
+	}
+}
+
+// TestHandlerRejectsMalformedRequests pins the API error contract: wrong
+// methods and undecodable parameters answer with accurate status codes and
+// JSON bodies, and bump control_bad_requests.
+func TestHandlerRejectsMalformedRequests(t *testing.T) {
+	c, _ := newController(t)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	before := metrics.Counters()["control_bad_requests"]
+
+	resp, err := http.Get(srv.URL + "/pinglist?node=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body httpx.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || body.Error == "" {
+		t.Fatalf("bad node id: status %d body %+v, want 400 with error", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(srv.URL+"/matrix", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /matrix: status %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") != http.MethodGet {
+		t.Fatalf("POST /matrix: Allow %q, want GET", resp.Header.Get("Allow"))
+	}
+
+	resp, err = http.Get(srv.URL + "/pinglist?node=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown node: status %d, want 404", resp.StatusCode)
+	}
+
+	if got := metrics.Counters()["control_bad_requests"]; got != before+2 {
+		t.Fatalf("control_bad_requests = %d, want %d (+2: bad id, wrong method)", got, before+2)
 	}
 }

@@ -6,17 +6,27 @@ package diag
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
 	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/httpx"
+	"github.com/detector-net/detector/internal/metrics"
 	"github.com/detector-net/detector/internal/pinger"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shard"
 	"github.com/detector-net/detector/internal/topo"
 	"github.com/detector-net/detector/internal/watchdog"
 )
+
+// malformedReports counts report payloads the diagnoser rejected —
+// undecodable JSON or counters that cannot be real (negative, or more
+// losses than probes). Rejections answer 400 with a JSON error instead of
+// silently dropping data, and this counter makes a sick agent visible.
+var malformedReports = metrics.NewCounter("diag_malformed_reports")
 
 // LinkVerdict is one suspected link in an alert.
 type LinkVerdict struct {
@@ -60,6 +70,11 @@ type Options struct {
 	// suggests 10-minute windows against 30-second fast windows, i.e.
 	// SlowEvery = 20).
 	SlowEvery int
+	// Shards, when > 1, runs each localization pass on the sharded
+	// diagnosis plane: observations route to per-shard PLL localizers by
+	// path owner (connected component of the probe matrix) and the
+	// verdicts merge — bit-identical to one global pll.Localize.
+	Shards int
 	// HTTPClient overrides the default client.
 	HTTPClient *http.Client
 	// Topo, when set, lets alerts name link endpoints.
@@ -74,6 +89,8 @@ type Diagnoser struct {
 	mu          sync.Mutex
 	matrix      *route.Probes
 	version     int
+	plane       *shard.Plane // lazily built per matrix when opts.Shards > 1
+	planeFor    *route.Probes
 	acc         map[uint32]*counter // pathID -> window counters
 	slowAcc     map[uint32]*counter // multi-window accumulation
 	slowWindows int                 // fast windows since last slow pass
@@ -139,27 +156,57 @@ func (d *Diagnoser) Reports() int64 {
 	return d.reports
 }
 
-// Handler serves POST /report and GET /alerts.
+// validateReport rejects counters that cannot describe a real window.
+func validateReport(rep *pinger.Report) error {
+	for i, pr := range rep.Results {
+		if pr.Sent < 0 || pr.Lost < 0 {
+			return fmt.Errorf("result %d (path %d): negative counters sent=%d lost=%d",
+				i, pr.PathID, pr.Sent, pr.Lost)
+		}
+		if pr.Lost > pr.Sent {
+			return fmt.Errorf("result %d (path %d): lost %d exceeds sent %d",
+				i, pr.PathID, pr.Lost, pr.Sent)
+		}
+	}
+	return nil
+}
+
+// Handler serves POST /report and GET /alerts. Malformed reports answer
+// 400 with a JSON error body and bump diag_malformed_reports — a silent
+// drop would leave a sick pinger indistinguishable from a healthy quiet
+// one.
 func (d *Diagnoser) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		if !httpx.RequireMethod(w, r, http.MethodPost) {
+			malformedReports.Inc()
 			return
 		}
 		var rep pinger.Report
 		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			malformedReports.Inc()
+			httpx.Error(w, http.StatusBadRequest, "undecodable report: %v", err)
+			return
+		}
+		if err := validateReport(&rep); err != nil {
+			malformedReports.Inc()
+			httpx.Error(w, http.StatusBadRequest, "invalid report: %v", err)
 			return
 		}
 		d.Ingest(&rep)
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(d.Alerts()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			return
 		}
+		httpx.WriteJSON(w, d.Alerts())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			return
+		}
+		httpx.WriteJSON(w, metrics.Counters())
 	})
 	return mux
 }
@@ -250,12 +297,42 @@ func (d *Diagnoser) RunWindow() *Alert {
 	return alert
 }
 
-// localizeAlert runs one PLL pass and records the alert.
+// shardPlane returns the diagnosis plane for matrix, rebuilding it when
+// the served matrix changes (one partition per construction cycle). The
+// plane is derived from the matrix alone, over all configured shard
+// slots rather than the coordinator's live set: the diagnoser is a
+// separate service that only sees the controller's HTTP surface, and
+// since it executes every slot's localizer locally, a dead controller
+// shard costs nothing here — construction failover is the coordinator's
+// job (Coordinator.BuildPlane is the liveness-aware variant for
+// in-process embedders).
+func (d *Diagnoser) shardPlane(matrix *route.Probes) *shard.Plane {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.plane == nil || d.planeFor != matrix {
+		alive := make([]int, d.opts.Shards)
+		for i := range alive {
+			alive[i] = i
+		}
+		d.plane = shard.NewPlane(matrix, alive)
+		d.planeFor = matrix
+	}
+	return d.plane
+}
+
+// localizeAlert runs one PLL pass — routed across the shard plane when
+// configured — and records the alert.
 func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.Observation, cfg pll.Config, slow bool) *Alert {
 	if len(obs) == 0 {
 		return nil
 	}
-	res, err := pll.Localize(matrix, obs, cfg)
+	var res *pll.Result
+	var err error
+	if d.opts.Shards > 1 {
+		res, err = d.shardPlane(matrix).Localize(obs, cfg)
+	} else {
+		res, err = pll.Localize(matrix, obs, cfg)
+	}
 	if err != nil {
 		return nil
 	}

@@ -3,10 +3,13 @@ package diag
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"github.com/detector-net/detector/internal/httpx"
+	"github.com/detector-net/detector/internal/metrics"
 	"github.com/detector-net/detector/internal/pinger"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/route"
@@ -180,5 +183,119 @@ func TestAlertCarriesLossClass(t *testing.T) {
 	}
 	if alert.Bad[0].Class != "full" {
 		t.Fatalf("class = %q, want full", alert.Bad[0].Class)
+	}
+}
+
+// TestReportHandlerRejectsMalformed pins the /report error contract:
+// undecodable or impossible payloads answer 400 with a JSON error body,
+// bump diag_malformed_reports, and leave the accumulator untouched.
+func TestReportHandlerRejectsMalformed(t *testing.T) {
+	d := New(Options{Window: time.Hour})
+	d.SetMatrix(testMatrix(), 1)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	before := metrics.Counters()["diag_malformed_reports"]
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/report", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post("{not json")
+	var eb httpx.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || eb.Error == "" {
+		t.Fatalf("garbage payload: status %d body %+v, want 400 with error", resp.StatusCode, eb)
+	}
+
+	resp = post(`{"node":1,"results":[{"path_id":0,"sent":10,"lost":50}]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("lost > sent: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = post(`{"node":1,"results":[{"path_id":0,"sent":-5,"lost":0}]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative sent: status %d, want 400", resp.StatusCode)
+	}
+
+	getResp, err := http.Get(srv.URL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /report: status %d, want 405", getResp.StatusCode)
+	}
+
+	if got := metrics.Counters()["diag_malformed_reports"]; got != before+4 {
+		t.Fatalf("diag_malformed_reports = %d, want %d (+4)", got, before+4)
+	}
+	if d.Reports() != 0 {
+		t.Fatalf("rejected reports were ingested: %d", d.Reports())
+	}
+
+	resp = post(`{"node":1,"results":[{"path_id":0,"sent":10,"lost":5}]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid report: status %d, want 204", resp.StatusCode)
+	}
+	if d.Reports() != 1 {
+		t.Fatalf("valid report not ingested")
+	}
+	if got := metrics.Counters()["diag_malformed_reports"]; got != before+4 {
+		t.Fatalf("valid report bumped the malformed counter")
+	}
+
+	// The counters are operator-visible over GET /metrics.
+	mResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapshot map[string]int64
+	if err := json.NewDecoder(mResp.Body).Decode(&snapshot); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	mResp.Body.Close()
+	if snapshot["diag_malformed_reports"] != before+4 {
+		t.Fatalf("/metrics reports %d malformed, want %d", snapshot["diag_malformed_reports"], before+4)
+	}
+}
+
+// TestShardedWindowMatchesUnsharded runs the same reports through an
+// unsharded diagnoser and one on a 3-shard plane; the alerts must agree
+// verdict for verdict.
+func TestShardedWindowMatchesUnsharded(t *testing.T) {
+	feed := func(d *Diagnoser) *Alert {
+		d.SetMatrix(testMatrix(), 1)
+		d.Ingest(&pinger.Report{Node: 9, Version: 1, Results: []pinger.PathReport{
+			{PathID: 0, Sent: 100, Lost: 90},
+			{PathID: 1, Sent: 100, Lost: 95},
+			{PathID: 2, Sent: 100, Lost: 0},
+		}})
+		return d.RunWindow()
+	}
+	plain := feed(New(Options{Window: time.Hour}))
+	sharded := feed(New(Options{Window: time.Hour, Shards: 3}))
+	if plain == nil || sharded == nil {
+		t.Fatal("missing alert")
+	}
+	if len(plain.Bad) != len(sharded.Bad) ||
+		plain.LossyPaths != sharded.LossyPaths ||
+		plain.Unexplained != sharded.Unexplained {
+		t.Fatalf("sharded alert differs: %+v vs %+v", sharded, plain)
+	}
+	for i := range plain.Bad {
+		if plain.Bad[i].Link != sharded.Bad[i].Link || plain.Bad[i].Rate != sharded.Bad[i].Rate {
+			t.Fatalf("verdict %d differs: %+v vs %+v", i, sharded.Bad[i], plain.Bad[i])
+		}
 	}
 }

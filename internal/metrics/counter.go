@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named, monotonically increasing operational counter. Unlike
+// the evaluation types in this package (Confusion, Series), counters track
+// live-service events — malformed report payloads, rejected requests — and
+// are cheap enough for request paths: one atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+var (
+	countersMu sync.Mutex
+	counters   = make(map[string]*Counter)
+)
+
+// NewCounter returns the counter registered under name, creating it on
+// first use. Safe for concurrent use; the same name always yields the same
+// counter, so package-level declarations across packages cannot collide.
+func NewCounter(name string) *Counter {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	if c, ok := counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	counters[name] = c
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counters snapshots every registered counter. The diagnoser and
+// controller serve this over GET /metrics.
+func Counters() map[string]int64 {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	out := make(map[string]int64, len(counters))
+	for name, c := range counters {
+		out[name] = c.Value()
+	}
+	return out
+}

@@ -59,21 +59,22 @@ func (a *Tomo) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, erro
 	if len(lossy) == 0 {
 		return nil, nil
 	}
-	onClean := make(map[topo.LinkID]bool)
+	onClean := make([]bool, p.NumLinks)
 	for _, pi := range clean {
 		for _, l := range p.PathLinks[pi] {
 			onClean[l] = true
 		}
 	}
-	cands := make(map[topo.LinkID][]int)
-	for i, o := range lossy {
-		for _, l := range p.PathLinks[o.Path] {
-			if !onClean[l] {
-				cands[l] = append(cands[l], i)
-			}
+	off, arena := lossyIndex(p, lossy)
+	var cands []coverCand
+	for l := 0; l < p.NumLinks; l++ {
+		rows := arena[off[l]:off[l+1]]
+		if len(rows) == 0 || onClean[l] {
+			continue
 		}
+		cands = append(cands, coverCand{topo.LinkID(l), rows})
 	}
-	return greedyCover(lossy, cands, func(link topo.LinkID, unexplained []int) float64 {
+	return greedyCover(lossy, cands, func(link topo.LinkID, unexplained []int32) float64 {
 		return float64(len(unexplained))
 	}), nil
 }
@@ -98,48 +99,46 @@ func (a *SCORE) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, err
 	if len(lossy) == 0 {
 		return nil, nil
 	}
-	pathsThrough := make(map[topo.LinkID]int)
-	for _, o := range obs {
-		if o.Sent <= 0 {
+	pathsThrough := observedPathsThrough(p, obs)
+	off, arena := lossyIndex(p, lossy)
+	var cands []coverCand
+	for l := 0; l < p.NumLinks; l++ {
+		rows := arena[off[l]:off[l+1]]
+		if len(rows) == 0 {
 			continue
 		}
-		for _, l := range p.PathLinks[o.Path] {
-			pathsThrough[l]++
-		}
+		cands = append(cands, coverCand{topo.LinkID(l), rows})
 	}
-	cands := make(map[topo.LinkID][]int)
-	for i, o := range lossy {
-		for _, l := range p.PathLinks[o.Path] {
-			cands[l] = append(cands[l], i)
-		}
-	}
-	return greedyCover(lossy, cands, func(link topo.LinkID, unexplained []int) float64 {
+	return greedyCover(lossy, cands, func(link topo.LinkID, unexplained []int32) float64 {
 		// Hit ratio with a small coverage tie-break.
 		return float64(len(unexplained))/float64(pathsThrough[link]) +
 			float64(len(unexplained))*1e-9
 	}), nil
 }
 
+// coverCand is a candidate link with its row of the lossy inverted index
+// (ascending lossy-observation indices, aliasing the shared arena).
+type coverCand struct {
+	link  topo.LinkID
+	paths []int32
+}
+
 // greedyCover repeatedly selects the candidate with the highest utility
 // until every lossy observation is explained or no candidate has positive
-// utility. Ties break on lower link ID for determinism.
-func greedyCover(lossy []Observation, cands map[topo.LinkID][]int, utility func(topo.LinkID, []int) float64) []topo.LinkID {
-	links := make([]topo.LinkID, 0, len(cands))
-	for l := range cands {
-		links = append(links, l)
-	}
-	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+// utility. Candidates arrive in ascending link order and the comparison is
+// strict, so ties break on lower link ID — the same determinism rule as
+// the previous map-backed implementation, minus the sort.
+func greedyCover(lossy []Observation, cands []coverCand, utility func(topo.LinkID, []int32) float64) []topo.LinkID {
 	explained := make([]bool, len(lossy))
 	remaining := len(lossy)
 	var out []topo.LinkID
-	var scratch []int
+	var scratch, bestPaths []int32
 	for remaining > 0 {
 		best := topo.LinkID(-1)
 		bestU := 0.0
-		var bestPaths []int
-		for _, l := range links {
+		for _, c := range cands {
 			scratch = scratch[:0]
-			for _, pi := range cands[l] {
+			for _, pi := range c.paths {
 				if !explained[pi] {
 					scratch = append(scratch, pi)
 				}
@@ -147,9 +146,9 @@ func greedyCover(lossy []Observation, cands map[topo.LinkID][]int, utility func(
 			if len(scratch) == 0 {
 				continue
 			}
-			u := utility(l, scratch)
+			u := utility(c.link, scratch)
 			if u > bestU {
-				best, bestU = l, u
+				best, bestU = c.link, u
 				bestPaths = append(bestPaths[:0], scratch...)
 			}
 		}
@@ -189,22 +188,28 @@ func (*OMP) Name() string { return "OMP" }
 
 // Localize implements Localizer.
 func (a *OMP) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, error) {
-	// Observed paths form the rows; links on them the columns.
+	// Observed paths form the rows; links on them the columns. Unknown
+	// path ids drop, as in every other localizer's preprocessing.
 	var rows []Observation
 	for _, o := range obs {
-		if o.Sent > 0 {
+		if o.Sent > 0 && o.Path >= 0 && o.Path < p.NumPaths() {
 			rows = append(rows, o)
 		}
 	}
 	if len(rows) == 0 {
 		return nil, nil
 	}
-	colOf := make(map[topo.LinkID]int)
+	// colIndex is the flat link → column translation (-1 = unseen), the
+	// CSR-style replacement for the old map; columns keep first-seen order.
+	colIndex := make([]int32, p.NumLinks)
+	for i := range colIndex {
+		colIndex[i] = -1
+	}
 	var cols []topo.LinkID
 	for _, o := range rows {
 		for _, l := range p.PathLinks[o.Path] {
-			if _, ok := colOf[l]; !ok {
-				colOf[l] = len(cols)
+			if colIndex[l] < 0 {
+				colIndex[l] = int32(len(cols))
 				cols = append(cols, l)
 			}
 		}
@@ -229,8 +234,7 @@ func (a *OMP) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, error
 	colRows := make([][]int, n)
 	for i, o := range rows {
 		for _, l := range p.PathLinks[o.Path] {
-			c := colOf[l]
-			colRows[c] = append(colRows[c], i)
+			colRows[colIndex[l]] = append(colRows[colIndex[l]], i)
 		}
 	}
 
@@ -296,14 +300,16 @@ func (a *OMP) Localize(p *route.Probes, obs []Observation) ([]topo.LinkID, error
 // cannot be negative). The active set stays small, so dense solving is fine.
 func solveLeastSquares(colRows [][]int, active []int, y []float64, m int) []float64 {
 	k := len(active)
-	// G = AᵀA over active columns; b = Aᵀy.
+	// G = AᵀA over active columns; b = Aᵀy. Row membership is a dense
+	// bool vector per active column (columns are sparse, m is one window's
+	// path count), replacing the per-column hash sets.
 	g := make([][]float64, k)
 	b := make([]float64, k)
-	rowsOf := make([]map[int]bool, k)
+	inRows := make([][]bool, k)
 	for i, c := range active {
-		rowsOf[i] = make(map[int]bool, len(colRows[c]))
+		inRows[i] = make([]bool, m)
 		for _, r := range colRows[c] {
-			rowsOf[i][r] = true
+			inRows[i][r] = true
 			b[i] += y[r]
 		}
 	}
@@ -311,8 +317,8 @@ func solveLeastSquares(colRows [][]int, active []int, y []float64, m int) []floa
 		g[i] = make([]float64, k)
 		for j := range active {
 			dot := 0.0
-			for r := range rowsOf[i] {
-				if rowsOf[j][r] {
+			for _, r := range colRows[active[j]] {
+				if inRows[i][r] {
 					dot++
 				}
 			}

@@ -135,37 +135,11 @@ func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	// pathsThrough counts observed paths per link; lossyThrough collects the
-	// lossy ones, built as a flat CSR slab (count, prefix-sum, fill) so the
-	// hot path allocates three slices instead of a map entry per link. Hit
-	// ratios are computed once, before the greedy (Step 2).
-	pathsThrough := make([]int32, p.NumLinks)
-	for _, o := range obs {
-		if o.Sent <= 0 || o.Path < 0 || o.Path >= p.NumPaths() {
-			continue
-		}
-		for _, l := range p.PathLinks[o.Path] {
-			pathsThrough[l]++
-		}
-	}
-	lossyOff := make([]int32, p.NumLinks+1)
-	for _, o := range lossy {
-		for _, l := range p.PathLinks[o.Path] {
-			lossyOff[l+1]++
-		}
-	}
-	for l := 0; l < p.NumLinks; l++ {
-		lossyOff[l+1] += lossyOff[l]
-	}
-	lossyArena := make([]int32, lossyOff[p.NumLinks])
-	fill := make([]int32, p.NumLinks)
-	copy(fill, lossyOff[:p.NumLinks])
-	for i, o := range lossy {
-		for _, l := range p.PathLinks[o.Path] {
-			lossyArena[fill[l]] = int32(i)
-			fill[l]++
-		}
-	}
+	// pathsThrough counts observed paths per link; the lossy inverted
+	// index collects the lossy ones as a flat CSR slab. Hit ratios are
+	// computed once, before the greedy (Step 2).
+	pathsThrough := observedPathsThrough(p, obs)
+	lossyOff, lossyArena := lossyIndex(p, lossy)
 
 	// Candidate links pass the hit-ratio threshold. Walking links in ID
 	// order replaces the map iteration + sort of the previous
@@ -227,6 +201,46 @@ func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
 	sort.Slice(res.Bad, func(i, j int) bool { return res.Bad[i].Link < res.Bad[j].Link })
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// observedPathsThrough counts, per link, the observed paths crossing it —
+// a flat array over the link-ID space, shared by PLL and the baselines.
+func observedPathsThrough(p *route.Probes, obs []Observation) []int32 {
+	out := make([]int32, p.NumLinks)
+	for _, o := range obs {
+		if o.Sent <= 0 || o.Path < 0 || o.Path >= p.NumPaths() {
+			continue
+		}
+		for _, l := range p.PathLinks[o.Path] {
+			out[l]++
+		}
+	}
+	return out
+}
+
+// lossyIndex builds the link → lossy-observation inverted index as a flat
+// CSR slab (count, prefix-sum, fill): row l is arena[off[l]:off[l+1]],
+// listing ascending indices into lossy. Three allocations total, no maps.
+func lossyIndex(p *route.Probes, lossy []Observation) (off, arena []int32) {
+	off = make([]int32, p.NumLinks+1)
+	for _, o := range lossy {
+		for _, l := range p.PathLinks[o.Path] {
+			off[l+1]++
+		}
+	}
+	for l := 0; l < p.NumLinks; l++ {
+		off[l+1] += off[l]
+	}
+	arena = make([]int32, off[p.NumLinks])
+	fill := make([]int32, p.NumLinks)
+	copy(fill, off[:p.NumLinks])
+	for i, o := range lossy {
+		for _, l := range p.PathLinks[o.Path] {
+			arena[fill[l]] = int32(i)
+			fill[l]++
+		}
+	}
+	return off, arena
 }
 
 // lossyComponents groups lossy-observation indices into link-connected

@@ -106,6 +106,31 @@ type Result struct {
 // options.
 func Construct(ps route.PathSet, numLinks int, opt Options) (*Result, error) {
 	start := time.Now()
+	csr := route.MaterializeCSR(ps)
+	var comps []route.Component
+	if opt.Decompose {
+		comps = route.DecomposeCSR(csr, numLinks)
+	} else {
+		comps = []route.Component{route.SingleComponentCSR(csr, numLinks)}
+	}
+	return constructComponents(ps, csr, comps, numLinks, opt, start)
+}
+
+// ConstructComponents runs the PMC greedy over an explicit subset of
+// components of an already-materialized candidate matrix. It is the
+// component-slice entry point the sharded controller plane builds on: a
+// coordinator materializes and decomposes once (route.MaterializeCSR +
+// route.DecomposeCSR), then each shard solves only the components assigned
+// to it. Because components are independent subproblems and Result.Selected
+// is sorted, concatenating the selections of any partition of the component
+// set and re-sorting reproduces Construct's output bit for bit.
+//
+// opt.Decompose is ignored: the caller has already chosen the partition.
+func ConstructComponents(ps route.PathSet, csr *route.CSR, comps []route.Component, numLinks int, opt Options) (*Result, error) {
+	return constructComponents(ps, csr, comps, numLinks, opt, time.Now())
+}
+
+func constructComponents(ps route.PathSet, csr *route.CSR, comps []route.Component, numLinks int, opt Options, start time.Time) (*Result, error) {
 	if opt.Alpha < 0 || opt.Beta < 0 || opt.Beta > refine.MaxBeta {
 		return nil, fmt.Errorf("pmc: invalid (alpha,beta) = (%d,%d)", opt.Alpha, opt.Beta)
 	}
@@ -123,14 +148,6 @@ func Construct(ps route.PathSet, numLinks int, opt Options) (*Result, error) {
 	maxElems := opt.MaxElements
 	if maxElems == 0 {
 		maxElems = DefaultMaxElements
-	}
-
-	csr := route.MaterializeCSR(ps)
-	var comps []route.Component
-	if opt.Decompose {
-		comps = route.DecomposeCSR(csr, numLinks)
-	} else {
-		comps = []route.Component{route.SingleComponentCSR(csr, numLinks)}
 	}
 
 	for _, c := range comps {

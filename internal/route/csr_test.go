@@ -18,8 +18,11 @@ func TestMaterializeCSRMatchesAppendLinks(t *testing.T) {
 		ps   PathSet
 	}{
 		{"Fattree4", NewFattreePaths(f)},
+		{"Fattree8", NewFattreePaths(topo.MustFattree(8))},
 		{"VL2", NewVL2Paths(v)},
+		{"VL2(4,6,1)", NewVL2Paths(topo.MustVL2(4, 6, 1))},
 		{"BCube41", NewBCubePaths(b)},
+		{"BCube22", NewBCubePaths(topo.MustBCube(2, 2))},
 	}
 	for _, s := range sets {
 		csr := MaterializeCSR(s.ps)
@@ -87,6 +90,37 @@ func TestFattreeRepresentativePrefix(t *testing.T) {
 		want := s/ps.F.Half() == 0
 		if got := ps.IsRepresentative(i); got != want {
 			t.Fatalf("path %d: IsRepresentative=%v, source pod %d", i, got, s/ps.F.Half())
+		}
+	}
+}
+
+// TestAllFamiliesTakeBulkFastPath pins the ROADMAP item that every
+// built-in family materializes through the BulkLinker fast path: a family
+// silently falling back to per-path AppendLinks would pay one interface
+// call and several link-map lookups per candidate, which dominates
+// MaterializeCSR at scale.
+func TestAllFamiliesTakeBulkFastPath(t *testing.T) {
+	sets := []struct {
+		name string
+		ps   PathSet
+	}{
+		{"Fattree", NewFattreePaths(topo.MustFattree(4))},
+		{"VL2", NewVL2Paths(topo.MustVL2(4, 4, 1))},
+		{"BCube", NewBCubePaths(topo.MustBCube(4, 1))},
+	}
+	for _, s := range sets {
+		bl, ok := s.ps.(BulkLinker)
+		if !ok {
+			t.Errorf("%s: %T does not implement BulkLinker — generic fallback in use", s.name, s.ps)
+			continue
+		}
+		links, offsets := bl.AppendAllLinks(nil, make([]int32, 1, s.ps.Len()+1))
+		if len(offsets) != s.ps.Len()+1 {
+			t.Errorf("%s: AppendAllLinks emitted %d offsets, want %d", s.name, len(offsets), s.ps.Len()+1)
+		}
+		if int(offsets[len(offsets)-1]) != len(links) {
+			t.Errorf("%s: final offset %d does not close the arena of %d links",
+				s.name, offsets[len(offsets)-1], len(links))
 		}
 	}
 }

@@ -16,6 +16,18 @@ type Component struct {
 	Paths []int32
 }
 
+// Key returns a stable identity for the component: its smallest link ID.
+// Links are sorted ascending, so this is Links[0]. Component indices shift
+// when the candidate set changes, but the smallest link of a connected
+// group does not — shard assignment hashes this key so that ownership is
+// stable across recomputes.
+func (c *Component) Key() uint64 {
+	if len(c.Links) == 0 {
+		return 0
+	}
+	return uint64(c.Links[0])
+}
+
 // unionFind is a standard weighted quick-union with path halving.
 type unionFind struct {
 	parent []int32

@@ -1,0 +1,270 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+	"github.com/detector-net/detector/internal/watchdog"
+)
+
+// Options shapes a coordinator.
+type Options struct {
+	// Shards is the number of controller shards (>= 1).
+	Shards int
+	// PMC configures per-shard construction. Decompose is implied: the
+	// coordinator always decomposes the matrix (sharding is meaningless
+	// without it), so the merged result equals pmc.Construct with
+	// Decompose on.
+	PMC pmc.Options
+	// TTL marks a shard dead after this heartbeat silence
+	// (default 10 s; compressed in tests).
+	TTL time.Duration
+	// HeartbeatEvery is the shard heartbeat period (default TTL/4).
+	HeartbeatEvery time.Duration
+	// Sequential runs per-shard constructions one after another instead of
+	// concurrently. Benchmarks use it so that each shard's elapsed time is
+	// an uncontended single-controller measurement and the critical path
+	// (max over shards) models the wall clock of a real N-machine
+	// deployment run on one box.
+	Sequential bool
+}
+
+// ShardStats describes one shard's share of a construction cycle.
+type ShardStats struct {
+	ID         int
+	Components int
+	Selected   int
+	Elapsed    time.Duration
+}
+
+// Result is one merged construction cycle.
+type Result struct {
+	// Result is the merged PMC outcome, bit-identical to the
+	// single-controller engine: Selected is the sorted union of the
+	// per-shard selections and Stats sums the per-shard stats.
+	*pmc.Result
+	// PerShard lists each live shard's share, ascending by shard ID.
+	PerShard []ShardStats
+	// CriticalPath is the slowest shard's construction time — the modeled
+	// wall clock of the distributed construction (exact when Sequential).
+	CriticalPath time.Duration
+	// Moved counts components reassigned at the start of this cycle
+	// (nonzero only after a shard died or rejoined).
+	Moved int
+	// Alive is the number of live shards this cycle.
+	Alive int
+}
+
+// Coordinator is the front-end of the sharded controller plane. It owns the
+// materialized candidate matrix and its decomposition, assigns components
+// to shards, dispatches construction, and merges results.
+type Coordinator struct {
+	ps       route.PathSet
+	numLinks int
+	opt      Options
+	csr      *route.CSR
+	comps    []route.Component
+	wd       *watchdog.Service
+
+	mu     sync.Mutex
+	shards []*Shard
+	assign []int32 // component index -> owning shard id
+}
+
+// New materializes and decomposes the candidate matrix, boots the shard
+// heartbeat loops, and computes the initial assignment.
+func New(ps route.PathSet, numLinks int, opt Options) (*Coordinator, error) {
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", opt.Shards)
+	}
+	if opt.TTL <= 0 {
+		opt.TTL = 10 * time.Second
+	}
+	if opt.HeartbeatEvery <= 0 {
+		opt.HeartbeatEvery = opt.TTL / 4
+	}
+	csr := route.MaterializeCSR(ps)
+	c := &Coordinator{
+		ps:       ps,
+		numLinks: numLinks,
+		opt:      opt,
+		csr:      csr,
+		comps:    route.DecomposeCSR(csr, numLinks),
+		wd:       watchdog.New(opt.TTL),
+	}
+	c.assign = make([]int32, len(c.comps))
+	for i := 0; i < opt.Shards; i++ {
+		c.shards = append(c.shards, startShard(i, c.wd, opt.HeartbeatEvery))
+	}
+	alive := make([]int, opt.Shards)
+	for i := range alive {
+		alive[i] = i
+	}
+	c.reassignLocked(alive)
+	return c, nil
+}
+
+// NumShards returns the configured shard count.
+func (c *Coordinator) NumShards() int { return c.opt.Shards }
+
+// Components returns the number of independent components being sharded.
+func (c *Coordinator) Components() int { return len(c.comps) }
+
+// Shard returns shard i (test and operator access, e.g. to Kill it).
+func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+
+// Kill stops shard i's heartbeats. Its components are reassigned once the
+// watchdog TTL expires, at the next Construct cycle.
+func (c *Coordinator) Kill(i int) { c.shards[i].Kill() }
+
+// Stop kills every shard's heartbeat loop (teardown).
+func (c *Coordinator) Stop() {
+	for _, s := range c.shards {
+		s.Kill()
+	}
+}
+
+// Unhealthy lists the shard ids the watchdog currently considers dead.
+func (c *Coordinator) Unhealthy() []int {
+	var out []int
+	for _, n := range c.wd.Unhealthy() {
+		out = append(out, int(n))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// aliveShards returns the live shard ids, ascending. Dead means the
+// watchdog TTL expired; a killed shard stays "alive" until then, exactly
+// like a crashed controller whose silence has not yet been noticed.
+func (c *Coordinator) aliveShards() []int {
+	unhealthy := c.wd.UnhealthySet()
+	alive := make([]int, 0, c.opt.Shards)
+	for i := 0; i < c.opt.Shards; i++ {
+		if !unhealthy[topo.NodeID(i)] {
+			alive = append(alive, i)
+		}
+	}
+	return alive
+}
+
+// reassignLocked recomputes the capacity-capped rendezvous assignment over
+// the alive set and returns how many components moved. Requires c.mu (or
+// single-threaded init).
+func (c *Coordinator) reassignLocked(alive []int) int {
+	keys := make([]uint64, len(c.comps))
+	for ci := range c.comps {
+		keys[ci] = c.comps[ci].Key()
+	}
+	next := assignBalanced(keys, alive)
+	moved := 0
+	for ci := range c.comps {
+		if c.assign[ci] != next[ci] {
+			c.assign[ci] = next[ci]
+			moved++
+		}
+	}
+	return moved
+}
+
+// Assignment returns a copy of the component → shard mapping.
+func (c *Coordinator) Assignment() []int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int32(nil), c.assign...)
+}
+
+// Construct runs one distributed construction cycle: observe liveness,
+// reassign dead shards' components, run PMC on every live shard over its
+// component slice, and merge. The merged selection is bit-identical to
+// pmc.Construct(ps, numLinks, opt.PMC with Decompose on) regardless of the
+// shard count or which shards are alive.
+func (c *Coordinator) Construct() (*Result, error) {
+	start := time.Now()
+	c.mu.Lock()
+	alive := c.aliveShards()
+	if len(alive) == 0 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("shard: all %d shards dead; cannot construct", c.opt.Shards)
+	}
+	moved := c.reassignLocked(alive)
+	assign := append([]int32(nil), c.assign...)
+	c.mu.Unlock()
+
+	perShard := make([][]route.Component, c.opt.Shards)
+	for ci := range c.comps {
+		id := assign[ci]
+		perShard[id] = append(perShard[id], c.comps[ci])
+	}
+
+	results := make([]*pmc.Result, len(alive))
+	errs := make([]error, len(alive))
+	run := func(k int) {
+		results[k], errs[k] = pmc.ConstructComponents(c.ps, c.csr, perShard[alive[k]], c.numLinks, c.opt.PMC)
+	}
+	if c.opt.Sequential {
+		for k := range alive {
+			run(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for k := range alive {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				run(k)
+			}(k)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	merged := &Result{
+		Result: &pmc.Result{Stats: pmc.Stats{CoverageMet: true, IdentMet: c.opt.PMC.Beta >= 1}},
+		Moved:  moved,
+		Alive:  len(alive),
+	}
+	for k, r := range results {
+		merged.Selected = append(merged.Selected, r.Selected...)
+		merged.Stats.Components += r.Stats.Components
+		merged.Stats.Candidates += r.Stats.Candidates
+		merged.Stats.ScoreEvals += r.Stats.ScoreEvals
+		merged.Stats.Reseeds += r.Stats.Reseeds
+		merged.Stats.CoverageMet = merged.Stats.CoverageMet && r.Stats.CoverageMet
+		merged.Stats.IdentMet = merged.Stats.IdentMet && r.Stats.IdentMet
+		merged.PerShard = append(merged.PerShard, ShardStats{
+			ID:         alive[k],
+			Components: len(perShard[alive[k]]),
+			Selected:   len(r.Selected),
+			Elapsed:    r.Stats.Elapsed,
+		})
+		if r.Stats.Elapsed > merged.CriticalPath {
+			merged.CriticalPath = r.Stats.Elapsed
+		}
+	}
+	sort.Ints(merged.Selected)
+	merged.Stats.Selected = len(merged.Selected)
+	merged.Stats.Elapsed = time.Since(start)
+	return merged, nil
+}
+
+// BuildPlane partitions a served probe matrix across the currently alive
+// shards for report routing and per-shard localization (see Plane).
+func (c *Coordinator) BuildPlane(p *route.Probes) *Plane {
+	c.mu.Lock()
+	alive := c.aliveShards()
+	c.mu.Unlock()
+	if len(alive) == 0 {
+		alive = []int{0} // degraded: route everything to shard 0's slot
+	}
+	return NewPlane(p, alive)
+}

@@ -1,0 +1,72 @@
+package shard
+
+// Rendezvous (highest-random-weight) hashing decides which shard owns a
+// component. Every (component key, shard id) pair gets a deterministic
+// weight; the alive shard with the highest weight wins. The property that
+// makes it the right tool for controller failover: removing a shard from
+// the alive set leaves every other pair's weight untouched, so a death
+// moves the dead shard's components and (under the capacity cap below)
+// only the few survivors displaced by the changed cap — never a wholesale
+// reshuffle.
+//
+// Pure rendezvous balances in expectation but is lumpy at small component
+// counts (a k-ary Fattree has only k/2 components), and the construction
+// critical path is the most-loaded shard. assignBalanced therefore caps
+// every shard at ceil(components/alive): each component goes to its
+// highest-weight shard that still has room, in deterministic component
+// order. Max load is the cap, so N shards never degenerate below ~N/2-way
+// parallelism, while assignment remains a pure function of (keys, alive).
+
+// mix64 is SplitMix64's finalizer: a full-avalanche 64-bit mixer, so that
+// consecutive component keys (small link IDs) spread uniformly over shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// weight is the rendezvous score of shard s for component key k.
+func weight(k uint64, s int) uint64 {
+	return mix64(k ^ mix64(uint64(s)+0x9e3779b97f4a7c15))
+}
+
+// rendezvousOwner returns the member of alive with the highest weight for
+// key. Ties (vanishingly rare) break toward the lower shard id because
+// alive is ascending and the comparison is strict. alive must be non-empty.
+func rendezvousOwner(key uint64, alive []int) int {
+	best, bestW := alive[0], weight(key, alive[0])
+	for _, s := range alive[1:] {
+		if w := weight(key, s); w > bestW {
+			best, bestW = s, w
+		}
+	}
+	return best
+}
+
+// assignBalanced maps each key to a member of alive by capacity-capped
+// rendezvous: the highest-weight shard whose load is still below
+// ceil(len(keys)/len(alive)). Keys are processed in slice order, which
+// callers keep deterministic (components sort by smallest link ID). alive
+// must be non-empty and ascending.
+func assignBalanced(keys []uint64, alive []int) []int32 {
+	maxLoad := (len(keys) + len(alive) - 1) / len(alive)
+	load := make(map[int]int, len(alive))
+	out := make([]int32, len(keys))
+	for ci, k := range keys {
+		best, bestW := -1, uint64(0)
+		for _, s := range alive {
+			if load[s] >= maxLoad {
+				continue
+			}
+			if w := weight(k, s); best < 0 || w > bestW {
+				best, bestW = s, w
+			}
+		}
+		out[ci] = int32(best)
+		load[best]++
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+// Package shard implements deTector's sharded controller plane: the probe
+// matrix decomposes into independent path components (paper §4.3,
+// Observation 1), so construction and diagnosis distribute naturally — a
+// thin coordinator assigns components to N controller shards by rendezvous
+// hashing, each shard runs one PMC construction and one PLL diagnoser over
+// its component slice, and the coordinator merges per-shard selections and
+// localization verdicts into one cluster-wide result.
+//
+// The merge carries a hard guarantee, pinned by test: for any shard count
+// and any assignment, the merged selection and the merged localization are
+// bit-identical to the single-controller engine. This holds because
+// components are independent subproblems (no candidate path and no probe
+// path crosses two components), PMC solves each component in isolation and
+// sorts the merged selection, and PLL's hit ratios and greedy cover only
+// ever read paths within one component.
+//
+// Shard liveness runs through a dedicated watchdog: every shard heartbeats
+// it, and when a shard's heartbeats stop for the TTL the coordinator
+// reassigns its components to the surviving shards at the next recompute
+// cycle. Rendezvous hashing keys on route.Component.Key (the component's
+// smallest link ID, stable across recomputes), so a death moves exactly
+// the dead shard's components and nothing else.
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"github.com/detector-net/detector/internal/topo"
+	"github.com/detector-net/detector/internal/watchdog"
+)
+
+// Shard is one emulated controller process: an identity plus the heartbeat
+// loop that keeps it alive in the coordinator's watchdog. Construction and
+// diagnosis work is dispatched to it by the coordinator; killing a shard
+// stops only its heartbeats — death is observed through TTL expiry, the
+// same way a real controller crash would be.
+type Shard struct {
+	// ID is the shard's slot in the coordinator, 0..N-1.
+	ID int
+
+	wd    *watchdog.Service
+	every time.Duration
+	stop  chan struct{}
+	once  sync.Once
+	done  sync.WaitGroup
+}
+
+// startShard registers the shard with the watchdog and starts its
+// heartbeat loop.
+func startShard(id int, wd *watchdog.Service, every time.Duration) *Shard {
+	s := &Shard{ID: id, wd: wd, every: every, stop: make(chan struct{})}
+	wd.Track(topo.NodeID(id))
+	wd.Heartbeat(topo.NodeID(id))
+	s.done.Add(1)
+	go s.run()
+	return s
+}
+
+func (s *Shard) run() {
+	defer s.done.Done()
+	tick := time.NewTicker(s.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.wd.Heartbeat(topo.NodeID(s.ID))
+		}
+	}
+}
+
+// Kill stops the shard's heartbeats. The coordinator notices once the
+// watchdog TTL expires and reassigns the shard's components. Idempotent.
+func (s *Shard) Kill() {
+	s.once.Do(func() { close(s.stop) })
+	s.done.Wait()
+}

@@ -98,6 +98,15 @@ func (b *BCube) switchLabel(a, i int) int {
 	return hi*b.pow[i] + lo
 }
 
+// SwitchFor returns the level-i switch adjacent to server a. Every BCube
+// link joins a server to one of its k+1 adjacent switches, so (a, i)
+// enumerates the link space; bulk path materialization tabulates
+// MustLink(SrvID[a], SwitchFor(a, i)) once per pair instead of resolving
+// the same links through the link map for every path.
+func (b *BCube) SwitchFor(a, i int) NodeID {
+	return b.SwID[i][b.switchLabel(a, i)]
+}
+
 // label renders a server label as digits, most-significant first.
 func (b *BCube) label(a int) string {
 	s := make([]byte, 0, b.K+1)
