@@ -66,6 +66,34 @@ func BenchmarkTable2PMCSymmetry(b *testing.B) {
 	benchPMC(b, pmc.Options{Alpha: 2, Beta: 1, Decompose: true, Lazy: true, Symmetry: true})
 }
 
+// β=2 construction benches: the Table 5 configuration (1,2) running on the
+// exact incremental scoring engine — refine.SplitAffected reports exact
+// affected links for the virtual pair universe, so cached scores survive
+// selections at β=2 exactly as they do at β=1. Fattree(8) keeps the
+// per-commit cost low; the Fattree(16) variant is the ARCHITECTURE.md
+// headline measurement and the CI smoke target.
+func BenchmarkBeta2PMCLazy(b *testing.B) {
+	benchPMC(b, pmc.Options{Alpha: 1, Beta: 2, Decompose: true, Lazy: true})
+}
+
+func BenchmarkBeta2PMCStrawman(b *testing.B) {
+	benchPMC(b, pmc.Options{Alpha: 1, Beta: 2, Decompose: true})
+}
+
+func BenchmarkBeta2ConstructFattree16(b *testing.B) {
+	f := topo.MustFattree(16)
+	ps := route.NewFattreePaths(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pmc.Construct(ps, f.NumLinks(), pmc.Options{
+			Alpha: 1, Beta: 2, Decompose: true, Lazy: true, Symmetry: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPMCMaterializeCSR isolates the one-time cost of flattening the
 // Fattree(8) candidate matrix into the CSR arena that the PMC scoring
 // engine (and DecomposeCSR) run on — the only place AppendLinks-equivalent

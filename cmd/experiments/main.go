@@ -27,10 +27,11 @@ func main() {
 		big    = flag.Bool("big", false, "paper-adjacent instance sizes (minutes of runtime)")
 		k      = flag.Int("k", 0, "override Fattree radix for table4/table5 (0 = experiment default)")
 		probes = flag.Int("probes", 400, "probes per path per simulated window")
+		beta   = flag.Int("beta", 0, "override table5's probe-matrix identifiability level (0 = paper default 2)")
 	)
 	flag.Parse()
 
-	p := expt.Params{Trials: *trials, Seed: *seed, Big: *big, K: *k, ProbesPerPath: *probes}
+	p := expt.Params{Trials: *trials, Seed: *seed, Big: *big, K: *k, ProbesPerPath: *probes, Beta: *beta}
 
 	type driver struct {
 		name string

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestShardRejoinReclaimsComponents closes the failover loop the ROADMAP
+// left untested: after a dead shard's components fail over to the
+// survivors, reviving the shard must hand them back. Because the
+// capacity-capped rendezvous assignment is a pure function of (component
+// keys, alive set), the post-rejoin assignment must equal the pre-failure
+// assignment exactly — and the served probe matrix must stay bit-identical
+// through the whole kill → failover → rejoin sequence.
+func TestShardRejoinReclaimsComponents(t *testing.T) {
+	opts := fastOptions()
+	opts.Shards = 2
+	opts.ShardTTL = 300 * time.Millisecond
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	coord := c.Controller.Coordinator()
+	if coord == nil {
+		t.Fatal("sharded boot produced no coordinator")
+	}
+	origAssign := coord.Assignment()
+	origMatrix := c.Controller.ProbeMatrix().PathLinks
+
+	victim := int(origAssign[0])
+	coord.Kill(victim)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		u := coord.Unhealthy()
+		if len(u) == 1 && u[0] == victim {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard watchdog never declared shard %d dead (unhealthy=%v)", victim, u)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := c.Controller.RunCycle(nil); err != nil {
+		t.Fatalf("post-failure recompute: %v", err)
+	}
+	failedOver := coord.Assignment()
+	for ci, s := range failedOver {
+		if int(s) == victim {
+			t.Fatalf("component %d still assigned to dead shard %d", ci, victim)
+		}
+	}
+	if !reflect.DeepEqual(c.Controller.ProbeMatrix().PathLinks, origMatrix) {
+		t.Fatal("served matrix changed across shard failover")
+	}
+
+	// Recovery: the shard rejoins, heartbeats resume, and one recompute
+	// returns every component to its original owner.
+	coord.Revive(victim)
+	deadline = time.Now().Add(15 * time.Second)
+	for len(coord.Unhealthy()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("revived shard %d never became healthy (unhealthy=%v)", victim, coord.Unhealthy())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := c.Controller.RunCycle(nil); err != nil {
+		t.Fatalf("post-rejoin recompute: %v", err)
+	}
+	rejoined := coord.Assignment()
+	if !reflect.DeepEqual(rejoined, origAssign) {
+		t.Fatalf("post-rejoin assignment %v differs from original %v — the revived shard did not reclaim its components",
+			rejoined, origAssign)
+	}
+	victimOwns := 0
+	for _, s := range rejoined {
+		if int(s) == victim {
+			victimOwns++
+		}
+	}
+	if victimOwns == 0 {
+		t.Fatal("revived shard owns no components; test is vacuous")
+	}
+	if !reflect.DeepEqual(c.Controller.ProbeMatrix().PathLinks, origMatrix) {
+		t.Fatal("served matrix changed across shard rejoin")
+	}
+}

@@ -36,6 +36,11 @@ type Params struct {
 	K int
 	// ProbesPerPath is the per-window probe count of simulation drivers.
 	ProbesPerPath int
+	// Beta overrides the identifiability level of Table 5's probe matrix
+	// (default 2, the paper's configuration). β=2 sweeps on Fattree(16)+
+	// run on the exact incremental scoring engine; lowering to 1 isolates
+	// what identifiability costs in paths and construction time.
+	Beta int
 }
 
 // DefaultParams fits a CI box.

@@ -134,13 +134,17 @@ func Table5(w io.Writer, p Params) ([]Table5Row, error) {
 			k = 16
 		}
 	}
+	beta := p.Beta
+	if beta == 0 {
+		beta = 2
+	}
 	f, err := topo.NewFattree(k)
 	if err != nil {
 		return nil, err
 	}
 	ps := route.NewFattreePaths(f)
 	res, err := pmc.Construct(ps, f.NumLinks(), pmc.Options{
-		Alpha: 1, Beta: 2,
+		Alpha: 1, Beta: beta,
 		Decompose: true, Lazy: true, Symmetry: true,
 	})
 	if err != nil {
@@ -163,7 +167,7 @@ func Table5(w io.Writer, p Params) ([]Table5Row, error) {
 		})
 	}
 
-	fmt.Fprintf(w, "Table 5: (1,2) matrix on Fattree(%d), %d paths (paper Table 5, 48-ary)\n", k, len(res.Selected))
+	fmt.Fprintf(w, "Table 5: (1,%d) matrix on Fattree(%d), %d paths (paper Table 5, 48-ary)\n", beta, k, len(res.Selected))
 	t := newTable(w)
 	t.row("# failed links", "accuracy", "false positive", "false negative")
 	for _, r := range rows {

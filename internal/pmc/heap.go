@@ -51,6 +51,16 @@ func (h *minHeap) push(s, r int32) {
 	h.siftUp(len(h.row) - 1)
 }
 
+// appendUnordered appends an entry without restoring the heap property;
+// callers must run init() before the next pop. The lazy greedy's park-list
+// reseeds use it to replace n sifted pushes with one O(n) heapify — the
+// ordering of pops is unaffected, because pop always returns the exact
+// (score, row) minimum regardless of insertion order.
+func (h *minHeap) appendUnordered(s, r int32) {
+	h.score = append(h.score, s)
+	h.row = append(h.row, r)
+}
+
 // pop removes and returns the minimum element. The heap must be non-empty.
 func (h *minHeap) pop() (s, r int32) {
 	s, r = h.score[0], h.row[0]

@@ -60,6 +60,41 @@ func TestMinHeapInitMatchesPushes(t *testing.T) {
 	}
 }
 
+// TestMinHeapBulkReseedMatchesPushes models the lazy greedy's park-list
+// reseed: entries appended unordered onto a partially drained heap, then
+// heapified once, must pop in exactly the order n sifted pushes would
+// produce — the property that keeps bulk reseeds decision-identical.
+func TestMinHeapBulkReseedMatchesPushes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 257
+	a, b := newMinHeap(2*n), newMinHeap(2*n)
+	for i := 0; i < n; i++ {
+		s := int32(rng.Intn(7) - 3)
+		a.push(s, int32(i))
+		b.push(s, int32(i))
+	}
+	for i := 0; i < n/2; i++ {
+		a.pop()
+		b.pop()
+	}
+	for i := n; i < 2*n; i++ {
+		s := int32(rng.Intn(7) - 3)
+		a.appendUnordered(s, int32(i))
+		b.push(s, int32(i))
+	}
+	a.init()
+	for a.len() > 0 {
+		as, ar := a.pop()
+		bs, br := b.pop()
+		if as != bs || ar != br {
+			t.Fatalf("bulk-reseed heap popped (%d,%d), push-heap (%d,%d)", as, ar, bs, br)
+		}
+	}
+	if b.len() != 0 {
+		t.Fatalf("push-heap not drained: %d left", b.len())
+	}
+}
+
 // TestMinHeapZeroAllocSteadyState enforces the lazy greedy's allocation
 // contract: once the heap is at capacity, push/pop cycles allocate nothing
 // (the container/heap predecessor boxed every element through `any`).

@@ -113,12 +113,18 @@ func TestCrossVariantDeterminism(t *testing.T) {
 	}
 }
 
-// TestBetaTwoPinnedSelections pins the conservative (beta >= 2) engine
-// path, where SplitAffected cannot report affected links exactly and the
-// engine must fall back to full rescans: selections must still match the
-// pre-incremental engine bit for bit.
+// TestBetaTwoPinnedSelections pins the beta == 2 engine path. The
+// fingerprints were recorded from the dirty-everything engine (every cached
+// score rescanned after each selection, the pre-exact-tracking behavior),
+// so they prove the exact SplitAffected incremental path that replaced it
+// reproduces that engine's selections bit for bit — on Fattree(4),
+// Fattree(8) and BCube(4,1), across the lazy, strawman and symmetry greedy
+// policies. The evals guard at the bottom is the companion regression
+// check: with exact dirty tracking, lazy must evaluate strictly fewer
+// scores than the rescanning strawman at beta = 2 as well.
 func TestBetaTwoPinnedSelections(t *testing.T) {
 	f4 := topo.MustFattree(4)
+	f8 := topo.MustFattree(8)
 	b41 := topo.MustBCube(4, 1)
 	cases := []struct {
 		name     string
@@ -132,11 +138,18 @@ func TestBetaTwoPinnedSelections(t *testing.T) {
 			Options{Alpha: 1, Beta: 2, Decompose: true, Lazy: true}, 36, 0xb9d6fc211f489025},
 		{"Fattree4/strawman", route.NewFattreePaths(f4), f4.NumLinks(),
 			Options{Alpha: 1, Beta: 2}, 26, 0x5073a9e61652f167},
+		{"Fattree8/lazy", route.NewFattreePaths(f8), f8.NumLinks(),
+			Options{Alpha: 1, Beta: 2, Decompose: true, Lazy: true}, 332, 0xfa104b2db949eb75},
+		{"Fattree8/strawman", route.NewFattreePaths(f8), f8.NumLinks(),
+			Options{Alpha: 1, Beta: 2, Decompose: true}, 184, 0xb665975a0e70ce75},
+		{"Fattree8/symmetry", route.NewFattreePaths(f8), f8.NumLinks(),
+			Options{Alpha: 1, Beta: 2, Decompose: true, Lazy: true, Symmetry: true}, 304, 0x18cbb10da39d9b65},
 		{"BCube41/lazy", route.NewBCubePaths(b41), b41.NumLinks(),
 			Options{Alpha: 1, Beta: 2, Decompose: true, Lazy: true}, 39, 0x14723add889e1e8a},
 		{"BCube41/strawman", route.NewBCubePaths(b41), b41.NumLinks(),
 			Options{Alpha: 1, Beta: 2}, 26, 0x0188f84219f46a60},
 	}
+	evals := make(map[string]int64)
 	for _, c := range cases {
 		res, err := Construct(c.ps, c.numLinks, c.opt)
 		if err != nil {
@@ -148,5 +161,10 @@ func TestBetaTwoPinnedSelections(t *testing.T) {
 		if h := hashSelection(res.Selected); h != c.wantHash {
 			t.Errorf("%s: selection hash %#016x, pinned %#016x", c.name, h, c.wantHash)
 		}
+		evals[c.name] = res.Stats.ScoreEvals
+	}
+	if evals["Fattree8/lazy"] >= evals["Fattree8/strawman"] {
+		t.Errorf("beta=2 lazy used %d score evals, strawman %d — lazy must evaluate strictly fewer",
+			evals["Fattree8/lazy"], evals["Fattree8/strawman"])
 	}
 }

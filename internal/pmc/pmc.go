@@ -35,13 +35,14 @@
 // a refinement group with it (the identifiability gain term — a group's
 // splittability only changes for paths intersecting a group that the
 // selection properly split; refine.SplitAffected reports those links
-// exactly for β ≤ 1). After each selection step the engine dirties only the
-// rows reachable from the affected links through the inverted index;
-// cached scores of clean rows are reused verbatim. For β ≥ 2 the virtual
-// pair/triple universe has no membership tracking, so the engine falls back
-// to rescoring every candidate, which matches the pre-CSR behavior. The
-// selection sequence is identical to the non-incremental engine for fixed
-// options: clean candidates return exactly the score a rescan would.
+// exactly at every supported β, decoding virtual pair/triple members back
+// to their constituent physical links). After each selection step the
+// engine dirties only the rows reachable from the affected links through
+// the inverted index; cached scores of clean rows are reused verbatim. The
+// selection sequence is identical to a full-rescan engine for fixed
+// options: clean candidates return exactly the score a rescan would
+// (hash-pinned for β ∈ {1,2} in incremental_test.go, differentially proven
+// in refine's oracle tests).
 package pmc
 
 import (
@@ -80,7 +81,10 @@ type Options struct {
 	NoEvenness bool
 }
 
-// DefaultMaxElements bounds refinement memory to roughly 1 GiB of group ids.
+// DefaultMaxElements bounds refinement memory to roughly 1 GiB: each
+// element costs 12 bytes of partition state (group id + intrusive
+// membership links) plus 4 (pair) or 6 (triple) bytes of decode table at
+// beta >= 2.
 const DefaultMaxElements = 64 << 20
 
 // Stats reports how the construction went.
@@ -154,6 +158,13 @@ func constructComponents(ps route.PathSet, csr *route.CSR, comps []route.Compone
 		if n := elementCount(len(c.Links), opt.Beta); n > maxElems {
 			return nil, fmt.Errorf("pmc: component with %d links needs %d refinement elements at beta=%d (max %d); decompose the matrix or lower beta",
 				len(c.Links), n, opt.Beta, maxElems)
+		}
+		// refine's int16 decode tables cap beta >= 2 components at 2^15-1
+		// links; reject here (even under a raised MaxElements) so the
+		// limit surfaces as an error, not a worker panic.
+		if opt.Beta >= 2 && len(c.Links) > 32767 {
+			return nil, fmt.Errorf("pmc: component with %d links exceeds the %d-link limit of beta=%d refinement; decompose the matrix or lower beta",
+				len(c.Links), 32767, opt.Beta)
 		}
 	}
 
@@ -249,9 +260,10 @@ type componentState struct {
 	selected  bitset
 	nSelected int
 
-	// exact is true when refine.SplitAffected reports affected links
-	// precisely (beta <= 1). When false, every row is treated as dirty
-	// forever and the caches below are bypassed.
+	// exact is true while refine.SplitAffected reports affected links
+	// precisely — every supported beta today. Should refine ever declare
+	// a split conservative, the flag degrades (sticky) and every row is
+	// treated as dirty from then on, bypassing the caches below.
 	exact    bool
 	score    []int32 // cached Eq. 1 score per row
 	marginal bitset  // cached positive-marginal flag per row
@@ -276,7 +288,7 @@ func newComponentState(csr *route.CSR, comp *route.Component, localOf []int32, o
 		w:        make([]int32, len(comp.Links)),
 		part:     refine.MustPartition(len(comp.Links), opt.Beta),
 		selected: newBitset(n),
-		exact:    opt.Beta <= 1,
+		exact:    true,
 		score:    make([]int32, n),
 		marginal: newBitset(n),
 		dirty:    newBitset(n),
@@ -362,20 +374,17 @@ func (cs *componentState) sel(r int32) {
 		}
 	}
 	if cs.opt.Beta >= 1 {
-		if cs.exact {
-			_, aff, _ := cs.part.SplitAffected(row, cs.affBuf[:0])
-			cs.affBuf = aff
-			for _, li := range aff {
-				cs.noteLink(li)
-			}
-		} else {
-			cs.part.Split(row)
+		_, aff, exact := cs.part.SplitAffected(row, cs.affBuf[:0])
+		cs.affBuf = aff
+		if !exact {
+			cs.exact = false
 		}
-	}
-	if cs.exact {
-		for _, li := range row {
+		for _, li := range aff {
 			cs.noteLink(li)
 		}
+	}
+	for _, li := range row {
+		cs.noteLink(li)
 	}
 	cs.selected.set(r)
 	cs.nSelected++
@@ -480,11 +489,11 @@ func solveComponent(sym route.Symmetric, csr *route.CSR, comp *route.Component, 
 }
 
 // strawmanGreedy rescans the remaining candidates each iteration — the
-// baseline greedy policy of Table 2's "Strawman" column. With exact dirty
-// tracking (beta <= 1) only stale rows are rescored; the scan over cached
-// scores is otherwise branch-predictable slice walking. Without it
-// (beta >= 2) every iteration is a full rescan, batched through
-// refine.CountSplittableRows over the whole CSR arena.
+// baseline greedy policy of Table 2's "Strawman" column. Exact dirty
+// tracking (every supported beta) means only stale rows are rescored; the
+// scan over cached scores is otherwise branch-predictable slice walking.
+// Should the exact flag ever degrade, isDirty turns every row stale and the
+// loop becomes a literal full rescan with unchanged decisions.
 //
 // Note on what the column measures: the original paper's strawman re-derives
 // every candidate's score from scratch each iteration. Here every variant
@@ -495,10 +504,6 @@ func solveComponent(sym route.Symmetric, csr *route.CSR, comp *route.Component, 
 // incremental_test.go). Absolute strawman times are therefore lower than a
 // faithful reimplementation of the paper's unoptimized loop would be.
 func strawmanGreedy(cs *componentState, sym route.Symmetric, candRows []int32) {
-	if !cs.exact {
-		strawmanRescanAll(cs, sym, candRows)
-		return
-	}
 	var orbitBuf []int
 	for !cs.done() {
 		best := int32(-1)
@@ -509,7 +514,7 @@ func strawmanGreedy(cs *componentState, sym route.Symmetric, candRows []int32) {
 			}
 			var s int32
 			var m bool
-			if cs.dirty.get(r) {
+			if cs.isDirty(r) {
 				s, m = cs.scoreRow(r)
 				cs.cache(r, s, m)
 			} else {
@@ -524,39 +529,6 @@ func strawmanGreedy(cs *componentState, sym route.Symmetric, candRows []int32) {
 		}
 		if best < 0 {
 			return // no candidate makes progress; targets unreachable
-		}
-		orbitBuf = cs.selectWithOrbit(best, sym, orbitBuf)
-	}
-}
-
-// strawmanRescanAll is the conservative strawman loop: with no exact dirty
-// tracking every candidate is rescored each iteration, so the gain term is
-// evaluated for all rows in one CountSplittableRows batch and only the
-// cheap Σw walk stays per-candidate. Scores are identical to scoreRow's.
-func strawmanRescanAll(cs *componentState, sym route.Symmetric, candRows []int32) {
-	gains := make([]int32, cs.ar.numRows())
-	var orbitBuf []int
-	for !cs.done() {
-		cs.part.CountSplittableRows(cs.ar.offsets, cs.ar.links, gains)
-		best := int32(-1)
-		bestScore := int32(0)
-		for _, r := range candRows {
-			if cs.selected.get(r) {
-				continue
-			}
-			cs.evals++
-			sum, covers := cs.rowWeight(r)
-			gain := gains[r]
-			if !(covers || gain > 0) {
-				continue
-			}
-			s := sum - gain
-			if best < 0 || s < bestScore {
-				best, bestScore = r, s
-			}
-		}
-		if best < 0 {
-			return
 		}
 		orbitBuf = cs.selectWithOrbit(best, sym, orbitBuf)
 	}
@@ -599,8 +571,7 @@ func lazyGreedy(cs *componentState, sym route.Symmetric, candRows []int32) (rese
 			orbitBuf = cs.selectWithOrbit(r, sym, orbitBuf)
 			lastWasPush = false
 		default:
-			h.score = append(h.score, s)
-			h.row = append(h.row, r)
+			h.appendUnordered(s, r)
 			lastWasPush = true
 		}
 	}
@@ -625,7 +596,8 @@ func lazyGreedy(cs *componentState, sym route.Symmetric, candRows []int32) (rese
 			// Reseed from the park list: gains can reappear after other
 			// selections refine the partition differently. Parked rows
 			// whose cache is still clean are still zero-marginal and are
-			// kept without rescoring.
+			// kept without rescoring; rows that regained a margin are
+			// appended unordered and heapified once.
 			keep := parked[:0]
 			for _, r := range parked {
 				if cs.selected.get(r) {
@@ -638,7 +610,7 @@ func lazyGreedy(cs *componentState, sym route.Symmetric, candRows []int32) (rese
 				s, m := cs.scoreRow(r)
 				cs.cache(r, s, m)
 				if m {
-					h.push(s, r)
+					h.appendUnordered(s, r)
 				} else {
 					keep = append(keep, r)
 				}
@@ -647,6 +619,7 @@ func lazyGreedy(cs *componentState, sym route.Symmetric, candRows []int32) (rese
 			if h.len() == 0 {
 				return reseeds // nothing can make progress
 			}
+			h.init()
 			reseeds++
 			continue
 		}

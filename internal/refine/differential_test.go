@@ -1,0 +1,228 @@
+package refine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sigOracle mirrors a Partition by explicit signature computation: every
+// element (physical link, pair, triple) carries the byte string of its
+// on-path bits over the splits applied so far. It is the brute-force ground
+// truth the incremental engine is differentially tested against — O(E·P)
+// per split, no sharing with the production code paths.
+type sigOracle struct {
+	l, beta int
+	elems   [][]int32 // element -> constituent physical links
+	sigs    [][]byte  // element -> on-path bit per applied split
+}
+
+func newSigOracle(l, beta int) *sigOracle {
+	o := &sigOracle{l: l, beta: beta}
+	for i := 0; i < l; i++ {
+		o.elems = append(o.elems, []int32{int32(i)})
+	}
+	if beta >= 2 {
+		for i := 0; i < l; i++ {
+			for j := i + 1; j < l; j++ {
+				o.elems = append(o.elems, []int32{int32(i), int32(j)})
+			}
+		}
+	}
+	if beta >= 3 {
+		for i := 0; i < l; i++ {
+			for j := i + 1; j < l; j++ {
+				for k := j + 1; k < l; k++ {
+					o.elems = append(o.elems, []int32{int32(i), int32(j), int32(k)})
+				}
+			}
+		}
+	}
+	o.sigs = make([][]byte, len(o.elems))
+	return o
+}
+
+func (o *sigOracle) onPath(e int, inPath []bool) bool {
+	for _, c := range o.elems[e] {
+		if inPath[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// apply records one split path (duplicate link ids allowed — signatures are
+// set-semantic) and returns the brute-force expectation: the number of
+// properly split signature classes and the sorted affected-link set — the
+// union of constituents of every member of every class with at least one
+// member on the path and at least one off it.
+func (o *sigOracle) apply(path []int32) (split int, affected []int32) {
+	inPath := make([]bool, o.l)
+	for _, l := range path {
+		inPath[l] = true
+	}
+	if o.beta == 0 {
+		return 0, nil
+	}
+	classes := make(map[string][]int)
+	for e := range o.elems {
+		classes[string(o.sigs[e])] = append(classes[string(o.sigs[e])], e)
+	}
+	affSet := make(map[int32]bool)
+	for _, members := range classes {
+		on, off := false, false
+		for _, e := range members {
+			if o.onPath(e, inPath) {
+				on = true
+			} else {
+				off = true
+			}
+		}
+		if on && off {
+			split++
+			for _, e := range members {
+				for _, c := range o.elems[e] {
+					affSet[c] = true
+				}
+			}
+		}
+	}
+	for e := range o.elems {
+		bit := byte(0)
+		if o.onPath(e, inPath) {
+			bit = 1
+		}
+		o.sigs[e] = append(o.sigs[e], bit)
+	}
+	for l := range affSet {
+		affected = append(affected, l)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	return split, affected
+}
+
+// groupsSingles recomputes the oracle's class and singleton counts.
+func (o *sigOracle) groupsSingles() (groups, singles int) {
+	classes := make(map[string]int)
+	for e := range o.elems {
+		classes[string(o.sigs[e])]++
+	}
+	for _, n := range classes {
+		if n == 1 {
+			singles++
+		}
+	}
+	return len(classes), singles
+}
+
+// checkSplitAffected drives one split through both engines and fails the
+// test on any divergence: split count, exact flag, affected set (compared
+// as sorted sets — and the incremental list must already be duplicate-free),
+// group/singleton counts.
+func checkSplitAffected(t *testing.T, p *Partition, o *sigOracle, path []int32, tag string) {
+	t.Helper()
+	wantSplit, wantAff := o.apply(path)
+	split, aff, exact := p.SplitAffected(path, nil)
+	if !exact {
+		t.Fatalf("%s: SplitAffected(%v) not exact at beta=%d", tag, path, o.beta)
+	}
+	if split != wantSplit {
+		t.Fatalf("%s: SplitAffected(%v) split %d groups, oracle %d", tag, path, split, wantSplit)
+	}
+	seen := make(map[int32]bool, len(aff))
+	for _, l := range aff {
+		if seen[l] {
+			t.Fatalf("%s: affected list repeats link %d: %v", tag, l, aff)
+		}
+		seen[l] = true
+	}
+	sorted := append([]int32(nil), aff...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) != len(wantAff) {
+		t.Fatalf("%s: SplitAffected(%v) affected %v, oracle %v", tag, path, sorted, wantAff)
+	}
+	for i := range sorted {
+		if sorted[i] != wantAff[i] {
+			t.Fatalf("%s: SplitAffected(%v) affected %v, oracle %v", tag, path, sorted, wantAff)
+		}
+	}
+	wantGroups, wantSingles := o.groupsSingles()
+	if o.beta >= 1 && (p.Groups() != wantGroups || p.Singletons() != wantSingles) {
+		t.Fatalf("%s: groups=%d singles=%d, oracle %d/%d", tag, p.Groups(), p.Singletons(), wantGroups, wantSingles)
+	}
+}
+
+// TestSplitAffectedDifferential is the randomized differential harness: for
+// every supported beta, >= 120 random (topology size, split sequence) cases
+// are driven through Partition.SplitAffected and the signature oracle in
+// lockstep. Paths deliberately include duplicate link ids about a third of
+// the time, pinning the dedup contract alongside exactness.
+func TestSplitAffectedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for _, beta := range []int{0, 1, 2, 3} {
+		maxL := 12
+		if beta == 3 {
+			maxL = 9 // keep C(l,3) oracle work trivial
+		}
+		for trial := 0; trial < 120; trial++ {
+			l := 2 + rng.Intn(maxL-1)
+			p := MustPartition(l, beta)
+			o := newSigOracle(l, beta)
+			nPaths := 1 + rng.Intn(10)
+			for pi := 0; pi < nPaths; pi++ {
+				n := 1 + rng.Intn(l)
+				perm := rng.Perm(l)[:n]
+				path := make([]int32, 0, n+2)
+				for _, v := range perm {
+					path = append(path, int32(v))
+				}
+				if rng.Intn(3) == 0 {
+					// Repeat a couple of links: the engines must agree
+					// under set semantics.
+					path = append(path, path[rng.Intn(len(path))], path[0])
+				}
+				checkSplitAffected(t, p, o, path, "trial")
+			}
+		}
+	}
+}
+
+// FuzzSplitAffected feeds arbitrary byte strings through the differential
+// harness: the first two bytes pick (l, beta), 0xFF bytes delimit paths, and
+// every other byte contributes the link id b % l — so the fuzzer freely
+// explores duplicate ids, repeated paths, single-link paths and long
+// sequences. Run with `go test -fuzz FuzzSplitAffected ./internal/refine`.
+func FuzzSplitAffected(f *testing.F) {
+	f.Add([]byte{4, 2, 0, 1, 0xFF, 2, 3, 0xFF, 0, 2})
+	f.Add([]byte{7, 3, 0, 1, 2, 3, 4, 5, 6, 0xFF, 1, 1, 1})
+	f.Add([]byte{2, 1, 0, 0xFF, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		l := 2 + int(data[0])%8
+		beta := int(data[1]) % 4
+		p := MustPartition(l, beta)
+		o := newSigOracle(l, beta)
+		var path []int32
+		paths := 0
+		flush := func() {
+			if len(path) == 0 || paths >= 16 {
+				return
+			}
+			checkSplitAffected(t, p, o, path, "fuzz")
+			paths++
+			path = path[:0]
+		}
+		for _, b := range data[2:] {
+			if b == 0xFF {
+				flush()
+				continue
+			}
+			if len(path) < 2*l {
+				path = append(path, int32(int(b)%l))
+			}
+		}
+		flush()
+	})
+}

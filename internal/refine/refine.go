@@ -12,12 +12,23 @@
 // members off it; the matrix is identifiable when every group is a
 // singleton, i.e. every element has a unique path signature.
 //
-// The Partition never materializes signatures: it tracks only the group id
-// of each element, so a Fattree(48) subproblem (2,304 links, 2.65 M virtual
-// pairs) fits in a few dozen megabytes.
+// The Partition never materializes signatures: it tracks the group id of
+// each element plus one intrusive membership list per group, so a
+// Fattree(48) subproblem (2,304 links, 2.65 M virtual pairs) costs 16
+// bytes per element — a few dozen megabytes.
+//
+// Virtual elements are stored by dense combinatorial rank (pairIndex,
+// tripleIndex). A compact int16 decode table maps each rank back to its
+// constituent physical links, with arithmetic inverses (decodePair,
+// decodeTriple) as the tested ground truth, so SplitAffected reports the
+// exact affected-link set at every supported β.
 package refine
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // MaxBeta is the largest supported identifiability level. β=3 requires
 // O(L³) virtual elements and is only practical for small subproblems, which
@@ -48,17 +59,37 @@ type Partition struct {
 	inPath     []bool  // physical link -> is on current path
 	scratch    []int32 // reusable visited-group list
 
-	// Intrusive membership lists, maintained only at beta == 1 (elements
-	// are exactly the physical links): memberHead[g] threads group g's
-	// members through memberNext/memberPrev. They let SplitAffected
-	// enumerate every member of a properly split group in O(|group|);
-	// beta >= 2 has no lists for the O(L²) virtual elements, so
-	// SplitAffected degrades to a conservative "everything may have
-	// changed" report there.
+	// Intrusive membership lists over the full element universe (physical
+	// links, pairs and triples alike), maintained whenever beta >= 1:
+	// memberHead[g] threads group g's members through memberNext/
+	// memberPrev. They let SplitAffected enumerate every member of a
+	// properly split group in O(|group|) and decode it back to physical
+	// links, making the affected-link report exact at every supported
+	// beta.
 	memberHead  []int32
 	memberNext  []int32
 	memberPrev  []int32
 	splitGroups []int32 // scratch: groups that allocated a new id this Split
+
+	// Affected-link dedupe scratch for SplitAffected, epoch-stamped like
+	// groupMark: a physical link is appended at most once per call.
+	affMark  []int32
+	affEpoch int32
+
+	// linkSeen stamps physical links during the beta == 1 fast paths so
+	// duplicate ids in an input slice are counted once; dedup is the
+	// compacted unique-link buffer the marking entry points hand to the
+	// enumeration loops.
+	linkSeen []int32
+	dedup    []int32
+
+	// Compact decode tables: virtual element rank -> constituent links.
+	// int16 suffices because the element-count cap keeps l under 2^15 at
+	// every beta that has virtual elements. They turn SplitAffected's
+	// member decode into two (three) array loads; decodePair/decodeTriple
+	// remain as the arithmetic ground truth the tables are tested against.
+	pairA, pairB        []int16 // beta >= 2, len C(l,2)
+	tripA, tripB, tripC []int16 // beta >= 3, len C(l,3)
 }
 
 // NewPartition creates the refinement state for a component with l physical
@@ -72,6 +103,11 @@ func NewPartition(l, beta int) (*Partition, error) {
 	if beta < 0 || beta > MaxBeta {
 		return nil, fmt.Errorf("refine: beta must be in [0,%d], got %d", MaxBeta, beta)
 	}
+	if beta >= 2 && l > 32767 {
+		// C(2^15, 2) alone is 537 M elements — far past any practical
+		// element budget — so int16 decode tables are never the limit.
+		return nil, fmt.Errorf("refine: beta >= 2 supports at most 32767 links per component, got %d", l)
+	}
 	total := l
 	if beta >= 2 {
 		total += l * (l - 1) / 2
@@ -80,11 +116,13 @@ func NewPartition(l, beta int) (*Partition, error) {
 		total += l * (l - 1) * (l - 2) / 6
 	}
 	p := &Partition{
-		l:      l,
-		beta:   beta,
-		total:  total,
-		gid:    make([]int32, total),
-		inPath: make([]bool, l),
+		l:        l,
+		beta:     beta,
+		total:    total,
+		gid:      make([]int32, total),
+		inPath:   make([]bool, l),
+		affMark:  make([]int32, l),
+		linkSeen: make([]int32, l),
 	}
 	p.groupSize = append(p.groupSize, int32(total))
 	p.groupMark = append(p.groupMark, 0)
@@ -94,15 +132,45 @@ func NewPartition(l, beta int) (*Partition, error) {
 	if total == 1 {
 		p.numSingle = 1
 	}
-	if beta == 1 {
+	if beta >= 1 {
 		p.memberHead = []int32{0}
-		p.memberNext = make([]int32, l)
-		p.memberPrev = make([]int32, l)
-		for i := 0; i < l; i++ {
+		p.memberNext = make([]int32, total)
+		p.memberPrev = make([]int32, total)
+		for i := 0; i < total; i++ {
 			p.memberNext[i] = int32(i + 1)
 			p.memberPrev[i] = int32(i - 1)
 		}
-		p.memberNext[l-1] = -1
+		p.memberNext[total-1] = -1
+	}
+	if beta >= 2 {
+		n := l * (l - 1) / 2
+		p.pairA = make([]int16, n)
+		p.pairB = make([]int16, n)
+		idx := 0
+		for i := 0; i < l; i++ {
+			for j := i + 1; j < l; j++ {
+				p.pairA[idx] = int16(i)
+				p.pairB[idx] = int16(j)
+				idx++
+			}
+		}
+	}
+	if beta >= 3 {
+		n := l * (l - 1) * (l - 2) / 6
+		p.tripA = make([]int16, n)
+		p.tripB = make([]int16, n)
+		p.tripC = make([]int16, n)
+		idx := 0
+		for i := 0; i < l; i++ {
+			for j := i + 1; j < l; j++ {
+				for k := j + 1; k < l; k++ {
+					p.tripA[idx] = int16(i)
+					p.tripB[idx] = int16(j)
+					p.tripC[idx] = int16(k)
+					idx++
+				}
+			}
+		}
 	}
 	return p, nil
 }
@@ -160,6 +228,109 @@ func (p *Partition) tripleIndex(i, j, k int) int {
 	// Within block i, pairs (j,k) over the remaining l-i-1 links.
 	base += c2(l-i-1) - c2(l-j)
 	return base + (k - j - 1)
+}
+
+func c2of(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return n * (n - 1) / 2
+}
+
+func c3of(n int) int {
+	if n < 3 {
+		return 0
+	}
+	return n * (n - 1) * (n - 2) / 6
+}
+
+// pairBlockStart is the pairIndex of (i, i+1): the offset of block i.
+func (p *Partition) pairBlockStart(i int) int {
+	return i * (2*p.l - i - 1) / 2
+}
+
+// decodePair inverts pairIndex: the dense rank idx back to (i, j), i < j.
+// The block is found in closed form — blockStart(i) <= idx pins i to the
+// smaller root of i² - (2l-1)i + 2·idx = 0 — with an integer fixup loop
+// absorbing any float rounding, so the decode is exact for every l the
+// element cap admits.
+func (p *Partition) decodePair(idx int) (int, int) {
+	b := float64(2*p.l - 1)
+	i := int((b - math.Sqrt(b*b-8*float64(idx))) / 2)
+	if i < 0 {
+		i = 0
+	}
+	for i+1 < p.l-1 && p.pairBlockStart(i+1) <= idx {
+		i++
+	}
+	for i > 0 && p.pairBlockStart(i) > idx {
+		i--
+	}
+	j := idx - p.pairBlockStart(i) + i + 1
+	return i, j
+}
+
+// decodeTriple inverts tripleIndex: the dense rank idx back to (i, j, k),
+// i < j < k, by binary-searching the two block prefixes of the ranking.
+func (p *Partition) decodeTriple(idx int) (int, int, int) {
+	l := p.l
+	// Largest i with c3(l) - c3(l-i) <= idx.
+	i := sort.Search(l-3, func(n int) bool { return c3of(l)-c3of(l-n-1) > idx })
+	rem := idx - (c3of(l) - c3of(l-i))
+	// Largest j > i with c2(l-i-1) - c2(l-j) <= rem.
+	j := i + 1 + sort.Search(l-i-2, func(n int) bool { return c2of(l-i-1)-c2of(l-i-2-n) > rem })
+	k := rem - (c2of(l-i-1) - c2of(l-j)) + j + 1
+	return i, j, k
+}
+
+// appendConstituents decodes element elem to its constituent physical links
+// through the decode tables and appends each to aff unless already reported
+// this affEpoch. It returns the extended slice and the number of links
+// appended.
+func (p *Partition) appendConstituents(elem int32, aff []int32) ([]int32, int) {
+	added := 0
+	e := p.affEpoch
+	mark := p.affMark
+	switch {
+	case int(elem) < p.l:
+		if mark[elem] != e {
+			mark[elem] = e
+			aff = append(aff, elem)
+			added++
+		}
+	case int(elem) < p.l+len(p.pairA):
+		r := int(elem) - p.l
+		i, j := int32(p.pairA[r]), int32(p.pairB[r])
+		if mark[i] != e {
+			mark[i] = e
+			aff = append(aff, i)
+			added++
+		}
+		if mark[j] != e {
+			mark[j] = e
+			aff = append(aff, j)
+			added++
+		}
+	default:
+		r := int(elem) - p.l - len(p.pairA)
+		i, j, k := int32(p.tripA[r]), int32(p.tripB[r]), int32(p.tripC[r])
+		if mark[i] != e {
+			mark[i] = e
+			aff = append(aff, i)
+			added++
+		}
+		if mark[j] != e {
+			mark[j] = e
+			aff = append(aff, j)
+			added++
+		}
+		if mark[k] != e {
+			mark[k] = e
+			aff = append(aff, k)
+			added++
+		}
+	}
+	return aff, added
 }
 
 // forEachElementOnPath invokes fn with the element index of every element
@@ -230,10 +401,22 @@ func sort3(a, b, c int) (int, int, int) {
 	return a, b, c
 }
 
-func (p *Partition) markPath(links []int32) {
+// markPathDedup marks the path's links on inPath, dropping duplicate ids,
+// and returns the unique links (backed by p.dedup, valid until the next
+// marking call). The exported entry points all funnel input through it — or
+// through the epoch-stamped linkSeen in the beta == 1 fast paths — so a
+// caller repeating a link id cannot double-count a group or corrupt a
+// split.
+func (p *Partition) markPathDedup(links []int32) []int32 {
+	uniq := p.dedup[:0]
 	for _, l := range links {
-		p.inPath[l] = true
+		if !p.inPath[l] {
+			p.inPath[l] = true
+			uniq = append(uniq, l)
+		}
 	}
+	p.dedup = uniq
+	return uniq
 }
 
 func (p *Partition) unmarkPath(links []int32) {
@@ -254,7 +437,10 @@ func (p *Partition) CountSplittable(links []int32) int {
 	if p.beta == 1 {
 		return p.countSplittableLinks(links)
 	}
-	p.markPath(links)
+	if p.beta == 2 {
+		return p.countSplittablePairs(links)
+	}
+	links = p.markPathDedup(links)
 	p.epoch++
 	e := p.epoch
 	groups := p.scratch[:0]
@@ -278,26 +464,95 @@ func (p *Partition) CountSplittable(links []int32) int {
 	return n
 }
 
+// countSplittablePairs is the beta == 2 fast path of CountSplittable: the
+// same owned-pair enumeration as forEachElementOnPath, but inlined into
+// direct loops so the per-element group visit compiles without a closure
+// call — every score evaluation of a β=2 construction lands here, and the
+// indirect call was the single hottest line of the profile. The m > li half
+// of each path link's block is a contiguous rank run, so that gid walk is
+// sequential and prefetch-friendly.
+func (p *Partition) countSplittablePairs(links []int32) int {
+	links = p.markPathDedup(links)
+	p.epoch++
+	e := p.epoch
+	groups := p.scratch[:0]
+	gid, gMark, gOn := p.gid, p.groupMark, p.groupOnCnt
+	for _, l := range links {
+		g := gid[l]
+		if gMark[g] != e {
+			gMark[g] = e
+			gOn[g] = 0
+			groups = append(groups, g)
+		}
+		gOn[g]++
+	}
+	pairBase := p.l
+	for _, lRaw := range links {
+		li := int(lRaw)
+		// Pairs {m, li} with m < li: rank jumps block to block; skip
+		// on-path m (their block owns the pair).
+		for m := 0; m < li; m++ {
+			if p.inPath[m] {
+				continue
+			}
+			g := gid[pairBase+p.pairBlockStart(m)+li-m-1]
+			if gMark[g] != e {
+				gMark[g] = e
+				gOn[g] = 0
+				groups = append(groups, g)
+			}
+			gOn[g]++
+		}
+		// Pairs {li, m} with m > li: ranks are contiguous.
+		base := pairBase + p.pairBlockStart(li) - li - 1
+		for idx := base + li + 1; idx <= base+p.l-1; idx++ {
+			g := gid[idx]
+			if gMark[g] != e {
+				gMark[g] = e
+				gOn[g] = 0
+				groups = append(groups, g)
+			}
+			gOn[g]++
+		}
+	}
+	n := 0
+	for _, g := range groups {
+		if gOn[g] < p.groupSize[g] {
+			n++
+		}
+	}
+	p.scratch = groups[:0]
+	p.unmarkPath(links)
+	return n
+}
+
 // countSplittableLinks is the beta == 1 fast path of CountSplittable: the
 // element universe is exactly the physical links, so the count needs no
 // path marking and no pair/triple enumeration — one pass over the links
-// with epoch-stamped group visits.
+// with epoch-stamped group visits (linkSeen absorbs duplicate input ids in
+// the same pass).
 func (p *Partition) countSplittableLinks(links []int32) int {
 	p.epoch++
 	e := p.epoch
 	groups := p.scratch[:0]
+	gid, gMark, gOn, seen := p.gid, p.groupMark, p.groupOnCnt, p.linkSeen
 	for _, l := range links {
-		g := p.gid[l]
-		if p.groupMark[g] != e {
-			p.groupMark[g] = e
-			p.groupOnCnt[g] = 0
+		if seen[l] == e {
+			continue
+		}
+		seen[l] = e
+		g := gid[l]
+		if gMark[g] != e {
+			gMark[g] = e
+			gOn[g] = 0
 			groups = append(groups, g)
 		}
-		p.groupOnCnt[g]++
+		gOn[g]++
 	}
 	n := 0
+	gSize := p.groupSize
 	for _, g := range groups {
-		if p.groupOnCnt[g] < p.groupSize[g] {
+		if gOn[g] < gSize[g] {
 			n++
 		}
 	}
@@ -312,7 +567,7 @@ func (p *Partition) Split(links []int32) int {
 	if p.beta == 0 {
 		return 0
 	}
-	p.markPath(links)
+	links = p.markPathDedup(links)
 	p.epoch++
 	e := p.epoch
 	split := 0
@@ -392,25 +647,28 @@ func (p *Partition) moveMember(e, g, ng int32) {
 
 // SplitAffected refines the partition like Split and additionally reports
 // which physical links may have had their splittability context changed —
-// the members of every group that was properly split (both halves). This is
-// the incremental-scoring contract PMC relies on: a candidate path's
-// CountSplittable term can only change when one of its links is in a group
-// the selected path split, so rescoring can be confined to paths touching
-// the returned links (plus, for the Σw term, the selected path's own links).
+// the constituent links of every member of every group that was properly
+// split (both halves). This is the incremental-scoring contract PMC relies
+// on: a candidate path's CountSplittable term can only change when one of
+// its links constitutes an element of a group the selected path split, so
+// rescoring can be confined to paths touching the returned links (plus, for
+// the Σw term, the selected path's own links).
 //
-// Affected links are appended to aff and the extended slice is returned.
-// exact reports whether the list is trustworthy: it is true for beta <= 1
-// (beta == 0 refines nothing, beta == 1 tracks membership lists); for
-// beta >= 2 the O(L²) pair universe has no membership lists, exact is
-// false, and callers must treat every path as affected.
+// Affected links are appended to aff — each link at most once — and the
+// extended slice is returned. exact is true at every supported beta: the
+// membership lists cover the whole virtual element universe, and pair/
+// triple members decode back to physical links arithmetically. The walk
+// stops early once every physical link has been reported, because at that
+// point the affected set has provably converged to its maximum — further
+// members can only repeat links — so the report stays exactly the
+// brute-force set even on the huge early-construction groups.
 func (p *Partition) SplitAffected(links []int32, aff []int32) (split int, out []int32, exact bool) {
 	split = p.Split(links)
-	if p.beta == 0 {
+	if p.beta == 0 || split == 0 {
 		return split, aff, true
 	}
-	if p.memberHead == nil {
-		return split, aff, false
-	}
+	p.affEpoch++
+	remaining := p.l
 	for _, g := range p.splitGroups {
 		ng := p.groupNew[g]
 		if p.groupSize[g] == 0 {
@@ -418,38 +676,18 @@ func (p *Partition) SplitAffected(links []int32, aff []int32) (split int, out []
 			// group id differs, so no path's count changed.
 			continue
 		}
-		for e := p.memberHead[g]; e >= 0; e = p.memberNext[e] {
-			aff = append(aff, e)
-		}
-		for e := p.memberHead[ng]; e >= 0; e = p.memberNext[e] {
-			aff = append(aff, e)
+		for _, h := range [2]int32{g, ng} {
+			for e := p.memberHead[h]; e >= 0; e = p.memberNext[e] {
+				var n int
+				aff, n = p.appendConstituents(e, aff)
+				remaining -= n
+				if remaining == 0 {
+					return split, aff, true
+				}
+			}
 		}
 	}
 	return split, aff, true
-}
-
-// CountSplittableRows evaluates CountSplittable for every CSR row: row r
-// spans links[offsets[r]:offsets[r+1]] and its count is written to out[r].
-// At beta <= 1 the loop runs without the per-call path marking that the
-// pair/triple enumeration needs, amortizing the batch to a single pass over
-// the arena.
-func (p *Partition) CountSplittableRows(offsets []int32, links []int32, out []int32) {
-	n := len(offsets) - 1
-	if p.beta == 0 {
-		for r := 0; r < n; r++ {
-			out[r] = 0
-		}
-		return
-	}
-	if p.beta >= 2 {
-		for r := 0; r < n; r++ {
-			out[r] = int32(p.CountSplittable(links[offsets[r]:offsets[r+1]]))
-		}
-		return
-	}
-	for r := 0; r < n; r++ {
-		out[r] = int32(p.countSplittableLinks(links[offsets[r]:offsets[r+1]]))
-	}
 }
 
 // GroupOf returns the group id of physical link l (for tests).

@@ -71,9 +71,10 @@ type Coordinator struct {
 	comps    []route.Component
 	wd       *watchdog.Service
 
-	mu     sync.Mutex
-	shards []*Shard
-	assign []int32 // component index -> owning shard id
+	mu      sync.Mutex
+	shards  []*Shard
+	assign  []int32 // component index -> owning shard id
+	stopped bool    // Stop ran; Revive must not start new heartbeat loops
 }
 
 // New materializes and decomposes the candidate matrix, boots the shard
@@ -116,14 +117,45 @@ func (c *Coordinator) NumShards() int { return c.opt.Shards }
 func (c *Coordinator) Components() int { return len(c.comps) }
 
 // Shard returns shard i (test and operator access, e.g. to Kill it).
-func (c *Coordinator) Shard(i int) *Shard { return c.shards[i] }
+// c.mu guards c.shards because Revive replaces slice elements.
+func (c *Coordinator) Shard(i int) *Shard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards[i]
+}
 
 // Kill stops shard i's heartbeats. Its components are reassigned once the
 // watchdog TTL expires, at the next Construct cycle.
-func (c *Coordinator) Kill(i int) { c.shards[i].Kill() }
+func (c *Coordinator) Kill(i int) { c.Shard(i).Kill() }
 
-// Stop kills every shard's heartbeat loop (teardown).
+// Revive restarts shard i's heartbeat loop after a Kill, modeling a
+// recovered controller process rejoining the plane. The first heartbeat
+// lands immediately, so the watchdog marks the shard healthy at once; the
+// next Construct cycle recomputes the assignment over the full alive set —
+// and because the assignment is a pure function of (component keys, alive
+// set), a revived shard reclaims exactly the components it owned before it
+// died, leaving every other shard's components in place.
+//
+// Holding c.mu across the old shard's Kill is safe — heartbeat loops never
+// take the coordinator lock — and makes Revive atomic against concurrent
+// Revive, Kill, Shard and Stop.
+func (c *Coordinator) Revive(i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.shards[i].Kill() // idempotent: make sure the old loop is gone
+	c.shards[i] = startShard(i, c.wd, c.opt.HeartbeatEvery)
+}
+
+// Stop kills every shard's heartbeat loop (teardown) and pins the
+// coordinator stopped, so a racing Revive cannot start a loop that would
+// outlive it.
 func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
 	for _, s := range c.shards {
 		s.Kill()
 	}
