@@ -1,14 +1,23 @@
-// Command detectord boots the full deTector deployment on one machine:
-// the emulated UDP switch fabric, controller, diagnoser and watchdog
-// services, and pinger/responder agents on every server. It then injects
-// failures on demand from stdin and prints diagnoser alerts — a terminal
-// version of the paper's testbed demo.
+// Command detectord boots the deTector deployment. In front-end mode (the
+// default) it runs the emulated UDP switch fabric, controller, diagnoser
+// and watchdog services, and pinger/responder agents on every server,
+// then injects failures on demand from stdin and prints diagnoser alerts —
+// a terminal version of the paper's testbed demo. With -shard-serve the
+// same binary is instead one controller shard as a standalone HTTP
+// service (internal/shardrpc): a front-end started with -shard-endpoints
+// drives a fleet of such processes over the wire, with served output
+// bit-identical to the single-process boot.
 //
 // Usage:
 //
-//	detectord -k 4 -window 2s
+//	detectord -k 4 -window 2s                 # everything in one process
+//	detectord -k 4 -shards 2 -remote-shards   # shards behind loopback HTTP
 //
-// Interactive commands on stdin:
+//	detectord -shard-serve -k 4 -listen 127.0.0.1:7117   # one shard process
+//	detectord -shard-serve -k 4 -listen 127.0.0.1:7118   # another
+//	detectord -k 4 -shard-endpoints http://127.0.0.1:7117,http://127.0.0.1:7118
+//
+// Interactive commands on stdin (front-end mode):
 //
 //	fail <linkID> full|gray|blackhole|rate <p>
 //	repair <linkID>
@@ -28,28 +37,65 @@ import (
 
 	"github.com/detector-net/detector/internal/cluster"
 	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/sim"
 	"github.com/detector-net/detector/internal/topo"
 )
 
+// serveShard runs the binary as one controller shard: a shardrpc service
+// over its own materialization of the Fattree(k) candidate matrix.
+func serveShard(k int, listen string) error {
+	f, err := topo.NewFattree(k)
+	if err != nil {
+		return err
+	}
+	ps := route.NewFattreePaths(f)
+	srv := shardrpc.NewServer(ps, f.NumLinks())
+	fmt.Printf("detectord shard: Fattree(%d) engine up on %s — %d candidate paths, matrix sig %#016x\n",
+		k, listen, ps.Len(), srv.MatrixSig())
+	fmt.Println("endpoints: GET /v1/ping · POST /v1/construct · POST /v1/localize · GET /metrics")
+	return srv.ListenAndServe(listen)
+}
+
 func main() {
 	var (
-		k      = flag.Int("k", 4, "Fattree radix")
-		window = flag.Duration("window", 2*time.Second, "diagnoser window")
-		rate   = flag.Int("rate", 60, "probes per second per pinger")
-		shards = flag.Int("shards", 1, "controller shards (>1 boots the sharded controller plane)")
+		k          = flag.Int("k", 4, "Fattree radix")
+		window     = flag.Duration("window", 2*time.Second, "diagnoser window")
+		rate       = flag.Int("rate", 60, "probes per second per pinger")
+		shards     = flag.Int("shards", 1, "controller shards (>1 boots the sharded controller plane)")
+		remote     = flag.Bool("remote-shards", false, "run the -shards controller shards as loopback HTTP services instead of in-process")
+		endpoints  = flag.String("shard-endpoints", "", "comma-separated shard service URLs; the front-end drives this external fleet")
+		shardServe = flag.Bool("shard-serve", false, "run as one controller shard service instead of the front-end")
+		listen     = flag.String("listen", "127.0.0.1:7117", "shard service listen address (with -shard-serve)")
 	)
 	flag.Parse()
+
+	if *shardServe {
+		if err := serveShard(*k, *listen); err != nil {
+			fmt.Fprintln(os.Stderr, "detectord shard:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := control.DefaultConfig()
 	cfg.RatePPS = *rate
 	cfg.WindowMS = int(*window / time.Millisecond)
+	var eps []string
+	for _, ep := range strings.Split(*endpoints, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			eps = append(eps, ep)
+		}
+	}
 	c, err := cluster.Start(cluster.Options{
-		K:            *k,
-		Control:      cfg,
-		Window:       *window,
-		ProbeTimeout: 400 * time.Millisecond,
-		Shards:       *shards,
+		K:              *k,
+		Control:        cfg,
+		Window:         *window,
+		ProbeTimeout:   400 * time.Millisecond,
+		Shards:         *shards,
+		RemoteShards:   *remote,
+		ShardEndpoints: eps,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detectord:", err)
@@ -62,6 +108,9 @@ func main() {
 	if coord := c.Controller.Coordinator(); coord != nil {
 		fmt.Printf("sharded controller plane: %d shards over %d components\n",
 			coord.NumShards(), coord.Components())
+		for _, si := range coord.Status().Shards {
+			fmt.Printf("  shard %d @ %s (%d components)\n", si.ID, si.Addr, len(si.Components))
+		}
 	}
 	fmt.Printf("controller %s | diagnoser %s | watchdog %s\n", c.ControllerURL, c.DiagnoserURL, c.WatchdogURL)
 	fmt.Println("commands: fail <link> full|gray|blackhole|rate <p> · repair <link> · links · alerts · quit")

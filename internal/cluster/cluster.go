@@ -17,6 +17,8 @@ import (
 	"github.com/detector-net/detector/internal/pinger"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/responder"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/sim"
 	"github.com/detector-net/detector/internal/topo"
 	"github.com/detector-net/detector/internal/watchdog"
@@ -44,6 +46,18 @@ type Options struct {
 	// changes is that construction distributes and survives shard death
 	// (see Controller.Coordinator for the failover hooks).
 	Shards int
+	// RemoteShards runs the Shards controller shards as real loopback
+	// HTTP services (internal/shardrpc) instead of in-process: the
+	// coordinator and diagnoser drive them over the wire — the
+	// single-machine stand-in for a real multi-controller deployment,
+	// with identical served output (the transport moves component slices,
+	// selections and verdicts; the matrix never moves).
+	RemoteShards bool
+	// ShardEndpoints connects the control plane to an already-running
+	// external shard fleet (detectord -shard-serve processes) instead of
+	// booting anything locally. Overrides Shards and RemoteShards; every
+	// service must be built for the same Fattree radix K.
+	ShardEndpoints []string
 	// ShardTTL marks a controller shard dead after this heartbeat
 	// silence (default 4 windows, like WatchdogTTL).
 	ShardTTL time.Duration
@@ -71,7 +85,12 @@ type Cluster struct {
 	Pingers    []*pinger.Pinger
 	Responders []*responder.Responder
 
-	servers []*http.Server
+	// ShardURLs lists the loopback shard service endpoints when the boot
+	// used RemoteShards (or echoes Options.ShardEndpoints).
+	ShardURLs []string
+
+	servers   []*http.Server
+	shardSrvs []*http.Server
 }
 
 // serveHTTP starts an http.Server on an ephemeral loopback port.
@@ -100,7 +119,7 @@ func Start(opts Options) (*Cluster, error) {
 		opts.Control = control.DefaultConfig()
 		opts.Control.WindowMS = int(opts.Window / time.Millisecond)
 	}
-	if opts.Shards > 1 {
+	if opts.Shards > 1 || len(opts.ShardEndpoints) > 0 {
 		opts.Control.Shards = opts.Shards
 		if opts.ShardTTL == 0 {
 			opts.ShardTTL = 4 * opts.Window
@@ -116,6 +135,32 @@ func Start(opts Options) (*Cluster, error) {
 	fail := func(err error) (*Cluster, error) {
 		c.Stop()
 		return nil, err
+	}
+
+	// Shard fleet before the control plane: the controller and diagnoser
+	// take its endpoints as config. Each loopback service owns its own
+	// materialization of the candidate matrix, derived from the topology
+	// exactly as the coordinator derives its own — the matrix-signature
+	// handshake holds the two together.
+	if opts.RemoteShards && opts.Shards <= 1 && len(opts.ShardEndpoints) == 0 {
+		return fail(fmt.Errorf("cluster: RemoteShards requires Shards > 1 (got %d) — nothing to put behind the transport", opts.Shards))
+	}
+	switch {
+	case len(opts.ShardEndpoints) > 0:
+		c.ShardURLs = opts.ShardEndpoints
+	case opts.Shards > 1 && opts.RemoteShards:
+		ps := route.NewFattreePaths(f)
+		for i := 0; i < opts.Shards; i++ {
+			srv, url, err := serveHTTP(shardrpc.NewServer(ps, f.NumLinks()).Handler())
+			if err != nil {
+				return fail(fmt.Errorf("cluster: shard server %d: %w", i, err))
+			}
+			c.shardSrvs = append(c.shardSrvs, srv)
+			c.ShardURLs = append(c.ShardURLs, url)
+		}
+	}
+	if len(c.ShardURLs) > 0 {
+		opts.Control.ShardEndpoints = c.ShardURLs
 	}
 
 	c.Fab, err = fabric.Start(f.Topology, c.Rules)
@@ -138,10 +183,11 @@ func Start(opts Options) (*Cluster, error) {
 		pllCfg = *opts.PLL
 	}
 	c.Diagnoser = diag.New(diag.Options{
-		Window: opts.Window,
-		PLL:    pllCfg,
-		Topo:   f.Topology,
-		Shards: opts.Shards,
+		Window:         opts.Window,
+		PLL:            pllCfg,
+		Topo:           f.Topology,
+		Shards:         opts.Shards,
+		ShardEndpoints: c.ShardURLs,
 	})
 	srv, url, err = serveHTTP(c.Diagnoser.Handler())
 	if err != nil {
@@ -201,6 +247,11 @@ func Start(opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// KillShardServer closes loopback shard service i outright — connections
+// refused from the next dial, the single-machine analog of a shard machine
+// losing power. Only meaningful after a RemoteShards boot.
+func (c *Cluster) KillShardServer(i int) { c.shardSrvs[i].Close() }
+
 // InjectFailure installs a loss model on a link (the OpenFlow-rule analog).
 func (c *Cluster) InjectFailure(l topo.LinkID, m sim.LossModel) { c.Rules.Install(l, m) }
 
@@ -244,6 +295,9 @@ func (c *Cluster) Stop() {
 		c.Controller.Close()
 	}
 	for _, s := range c.servers {
+		s.Close()
+	}
+	for _, s := range c.shardSrvs {
 		s.Close()
 	}
 	if c.Fab != nil {

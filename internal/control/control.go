@@ -17,6 +17,7 @@ import (
 	"github.com/detector-net/detector/internal/pmc"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/shard"
+	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/topo"
 )
 
@@ -55,6 +56,13 @@ type Config struct {
 	// ShardTTL marks a shard dead after this heartbeat silence
 	// (default 10 s).
 	ShardTTL time.Duration
+	// ShardEndpoints lists remote shard service URLs (detectord
+	// -shard-serve processes speaking internal/shardrpc). When set, the
+	// coordinator drives those services over the transport instead of
+	// booting in-process shards; Shards is implied (= len(ShardEndpoints)).
+	// Every service must be built for the same topology — the matrix
+	// signature handshake rejects a mismatched fleet.
+	ShardEndpoints []string
 }
 
 // DefaultConfig mirrors the paper's operating point, with the aggregation
@@ -144,11 +152,13 @@ func (c *Controller) Close() {
 	}
 }
 
-// construct runs one PMC cycle, through the sharded plane when configured.
-// Either way the selection is the same: the coordinator's merge guarantee
-// means pinglists and the served matrix do not depend on the shard count.
+// construct runs one PMC cycle, through the sharded plane when configured
+// — in-process shards for Cfg.Shards, remote shard services for
+// Cfg.ShardEndpoints. Either way the selection is the same: the
+// coordinator's merge guarantee means pinglists and the served matrix do
+// not depend on the shard count or the transport.
 func (c *Controller) construct(ps *route.FattreePaths) (*pmc.Result, error) {
-	if c.Cfg.Shards <= 1 {
+	if c.Cfg.Shards <= 1 && len(c.Cfg.ShardEndpoints) == 0 {
 		return pmc.Construct(ps, c.F.NumLinks(), pmc.Options{
 			Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta,
 			Decompose: true, Lazy: true,
@@ -156,11 +166,18 @@ func (c *Controller) construct(ps *route.FattreePaths) (*pmc.Result, error) {
 	}
 	c.mu.Lock()
 	if c.coord == nil {
-		coord, err := shard.New(ps, c.F.NumLinks(), shard.Options{
+		opt := shard.Options{
 			Shards: c.Cfg.Shards,
 			TTL:    c.Cfg.ShardTTL,
 			PMC:    pmc.Options{Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta, Lazy: true},
-		})
+		}
+		if len(c.Cfg.ShardEndpoints) > 0 {
+			opt.Shards = 0
+			for i, ep := range c.Cfg.ShardEndpoints {
+				opt.Clients = append(opt.Clients, shardrpc.Dial(i, ep, shardrpc.ClientOptions{}))
+			}
+		}
+		coord, err := shard.New(ps, c.F.NumLinks(), opt)
 		if err != nil {
 			c.mu.Unlock()
 			return nil, err
@@ -399,7 +416,34 @@ func (c *Controller) Handler() http.Handler {
 		}
 		httpx.WriteJSON(w, metrics.Counters())
 	})
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			badRequests.Inc()
+			return
+		}
+		httpx.WriteJSON(w, c.Shards())
+	})
 	return mux
+}
+
+// ShardsView is the operator-facing placement snapshot served at
+// GET /shards: whether the plane is sharded, and when it is, shard
+// liveness plus the live component → shard assignment — placement without
+// log scraping.
+type ShardsView struct {
+	Sharded bool `json:"sharded"`
+	// Status is present only when Sharded (and after the first cycle).
+	Status *shard.Status `json:"status,omitempty"`
+}
+
+// Shards snapshots the sharded plane for the /shards endpoint.
+func (c *Controller) Shards() ShardsView {
+	coord := c.Coordinator()
+	if coord == nil {
+		return ShardsView{}
+	}
+	st := coord.Status()
+	return ShardsView{Sharded: true, Status: &st}
 }
 
 // FetchPinglist retrieves a pinglist from a controller URL.

@@ -258,3 +258,72 @@ func TestHandlerRejectsMalformedRequests(t *testing.T) {
 		t.Fatalf("control_bad_requests = %d, want %d (+2: bad id, wrong method)", got, before+2)
 	}
 }
+
+// TestShardsEndpointExposesPlacement pins the operator surface: GET
+// /shards answers {"sharded":false} on a single-controller boot, and on a
+// sharded boot lists every shard with its liveness, transport address and
+// owned components, plus every component with its owner — placement
+// without log scraping.
+func TestShardsEndpointExposesPlacement(t *testing.T) {
+	single, _ := newController(t)
+	srv := httptest.NewServer(single.Handler())
+	t.Cleanup(srv.Close)
+	var view ShardsView
+	resp, err := http.Get(srv.URL + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.Sharded || view.Status != nil {
+		t.Fatalf("single controller /shards = %+v, want sharded=false with no status", view)
+	}
+
+	f := topo.MustFattree(4)
+	cfg := DefaultConfig()
+	cfg.ReportURL = "http://diagnoser.test"
+	cfg.Shards = 2
+	sharded := New(f, cfg)
+	if err := sharded.RunCycle(nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sharded.Close)
+	ssrv := httptest.NewServer(sharded.Handler())
+	t.Cleanup(ssrv.Close)
+
+	resp, err = http.Get(ssrv.URL + "/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !view.Sharded || view.Status == nil {
+		t.Fatalf("sharded /shards = %+v, want sharded=true with status", view)
+	}
+	if len(view.Status.Shards) != 2 {
+		t.Fatalf("status lists %d shards, want 2", len(view.Status.Shards))
+	}
+	owned := 0
+	for _, si := range view.Status.Shards {
+		if !si.Alive {
+			t.Errorf("shard %d reported dead on a healthy plane", si.ID)
+		}
+		if si.Addr != "in-process" {
+			t.Errorf("shard %d addr %q, want in-process", si.ID, si.Addr)
+		}
+		owned += len(si.Components)
+	}
+	if want := sharded.Coordinator().Components(); owned != want || len(view.Status.Components) != want {
+		t.Errorf("placement covers %d components (list %d), want %d",
+			owned, len(view.Status.Components), want)
+	}
+	for _, ci := range view.Status.Components {
+		if ci.Shard < 0 || ci.Shard >= 2 {
+			t.Errorf("component %d assigned to nonexistent shard %d", ci.Index, ci.Shard)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/shard"
+	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/topo"
 	"github.com/detector-net/detector/internal/watchdog"
 )
@@ -75,6 +76,12 @@ type Options struct {
 	// path owner (connected component of the probe matrix) and the
 	// verdicts merge — bit-identical to one global pll.Localize.
 	Shards int
+	// ShardEndpoints lists remote shard service URLs (internal/shardrpc).
+	// When set, each shard's localization pass dispatches over the
+	// transport instead of running locally (falling back to local
+	// execution — same algorithm, same verdicts — when a service fails
+	// mid-window); Shards is implied (= len(ShardEndpoints)).
+	ShardEndpoints []string
 	// HTTPClient overrides the default client.
 	HTTPClient *http.Client
 	// Topo, when set, lets alerts name link endpoints.
@@ -83,8 +90,10 @@ type Options struct {
 
 // Diagnoser aggregates reports and localizes per window.
 type Diagnoser struct {
-	opts   Options
-	client *http.Client
+	opts    Options
+	client  *http.Client
+	shards  int // effective shard count (Shards or len(ShardEndpoints))
+	clients map[int]shard.ShardClient
 
 	mu          sync.Mutex
 	matrix      *route.Probes
@@ -116,12 +125,21 @@ func New(opts Options) *Diagnoser {
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
-	return &Diagnoser{
+	d := &Diagnoser{
 		opts: opts, client: client,
+		shards:   opts.Shards,
 		acc:      make(map[uint32]*counter),
 		slowAcc:  make(map[uint32]*counter),
 		stopChan: make(chan struct{}),
 	}
+	if len(opts.ShardEndpoints) > 0 {
+		d.shards = len(opts.ShardEndpoints)
+		d.clients = make(map[int]shard.ShardClient, d.shards)
+		for i, ep := range opts.ShardEndpoints {
+			d.clients[i] = shardrpc.Dial(i, ep, shardrpc.ClientOptions{})
+		}
+	}
+	return d
 }
 
 // SetMatrix injects the probe matrix directly (in-process alternative to
@@ -240,6 +258,9 @@ func (d *Diagnoser) Stop() {
 	d.mu.Unlock()
 	close(d.stopChan)
 	d.done.Wait()
+	for _, cl := range d.clients {
+		cl.Close()
+	}
 }
 
 // RunWindow executes one localization pass over the accumulated reports.
@@ -310,11 +331,11 @@ func (d *Diagnoser) shardPlane(matrix *route.Probes) *shard.Plane {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.plane == nil || d.planeFor != matrix {
-		alive := make([]int, d.opts.Shards)
+		alive := make([]int, d.shards)
 		for i := range alive {
 			alive[i] = i
 		}
-		d.plane = shard.NewPlane(matrix, alive)
+		d.plane = shard.NewPlane(matrix, alive).UseClients(d.clients)
 		d.planeFor = matrix
 	}
 	return d.plane
@@ -328,7 +349,9 @@ func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.O
 	}
 	var res *pll.Result
 	var err error
-	if d.opts.Shards > 1 {
+	// The plane runs whenever localization is sharded OR remote: a single
+	// remote shard still gets its windows over the transport.
+	if d.shards > 1 || len(d.clients) > 0 {
 		res, err = d.shardPlane(matrix).Localize(obs, cfg)
 	} else {
 		res, err = pll.Localize(matrix, obs, cfg)

@@ -35,6 +35,10 @@ func NewCounter(name string) *Counter {
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
+// Add adds delta (byte counts and other bulk increments; the RPC transport
+// uses it for per-shard bytes in/out).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 

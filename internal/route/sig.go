@@ -1,0 +1,32 @@
+package route
+
+import "hash/fnv"
+
+// MatrixSignature fingerprints a materialized candidate matrix: the
+// link-ID space size plus every row's link set, in row order. Two engines
+// that derive the same candidate paths from the same topology produce the
+// same signature, so a shard service can refuse work from a coordinator
+// built for a different matrix (mismatched radix, topology family or
+// candidate generation) instead of silently computing a wrong answer. The
+// sharded control plane stamps every construction request with it.
+func MatrixSignature(csr *CSR, numLinks int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	w64(uint64(numLinks))
+	n := csr.Len()
+	w64(uint64(n))
+	for i := 0; i < n; i++ {
+		row := csr.Row(i)
+		w64(uint64(len(row)))
+		for _, l := range row {
+			w64(uint64(l))
+		}
+	}
+	return h.Sum64()
+}

@@ -2,29 +2,45 @@ package shard
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/detector-net/detector/internal/metrics"
 	"github.com/detector-net/detector/internal/pmc"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/topo"
 	"github.com/detector-net/detector/internal/watchdog"
 )
 
+// heartbeatLapses counts failed liveness probes across all shards — the
+// transport-level signal that precedes a watchdog death.
+var heartbeatLapses = metrics.NewCounter("shard_heartbeat_lapses")
+
+// constructFailovers counts shards quarantined mid-cycle because a
+// dispatched construction failed; each one forces a reassignment retry.
+var constructFailovers = metrics.NewCounter("shard_construct_failovers")
+
 // Options shapes a coordinator.
 type Options struct {
-	// Shards is the number of controller shards (>= 1).
+	// Shards is the number of in-process controller shards to boot when
+	// Clients is nil (>= 1). Ignored when Clients is set.
 	Shards int
+	// Clients, when non-nil, is the explicit shard fleet: one transport
+	// client per shard, slot i must have ID i. This is how remote shards
+	// (internal/shardrpc) join the plane. The coordinator takes
+	// ownership and closes them on Stop.
+	Clients []ShardClient
 	// PMC configures per-shard construction. Decompose is implied: the
 	// coordinator always decomposes the matrix (sharding is meaningless
 	// without it), so the merged result equals pmc.Construct with
 	// Decompose on.
 	PMC pmc.Options
-	// TTL marks a shard dead after this heartbeat silence
-	// (default 10 s; compressed in tests).
+	// TTL marks a shard dead after this many heartbeat-probe failures'
+	// worth of silence (default 10 s; compressed in tests).
 	TTL time.Duration
-	// HeartbeatEvery is the shard heartbeat period (default TTL/4).
+	// HeartbeatEvery is the liveness-probe period (default TTL/4).
 	HeartbeatEvery time.Duration
 	// Sequential runs per-shard constructions one after another instead of
 	// concurrently. Benchmarks use it so that each shard's elapsed time is
@@ -48,38 +64,59 @@ type Result struct {
 	// single-controller engine: Selected is the sorted union of the
 	// per-shard selections and Stats sums the per-shard stats.
 	*pmc.Result
-	// PerShard lists each live shard's share, ascending by shard ID.
+	// PerShard lists each participating shard's share, ascending by ID.
 	PerShard []ShardStats
 	// CriticalPath is the slowest shard's construction time — the modeled
 	// wall clock of the distributed construction (exact when Sequential).
 	CriticalPath time.Duration
-	// Moved counts components reassigned at the start of this cycle
-	// (nonzero only after a shard died or rejoined).
+	// Moved counts components reassigned during this cycle (nonzero after
+	// a shard died, rejoined, or failed mid-cycle).
 	Moved int
-	// Alive is the number of live shards this cycle.
+	// Alive is the number of shards that contributed to the merge.
 	Alive int
+	// Retries counts mid-cycle dispatch rounds that had to be repeated
+	// because a shard failed after passing liveness (transport error or
+	// construction error). 0 on a clean cycle.
+	Retries int
 }
 
 // Coordinator is the front-end of the sharded controller plane. It owns the
 // materialized candidate matrix and its decomposition, assigns components
-// to shards, dispatches construction, and merges results.
+// to shards, dispatches construction over the ShardClient transport, and
+// merges results.
 type Coordinator struct {
 	ps       route.PathSet
 	numLinks int
 	opt      Options
 	csr      *route.CSR
 	comps    []route.Component
+	sig      uint64
 	wd       *watchdog.Service
+	clients  []ShardClient // immutable after New
 
-	mu      sync.Mutex
-	shards  []*Shard
-	assign  []int32 // component index -> owning shard id
-	stopped bool    // Stop ran; Revive must not start new heartbeat loops
+	mu          sync.Mutex
+	quarantined []bool  // construct failed while pings still pass
+	assign      []int32 // component index -> owning shard id
+	stopped     bool
+	stop        chan struct{}
+	probers     sync.WaitGroup
 }
 
-// New materializes and decomposes the candidate matrix, boots the shard
-// heartbeat loops, and computes the initial assignment.
+// New materializes and decomposes the candidate matrix, connects the shard
+// fleet (booting in-process shards when no transport clients are given),
+// starts the liveness probers, and computes the initial assignment.
 func New(ps route.PathSet, numLinks int, opt Options) (*Coordinator, error) {
+	if len(opt.Clients) > 0 {
+		if opt.Shards != 0 && opt.Shards != len(opt.Clients) {
+			return nil, fmt.Errorf("shard: Shards=%d conflicts with %d explicit clients", opt.Shards, len(opt.Clients))
+		}
+		opt.Shards = len(opt.Clients)
+		for i, cl := range opt.Clients {
+			if cl.ID() != i {
+				return nil, fmt.Errorf("shard: client in slot %d has ID %d", i, cl.ID())
+			}
+		}
+	}
 	if opt.Shards < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", opt.Shards)
 	}
@@ -96,19 +133,70 @@ func New(ps route.PathSet, numLinks int, opt Options) (*Coordinator, error) {
 		opt:      opt,
 		csr:      csr,
 		comps:    route.DecomposeCSR(csr, numLinks),
+		sig:      route.MatrixSignature(csr, numLinks),
 		wd:       watchdog.New(opt.TTL),
+		stop:     make(chan struct{}),
 	}
 	c.assign = make([]int32, len(c.comps))
-	for i := 0; i < opt.Shards; i++ {
-		c.shards = append(c.shards, startShard(i, c.wd, opt.HeartbeatEvery))
+	c.quarantined = make([]bool, opt.Shards)
+	if opt.Clients != nil {
+		c.clients = opt.Clients
+	} else {
+		for i := 0; i < opt.Shards; i++ {
+			c.clients = append(c.clients, newInProcess(i, ps, csr, numLinks, c.sig))
+		}
 	}
 	alive := make([]int, opt.Shards)
 	for i := range alive {
 		alive[i] = i
+		// Initial grace: every shard starts with one granted heartbeat so
+		// that a slow-to-boot remote shard gets a full TTL before being
+		// declared dead.
+		c.wd.Track(topo.NodeID(i))
+		c.wd.Heartbeat(topo.NodeID(i))
 	}
 	c.reassignLocked(alive)
+	for _, cl := range c.clients {
+		// Pin the engine fingerprint on transport clients before any probe
+		// runs: a shard built for a different matrix then fails pings and
+		// is declared dead, rather than flapping through
+		// admit-dispatch-fail cycles.
+		if mc, ok := cl.(MatrixChecker); ok {
+			mc.ExpectMatrix(c.sig, c.numLinks)
+		}
+	}
+	for i := range c.clients {
+		c.probers.Add(1)
+		go c.probe(i)
+	}
 	return c, nil
 }
+
+// probe is the per-shard liveness loop: one transport ping per heartbeat
+// period, translated into a watchdog heartbeat on success. This is the
+// only heartbeat source — in-process and remote shards are kept alive (and
+// declared dead) by exactly the same mechanism.
+func (c *Coordinator) probe(i int) {
+	defer c.probers.Done()
+	tick := time.NewTicker(c.opt.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			if err := c.clients[i].Ping(); err == nil {
+				c.wd.Heartbeat(topo.NodeID(i))
+			} else {
+				heartbeatLapses.Inc()
+			}
+		}
+	}
+}
+
+// MatrixSig returns the coordinator's candidate-matrix signature; remote
+// shards must be built over a matrix with the same signature.
+func (c *Coordinator) MatrixSig() uint64 { return c.sig }
 
 // NumShards returns the configured shard count.
 func (c *Coordinator) NumShards() int { return c.opt.Shards }
@@ -116,73 +204,119 @@ func (c *Coordinator) NumShards() int { return c.opt.Shards }
 // Components returns the number of independent components being sharded.
 func (c *Coordinator) Components() int { return len(c.comps) }
 
-// Shard returns shard i (test and operator access, e.g. to Kill it).
-// c.mu guards c.shards because Revive replaces slice elements.
-func (c *Coordinator) Shard(i int) *Shard {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.shards[i]
+// Client returns shard i's transport client (test and operator access).
+func (c *Coordinator) Client(i int) ShardClient { return c.clients[i] }
+
+// Kill crash-simulates shard i when its client supports it (in-process
+// shards). Its components are reassigned once the watchdog TTL expires or
+// a dispatch fails, whichever the coordinator observes first. Remote
+// shards are killed for real: stop the server and the same failover path
+// runs off failed pings.
+func (c *Coordinator) Kill(i int) {
+	if k, ok := c.clients[i].(Killer); ok {
+		k.Kill()
+	}
 }
 
-// Kill stops shard i's heartbeats. Its components are reassigned once the
-// watchdog TTL expires, at the next Construct cycle.
-func (c *Coordinator) Kill(i int) { c.Shard(i).Kill() }
-
-// Revive restarts shard i's heartbeat loop after a Kill, modeling a
-// recovered controller process rejoining the plane. The first heartbeat
-// lands immediately, so the watchdog marks the shard healthy at once; the
-// next Construct cycle recomputes the assignment over the full alive set —
-// and because the assignment is a pure function of (component keys, alive
-// set), a revived shard reclaims exactly the components it owned before it
-// died, leaving every other shard's components in place.
-//
-// Holding c.mu across the old shard's Kill is safe — heartbeat loops never
-// take the coordinator lock — and makes Revive atomic against concurrent
-// Revive, Kill, Shard and Stop.
+// Revive recovers shard i after a Kill (or a remote shard's restart): the
+// quarantine is lifted and one immediate liveness probe runs, so a healthy
+// shard is back in the plane at once. The next Construct cycle recomputes
+// the assignment over the full alive set — and because the assignment is a
+// pure function of (component keys, alive set), a revived shard reclaims
+// exactly the components it owned before it died, leaving every other
+// shard's components in place.
 func (c *Coordinator) Revive(i int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.stopped {
+		c.mu.Unlock()
 		return
 	}
-	c.shards[i].Kill() // idempotent: make sure the old loop is gone
-	c.shards[i] = startShard(i, c.wd, c.opt.HeartbeatEvery)
-}
-
-// Stop kills every shard's heartbeat loop (teardown) and pins the
-// coordinator stopped, so a racing Revive cannot start a loop that would
-// outlive it.
-func (c *Coordinator) Stop() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stopped = true
-	for _, s := range c.shards {
-		s.Kill()
+	c.quarantined[i] = false
+	c.mu.Unlock()
+	if r, ok := c.clients[i].(Reviver); ok {
+		r.Revive()
+	}
+	if err := c.clients[i].Ping(); err == nil {
+		c.wd.Heartbeat(topo.NodeID(i))
 	}
 }
 
-// Unhealthy lists the shard ids the watchdog currently considers dead.
+// Stop halts the liveness probers and closes every shard client
+// (teardown). Idempotent.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	close(c.stop)
+	c.mu.Unlock()
+	c.probers.Wait()
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+}
+
+// Unhealthy lists the shard ids currently out of the plane: watchdog TTL
+// expiries plus mid-cycle quarantines, ascending.
 func (c *Coordinator) Unhealthy() []int {
-	var out []int
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := make(map[int]bool)
 	for _, n := range c.wd.Unhealthy() {
-		out = append(out, int(n))
+		set[int(n)] = true
+	}
+	for i, q := range c.quarantined {
+		if q {
+			set[i] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
 	}
 	sort.Ints(out)
 	return out
 }
 
-// aliveShards returns the live shard ids, ascending. Dead means the
-// watchdog TTL expired; a killed shard stays "alive" until then, exactly
+// aliveLocked returns the live shard ids, ascending: not expired in the
+// watchdog and not quarantined. Dead-by-TTL means ping failures went
+// unanswered for the TTL; a killed shard stays "alive" until then, exactly
 // like a crashed controller whose silence has not yet been noticed.
-func (c *Coordinator) aliveShards() []int {
+// Requires c.mu.
+func (c *Coordinator) aliveLocked() []int {
 	unhealthy := c.wd.UnhealthySet()
 	alive := make([]int, 0, c.opt.Shards)
 	for i := 0; i < c.opt.Shards; i++ {
-		if !unhealthy[topo.NodeID(i)] {
+		if !unhealthy[topo.NodeID(i)] && !c.quarantined[i] {
 			alive = append(alive, i)
 		}
 	}
 	return alive
+}
+
+// reprobeQuarantined gives quarantined shards one synchronous liveness
+// probe at the start of a cycle: a shard whose process was restarted (or
+// whose transport blip healed) rejoins automatically, while a shard that
+// still fails stays out without costing the cycle anything further.
+func (c *Coordinator) reprobeQuarantined() {
+	c.mu.Lock()
+	var retry []int
+	for i, q := range c.quarantined {
+		if q {
+			retry = append(retry, i)
+		}
+	}
+	c.mu.Unlock()
+	for _, i := range retry {
+		if err := c.clients[i].Ping(); err == nil {
+			c.wd.Heartbeat(topo.NodeID(i))
+			c.mu.Lock()
+			c.quarantined[i] = false
+			c.mu.Unlock()
+		}
+	}
 }
 
 // reassignLocked recomputes the capacity-capped rendezvous assignment over
@@ -212,91 +346,219 @@ func (c *Coordinator) Assignment() []int32 {
 }
 
 // Construct runs one distributed construction cycle: observe liveness,
-// reassign dead shards' components, run PMC on every live shard over its
-// component slice, and merge. The merged selection is bit-identical to
+// reassign dead shards' components, dispatch PMC over the transport to
+// every live shard, and merge. A shard that fails its dispatch — transport
+// error or engine error — is quarantined and the cycle retries over the
+// survivors, so the result is always a complete merge: bit-identical to
 // pmc.Construct(ps, numLinks, opt.PMC with Decompose on) regardless of the
-// shard count or which shards are alive.
+// shard count, the transport, or which shards die mid-cycle.
 func (c *Coordinator) Construct() (*Result, error) {
 	start := time.Now()
-	c.mu.Lock()
-	alive := c.aliveShards()
-	if len(alive) == 0 {
+	c.reprobeQuarantined()
+	totalMoved := 0
+	var lastErr error
+	// Completed per-shard runs, kept across retry rounds: when a shard
+	// fails mid-cycle, survivors whose component slice is unchanged by the
+	// reassignment (rendezvous moves only the failed shard's components
+	// plus cap displacements) reuse their finished construction instead of
+	// recomputing it — a failover round costs roughly the failed shard's
+	// work, not the whole cycle's. Keyed by shard id; valid only while the
+	// slice (component indices) matches.
+	type doneRun struct {
+		compIdx []int32
+		res     *pmc.Result
+	}
+	cache := make(map[int]doneRun)
+	for attempt := 0; attempt <= c.opt.Shards; attempt++ {
+		c.mu.Lock()
+		alive := c.aliveLocked()
+		if len(alive) == 0 {
+			c.mu.Unlock()
+			if lastErr != nil {
+				return nil, fmt.Errorf("shard: all %d shards dead or quarantined; last dispatch error: %w",
+					c.opt.Shards, lastErr)
+			}
+			return nil, fmt.Errorf("shard: all %d shards dead; cannot construct", c.opt.Shards)
+		}
+		totalMoved += c.reassignLocked(alive)
+		assign := append([]int32(nil), c.assign...)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("shard: all %d shards dead; cannot construct", c.opt.Shards)
-	}
-	moved := c.reassignLocked(alive)
-	assign := append([]int32(nil), c.assign...)
-	c.mu.Unlock()
 
-	perShard := make([][]route.Component, c.opt.Shards)
-	for ci := range c.comps {
-		id := assign[ci]
-		perShard[id] = append(perShard[id], c.comps[ci])
-	}
-
-	results := make([]*pmc.Result, len(alive))
-	errs := make([]error, len(alive))
-	run := func(k int) {
-		results[k], errs[k] = pmc.ConstructComponents(c.ps, c.csr, perShard[alive[k]], c.numLinks, c.opt.PMC)
-	}
-	if c.opt.Sequential {
-		for k := range alive {
-			run(k)
+		perShard := make([][]int32, c.opt.Shards)
+		for ci := range c.comps {
+			id := assign[ci]
+			perShard[id] = append(perShard[id], int32(ci))
 		}
-	} else {
-		var wg sync.WaitGroup
-		for k := range alive {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
+
+		results := make([]*pmc.Result, len(alive))
+		errs := make([]error, len(alive))
+		var toRun []int
+		for k, id := range alive {
+			if d, ok := cache[id]; ok && slices.Equal(d.compIdx, perShard[id]) {
+				results[k] = d.res
+				continue
+			}
+			toRun = append(toRun, k)
+		}
+		run := func(k int) {
+			id := alive[k]
+			comps := make([]route.Component, len(perShard[id]))
+			for i, ci := range perShard[id] {
+				comps[i] = c.comps[ci]
+			}
+			results[k], errs[k] = c.clients[id].Construct(ConstructRequest{
+				MatrixSig: c.sig,
+				NumLinks:  c.numLinks,
+				Comps:     comps,
+				Opt:       c.opt.PMC,
+			})
+		}
+		if c.opt.Sequential {
+			for _, k := range toRun {
 				run(k)
-			}(k)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for _, k := range toRun {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					run(k)
+				}(k)
+			}
+			wg.Wait()
 		}
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 
-	merged := &Result{
-		Result: &pmc.Result{Stats: pmc.Stats{CoverageMet: true, IdentMet: c.opt.PMC.Beta >= 1}},
-		Moved:  moved,
-		Alive:  len(alive),
-	}
-	for k, r := range results {
-		merged.Selected = append(merged.Selected, r.Selected...)
-		merged.Stats.Components += r.Stats.Components
-		merged.Stats.Candidates += r.Stats.Candidates
-		merged.Stats.ScoreEvals += r.Stats.ScoreEvals
-		merged.Stats.Reseeds += r.Stats.Reseeds
-		merged.Stats.CoverageMet = merged.Stats.CoverageMet && r.Stats.CoverageMet
-		merged.Stats.IdentMet = merged.Stats.IdentMet && r.Stats.IdentMet
-		merged.PerShard = append(merged.PerShard, ShardStats{
-			ID:         alive[k],
-			Components: len(perShard[alive[k]]),
-			Selected:   len(r.Selected),
-			Elapsed:    r.Stats.Elapsed,
-		})
-		if r.Stats.Elapsed > merged.CriticalPath {
-			merged.CriticalPath = r.Stats.Elapsed
+		failed := false
+		for k, err := range errs {
+			id := alive[k]
+			if err == nil {
+				cache[id] = doneRun{compIdx: perShard[id], res: results[k]}
+				continue
+			}
+			failed = true
+			lastErr = err
+			constructFailovers.Inc()
+			delete(cache, id)
+			c.mu.Lock()
+			c.quarantined[id] = true
+			c.mu.Unlock()
 		}
+		if failed {
+			// Never serve a partial merge: requeue the cycle over the
+			// survivors (cached runs carry over). Each retry quarantines
+			// at least one shard, so the loop terminates within opt.Shards
+			// rounds.
+			continue
+		}
+
+		merged := &Result{
+			Result:  &pmc.Result{Stats: pmc.Stats{CoverageMet: true, IdentMet: c.opt.PMC.Beta >= 1}},
+			Moved:   totalMoved,
+			Alive:   len(alive),
+			Retries: attempt,
+		}
+		for k, r := range results {
+			merged.Selected = append(merged.Selected, r.Selected...)
+			merged.Stats.Components += r.Stats.Components
+			merged.Stats.Candidates += r.Stats.Candidates
+			merged.Stats.ScoreEvals += r.Stats.ScoreEvals
+			merged.Stats.Reseeds += r.Stats.Reseeds
+			merged.Stats.CoverageMet = merged.Stats.CoverageMet && r.Stats.CoverageMet
+			merged.Stats.IdentMet = merged.Stats.IdentMet && r.Stats.IdentMet
+			merged.PerShard = append(merged.PerShard, ShardStats{
+				ID:         alive[k],
+				Components: len(perShard[alive[k]]),
+				Selected:   len(r.Selected),
+				Elapsed:    r.Stats.Elapsed,
+			})
+			if r.Stats.Elapsed > merged.CriticalPath {
+				merged.CriticalPath = r.Stats.Elapsed
+			}
+		}
+		sort.Ints(merged.Selected)
+		merged.Stats.Selected = len(merged.Selected)
+		merged.Stats.Elapsed = time.Since(start)
+		return merged, nil
 	}
-	sort.Ints(merged.Selected)
-	merged.Stats.Selected = len(merged.Selected)
-	merged.Stats.Elapsed = time.Since(start)
-	return merged, nil
+	return nil, fmt.Errorf("shard: construction failed after %d dispatch rounds: %w", c.opt.Shards+1, lastErr)
 }
 
 // BuildPlane partitions a served probe matrix across the currently alive
-// shards for report routing and per-shard localization (see Plane).
+// shards for report routing and per-shard localization, dispatched over
+// the same transport clients (see Plane).
 func (c *Coordinator) BuildPlane(p *route.Probes) *Plane {
 	c.mu.Lock()
-	alive := c.aliveShards()
+	alive := c.aliveLocked()
 	c.mu.Unlock()
 	if len(alive) == 0 {
 		alive = []int{0} // degraded: route everything to shard 0's slot
 	}
-	return NewPlane(p, alive)
+	clients := make(map[int]ShardClient, len(alive))
+	for _, id := range alive {
+		clients[id] = c.clients[id]
+	}
+	return NewPlane(p, alive).UseClients(clients)
+}
+
+// ShardInfo is one shard's row in the operator-facing placement view.
+type ShardInfo struct {
+	ID          int    `json:"id"`
+	Addr        string `json:"addr"`
+	Alive       bool   `json:"alive"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	// Components are the component indices the shard currently owns.
+	Components []int `json:"components"`
+}
+
+// ComponentInfo is one component's row in the placement view.
+type ComponentInfo struct {
+	Index int    `json:"index"`
+	Key   uint64 `json:"key,string"`
+	Links int    `json:"links"`
+	Paths int    `json:"paths"`
+	Shard int    `json:"shard"`
+}
+
+// Status is the operator-facing snapshot served at the control service's
+// GET /shards: who is alive, where every component lives, and over which
+// transport — placement without log scraping.
+type Status struct {
+	MatrixSig  uint64          `json:"matrix_sig,string"`
+	Shards     []ShardInfo     `json:"shards"`
+	Components []ComponentInfo `json:"components"`
+}
+
+// Status snapshots shard liveness and the component → shard assignment.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	unhealthy := c.wd.UnhealthySet()
+	st := Status{MatrixSig: c.sig}
+	owned := make(map[int][]int, c.opt.Shards)
+	for ci := range c.comps {
+		id := int(c.assign[ci])
+		owned[id] = append(owned[id], ci)
+		st.Components = append(st.Components, ComponentInfo{
+			Index: ci,
+			Key:   c.comps[ci].Key(),
+			Links: len(c.comps[ci].Links),
+			Paths: len(c.comps[ci].Paths),
+			Shard: id,
+		})
+	}
+	for i := 0; i < c.opt.Shards; i++ {
+		comps := owned[i]
+		if comps == nil {
+			comps = []int{}
+		}
+		st.Shards = append(st.Shards, ShardInfo{
+			ID:          i,
+			Addr:        c.clients[i].Addr(),
+			Alive:       !unhealthy[topo.NodeID(i)] && !c.quarantined[i],
+			Quarantined: c.quarantined[i],
+			Components:  comps,
+		})
+	}
+	return st
 }

@@ -5,10 +5,17 @@ import (
 	"sync"
 	"time"
 
+	"github.com/detector-net/detector/internal/metrics"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/topo"
 )
+
+// planeLocalFallbacks counts per-shard localizations that fell back to
+// local execution after the shard's transport client failed mid-window.
+// The merged verdict stays exact (same algorithm, same sub-matrix); the
+// counter makes a flapping shard service visible.
+var planeLocalFallbacks = metrics.NewCounter("shard_plane_local_fallbacks")
 
 // Plane is the diagnosis side of the sharded plane: a partition of a served
 // probe matrix across shards, with probe-report routing by path ID and a
@@ -26,10 +33,11 @@ import (
 // may entangle components through shared pinger uplinks, in which case the
 // plane degrades gracefully to fewer (still exact) partitions.
 type Plane struct {
-	alive []int
-	owner []int32 // global path index -> owning shard id
-	local []int32 // global path index -> row in the owner's sub-matrix
-	subs  map[int]*planeShard
+	alive   []int
+	owner   []int32 // global path index -> owning shard id
+	local   []int32 // global path index -> row in the owner's sub-matrix
+	subs    map[int]*planeShard
+	clients map[int]ShardClient // optional: dispatch localization over the transport
 }
 
 // planeShard is one shard's slice of the matrix: the sub-matrix over its
@@ -126,6 +134,16 @@ func NewPlane(p *route.Probes, alive []int) *Plane {
 	return pl
 }
 
+// UseClients attaches transport clients keyed by shard id: Localize then
+// dispatches each shard's pass through its client instead of running it
+// locally, falling back to local execution (same algorithm, same
+// sub-matrix, hence the same verdicts) when a client fails mid-window.
+// Returns pl for chaining.
+func (pl *Plane) UseClients(clients map[int]ShardClient) *Plane {
+	pl.clients = clients
+	return pl
+}
+
 // Owner returns the shard owning probe path i, or -1 for out-of-range ids
 // and linkless paths.
 func (pl *Plane) Owner(i int) int {
@@ -163,6 +181,20 @@ func (pl *Plane) Route(obs []pll.Observation) map[int][]pll.Observation {
 	return out
 }
 
+// localizeShard runs shard id's PLL pass: through the transport client
+// when one is attached, locally otherwise — and locally as a fallback when
+// the client fails, so one flapping shard service degrades a window to
+// local compute instead of losing it.
+func (pl *Plane) localizeShard(id int, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+	if cl := pl.clients[id]; cl != nil {
+		if res, err := cl.Localize(pl.subs[id].probes, obs, cfg); err == nil {
+			return res, nil
+		}
+		planeLocalFallbacks.Inc()
+	}
+	return pll.Localize(pl.subs[id].probes, obs, cfg)
+}
+
 // Localize routes the window to the owning shards, runs one PLL pass per
 // shard concurrently, and merges the verdicts: bad links are the sorted
 // union (components are link-disjoint, so no verdict can collide), and the
@@ -183,7 +215,7 @@ func (pl *Plane) Localize(obs []pll.Observation, cfg pll.Config) (*pll.Result, e
 		wg.Add(1)
 		go func(k, id int) {
 			defer wg.Done()
-			results[k], errs[k] = pll.Localize(pl.subs[id].probes, routed[id], cfg)
+			results[k], errs[k] = pl.localizeShard(id, routed[id], cfg)
 		}(k, id)
 	}
 	wg.Wait()

@@ -6,74 +6,132 @@
 // its component slice, and the coordinator merges per-shard selections and
 // localization verdicts into one cluster-wide result.
 //
-// The merge carries a hard guarantee, pinned by test: for any shard count
-// and any assignment, the merged selection and the merged localization are
-// bit-identical to the single-controller engine. This holds because
-// components are independent subproblems (no candidate path and no probe
-// path crosses two components), PMC solves each component in isolation and
-// sorts the merged selection, and PLL's hit ratios and greedy cover only
-// ever read paths within one component.
+// The coordinator talks to shards only through the ShardClient transport
+// interface. Two implementations exist: the in-process Shard below (a
+// direct call into the local engines) and internal/shardrpc's HTTP/JSON
+// client, which drives a shard running as a standalone service on another
+// machine. The coordinator cannot tell them apart — liveness, dispatch and
+// failover all run through the same interface.
 //
-// Shard liveness runs through a dedicated watchdog: every shard heartbeats
-// it, and when a shard's heartbeats stop for the TTL the coordinator
-// reassigns its components to the surviving shards at the next recompute
-// cycle. Rendezvous hashing keys on route.Component.Key (the component's
-// smallest link ID, stable across recomputes), so a death moves exactly
-// the dead shard's components and nothing else.
+// The merge carries a hard guarantee, pinned by test: for any shard count,
+// any assignment and either transport, the merged selection and the merged
+// localization are bit-identical to the single-controller engine. This
+// holds because components are independent subproblems (no candidate path
+// and no probe path crosses two components), PMC solves each component in
+// isolation and sorts the merged selection, and PLL's hit ratios and
+// greedy cover only ever read paths within one component.
+//
+// Shard liveness runs through a dedicated watchdog fed by transport pings:
+// the coordinator probes every shard each heartbeat period, and when a
+// shard's pings fail for the TTL the coordinator reassigns its components
+// to the surviving shards at the next recompute cycle. A shard that still
+// answers pings but fails a dispatched construction is quarantined and its
+// components re-dispatched within the same cycle — the coordinator never
+// serves a partial merge. Rendezvous hashing keys on route.Component.Key
+// (the component's smallest link ID, stable across recomputes), so a death
+// moves exactly the dead shard's components and nothing else.
 package shard
 
 import (
+	"fmt"
 	"sync"
-	"time"
 
-	"github.com/detector-net/detector/internal/topo"
-	"github.com/detector-net/detector/internal/watchdog"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
 )
 
-// Shard is one emulated controller process: an identity plus the heartbeat
-// loop that keeps it alive in the coordinator's watchdog. Construction and
-// diagnosis work is dispatched to it by the coordinator; killing a shard
-// stops only its heartbeats — death is observed through TTL expiry, the
-// same way a real controller crash would be.
+// Shard is the in-process ShardClient: one emulated controller process
+// holding its own handle on the candidate matrix. Construction and
+// diagnosis run as direct calls into the local engines; Kill simulates a
+// crash (pings and dispatches fail until Revive), which the coordinator
+// observes through ping failures exactly as it would a remote shard's
+// dead TCP endpoint.
 type Shard struct {
-	// ID is the shard's slot in the coordinator, 0..N-1.
-	ID int
+	id       int
+	ps       route.PathSet
+	csr      *route.CSR
+	numLinks int
+	sig      uint64
 
-	wd    *watchdog.Service
-	every time.Duration
-	stop  chan struct{}
-	once  sync.Once
-	done  sync.WaitGroup
+	mu     sync.Mutex
+	killed bool
 }
 
-// startShard registers the shard with the watchdog and starts its
-// heartbeat loop.
-func startShard(id int, wd *watchdog.Service, every time.Duration) *Shard {
-	s := &Shard{ID: id, wd: wd, every: every, stop: make(chan struct{})}
-	wd.Track(topo.NodeID(id))
-	wd.Heartbeat(topo.NodeID(id))
-	s.done.Add(1)
-	go s.run()
-	return s
+// NewInProcess builds a standalone in-process shard over its own
+// materialization of ps. The coordinator shares one materialization across
+// its shards instead (newInProcess); this entry point is for tests and
+// embedders that assemble a mixed client set by hand.
+func NewInProcess(id int, ps route.PathSet, numLinks int) *Shard {
+	csr := route.MaterializeCSR(ps)
+	return newInProcess(id, ps, csr, numLinks, route.MatrixSignature(csr, numLinks))
 }
 
-func (s *Shard) run() {
-	defer s.done.Done()
-	tick := time.NewTicker(s.every)
-	defer tick.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case <-tick.C:
-			s.wd.Heartbeat(topo.NodeID(s.ID))
-		}
+func newInProcess(id int, ps route.PathSet, csr *route.CSR, numLinks int, sig uint64) *Shard {
+	return &Shard{id: id, ps: ps, csr: csr, numLinks: numLinks, sig: sig}
+}
+
+// ID returns the shard's coordinator slot.
+func (s *Shard) ID() int { return s.id }
+
+// Addr names the transport: in-process shards have no endpoint.
+func (s *Shard) Addr() string { return "in-process" }
+
+// Ping reports liveness; a killed shard fails like a closed socket.
+func (s *Shard) Ping() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return fmt.Errorf("shard %d: killed", s.id)
 	}
+	return nil
 }
 
-// Kill stops the shard's heartbeats. The coordinator notices once the
-// watchdog TTL expires and reassigns the shard's components. Idempotent.
+// Construct runs PMC over the assigned component slice.
+func (s *Shard) Construct(req ConstructRequest) (*pmc.Result, error) {
+	if err := s.Ping(); err != nil {
+		return nil, err
+	}
+	if req.MatrixSig != s.sig {
+		return nil, fmt.Errorf("shard %d: matrix signature %#016x does not match engine %#016x",
+			s.id, req.MatrixSig, s.sig)
+	}
+	if req.NumLinks != s.numLinks {
+		return nil, fmt.Errorf("shard %d: numLinks %d does not match engine %d",
+			s.id, req.NumLinks, s.numLinks)
+	}
+	return pmc.ConstructComponents(s.ps, s.csr, req.Comps, s.numLinks, req.Opt)
+}
+
+// Localize runs PLL over a routed sub-matrix.
+func (s *Shard) Localize(sub *route.Probes, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+	if err := s.Ping(); err != nil {
+		return nil, err
+	}
+	return pll.Localize(sub, obs, cfg)
+}
+
+// Kill simulates a crash: every subsequent Ping, Construct and Localize
+// fails until Revive. The coordinator notices once the watchdog TTL
+// expires (or immediately, if a dispatch hits the dead shard first) and
+// reassigns the shard's components. Idempotent.
 func (s *Shard) Kill() {
-	s.once.Do(func() { close(s.stop) })
-	s.done.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.killed = true
+}
+
+// Revive recovers a killed shard, modeling a restarted controller process
+// rejoining the plane.
+func (s *Shard) Revive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.killed = false
+}
+
+// Close permanently stops the shard (teardown); same observable effect as
+// Kill.
+func (s *Shard) Close() error {
+	s.Kill()
+	return nil
 }

@@ -323,3 +323,56 @@ func TestAllShardsDead(t *testing.T) {
 		t.Fatal("Construct with every shard dead should fail")
 	}
 }
+
+// TestMidCycleKillDegradesToReassignment kills a shard after the liveness
+// grant but before dispatch — the watchdog has no idea — and requires the
+// same cycle to finish complete and bit-identical by quarantining the dead
+// shard on its dispatch error. Revive then lifts the quarantine and the
+// shard reclaims its components.
+func TestMidCycleKillDegradesToReassignment(t *testing.T) {
+	f := topo.MustFattree(8)
+	ps := route.NewFattreePaths(f)
+	opt := pmc.Options{Alpha: 2, Beta: 1, Lazy: true}
+	single := opt
+	single.Decompose = true
+	ref, err := pmc.Construct(ps, f.NumLinks(), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestCoordinator(t, ps, f.NumLinks(), 3, opt)
+	before := c.Assignment()
+	victim := int(before[0])
+	c.Kill(victim) // TTL is a minute: only the dispatch can notice
+
+	res, err := c.Construct()
+	if err != nil {
+		t.Fatalf("construct across mid-cycle kill: %v", err)
+	}
+	if res.Retries < 1 || res.Alive != 2 {
+		t.Errorf("kill cycle: retries=%d alive=%d, want >=1 and 2", res.Retries, res.Alive)
+	}
+	if !reflect.DeepEqual(res.Selected, ref.Selected) {
+		t.Errorf("post-kill merge differs from single controller — partial merge served")
+	}
+	for ci, s := range c.Assignment() {
+		if int(s) == victim {
+			t.Errorf("component %d still assigned to killed shard %d", ci, victim)
+		}
+	}
+
+	c.Revive(victim)
+	res, err = c.Construct()
+	if err != nil {
+		t.Fatalf("construct after revive: %v", err)
+	}
+	if res.Alive != 3 || res.Retries != 0 {
+		t.Errorf("revived cycle: alive=%d retries=%d, want 3 and 0", res.Alive, res.Retries)
+	}
+	if !reflect.DeepEqual(c.Assignment(), before) {
+		t.Errorf("post-revive assignment differs from original — shard did not reclaim its components")
+	}
+	if !reflect.DeepEqual(res.Selected, ref.Selected) {
+		t.Errorf("post-revive merge differs from single controller")
+	}
+}

@@ -1,0 +1,64 @@
+package shardrpc
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shard"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// benchTransport measures one full distributed construction cycle on
+// Fattree(16) — 8 components over 4 shards, Workers 1 per shard,
+// Sequential so per-shard elapsed is uncontended — with the shard fleet
+// either in-process or behind real loopback HTTP services. The delta
+// between the two sub-benchmarks is the transport's whole cost: JSON
+// encode of the component slices, the HTTP round trips, and decode of the
+// selections. critical-path-ms is the modeled N-machine wall clock.
+func benchTransport(b *testing.B, loopback bool) {
+	f := topo.MustFattree(16)
+	ps := route.NewFattreePaths(f)
+	const shards = 4
+	opt := shard.Options{
+		Shards:     shards,
+		Sequential: true,
+		PMC:        pmc.Options{Alpha: 2, Beta: 1, Lazy: true, Workers: 1},
+		TTL:        time.Hour,
+	}
+	if loopback {
+		opt.Shards = 0
+		for i := 0; i < shards; i++ {
+			srv := NewServer(ps, f.NumLinks())
+			ts := httptest.NewServer(srv.Handler())
+			b.Cleanup(ts.Close)
+			opt.Clients = append(opt.Clients, Dial(i, ts.URL, ClientOptions{}))
+		}
+	}
+	c, err := shard.New(ps, f.NumLinks(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	b.ResetTimer()
+	var crit time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := c.Construct()
+		if err != nil {
+			b.Fatal(err)
+		}
+		crit = res.CriticalPath
+	}
+	b.ReportMetric(float64(crit.Microseconds())/1000.0, "critical-path-ms")
+}
+
+// BenchmarkTransportFattree16 is the CI smoke for the transport overhead:
+// the loopback run must complete and its critical path stays comparable to
+// in-process (construction dominates; the wire moves component indices and
+// selections, never the matrix).
+func BenchmarkTransportFattree16(b *testing.B) {
+	b.Run("inproc", func(b *testing.B) { benchTransport(b, false) })
+	b.Run("loopback", func(b *testing.B) { benchTransport(b, true) })
+}

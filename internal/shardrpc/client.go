@@ -1,0 +1,215 @@
+package shardrpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/detector-net/detector/internal/httpx"
+	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shard"
+)
+
+// ClientOptions tunes a transport client.
+type ClientOptions struct {
+	// HTTPClient overrides the default (30 s total-request timeout —
+	// construction on a big component takes seconds, so this is a
+	// hung-shard bound, not a latency bound).
+	HTTPClient *http.Client
+	// Attempts is how many times an idempotent call is tried before the
+	// dispatch is reported failed (default 2: one retry). Construction
+	// and localization are pure computations, so a retry can never
+	// double-apply anything.
+	Attempts int
+}
+
+// Client drives one remote shard service and implements shard.ShardClient,
+// so a coordinator treats it exactly like an in-process shard. Per-shard
+// operational counters (requests, bytes in/out, retries) register in
+// internal/metrics and surface at every service's GET /metrics.
+type Client struct {
+	id   int
+	base string
+	hc   *http.Client
+	att  int
+
+	mu          sync.Mutex
+	expectSet   bool
+	expectSig   uint64
+	expectLinks int
+
+	requests *metrics.Counter
+	retries  *metrics.Counter
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+}
+
+// Dial builds a client for the shard service at baseURL, serving
+// coordinator slot id. No connection is made until the first call.
+func Dial(id int, baseURL string, opt ClientOptions) *Client {
+	hc := opt.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	att := opt.Attempts
+	if att <= 0 {
+		att = 2
+	}
+	return &Client{
+		id: id, base: baseURL, hc: hc, att: att,
+		requests: metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_requests", id)),
+		retries:  metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_retries", id)),
+		bytesIn:  metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_bytes_in", id)),
+		bytesOut: metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_bytes_out", id)),
+	}
+}
+
+// ID returns the coordinator slot this client serves.
+func (c *Client) ID() int { return c.id }
+
+// Addr returns the shard service's base URL.
+func (c *Client) Addr() string { return c.base }
+
+// Close releases idle connections.
+func (c *Client) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// ExpectMatrix pins the engine fingerprint the coordinator derived for
+// itself (shard.MatrixChecker): every subsequent Ping verifies the shard
+// reports the same matrix signature and link count, so a wrong-topology
+// shard fails liveness instead of reporting healthy and failing work.
+func (c *Client) ExpectMatrix(sig uint64, numLinks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expectSet = true
+	c.expectSig = sig
+	c.expectLinks = numLinks
+}
+
+// Ping probes the shard service's liveness endpoint.
+func (c *Client) Ping() error {
+	c.requests.Inc()
+	resp, err := c.hc.Get(c.base + "/v1/ping")
+	if err != nil {
+		return fmt.Errorf("shardrpc %d: ping %s: %w", c.id, c.base, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return fmt.Errorf("shardrpc %d: ping read: %w", c.id, err)
+	}
+	c.bytesIn.Add(int64(len(body)))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shardrpc %d: ping status %s", c.id, resp.Status)
+	}
+	var pr PingResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		return fmt.Errorf("shardrpc %d: ping body: %w", c.id, err)
+	}
+	if pr.V != SchemaVersion {
+		return fmt.Errorf("shardrpc %d: shard speaks schema v%d, client v%d", c.id, pr.V, SchemaVersion)
+	}
+	c.mu.Lock()
+	expectSet, expectSig, expectLinks := c.expectSet, c.expectSig, c.expectLinks
+	c.mu.Unlock()
+	if expectSet && (pr.MatrixSig != expectSig || pr.NumLinks != expectLinks) {
+		return fmt.Errorf("shardrpc %d: shard engine mismatch: matrix sig %#016x/%d links, coordinator expects %#016x/%d — built for a different topology?",
+			c.id, pr.MatrixSig, pr.NumLinks, expectSig, expectLinks)
+	}
+	return nil
+}
+
+// post runs one idempotent JSON round trip with bounded retries. A
+// transport failure retries; any HTTP response — success or structured
+// error — is final, because the shard has already spoken.
+func (c *Client) post(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("shardrpc %d: encode %s: %w", c.id, path, err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.att; attempt++ {
+		if attempt > 0 {
+			c.retries.Inc()
+		}
+		c.requests.Inc()
+		resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			lastErr = fmt.Errorf("shardrpc %d: %s: %w", c.id, path, err)
+			continue
+		}
+		c.bytesOut.Add(int64(len(body)))
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("shardrpc %d: %s: read response: %w", c.id, path, err)
+			continue
+		}
+		c.bytesIn.Add(int64(len(respBody)))
+		if resp.StatusCode != http.StatusOK {
+			var eb httpx.ErrorBody
+			if json.Unmarshal(respBody, &eb) == nil && eb.Error != "" {
+				return fmt.Errorf("shardrpc %d: %s: %s: %s", c.id, path, resp.Status, eb.Error)
+			}
+			return fmt.Errorf("shardrpc %d: %s: status %s", c.id, path, resp.Status)
+		}
+		if err := json.Unmarshal(respBody, out); err != nil {
+			return fmt.Errorf("shardrpc %d: %s: decode response: %w", c.id, path, err)
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// Construct dispatches one construction work order over the wire.
+func (c *Client) Construct(req shard.ConstructRequest) (*pmc.Result, error) {
+	var resp ConstructResponse
+	if err := c.post("/v1/construct", encodeConstruct(req), &resp); err != nil {
+		return nil, err
+	}
+	if resp.V != SchemaVersion {
+		return nil, fmt.Errorf("shardrpc %d: construct response schema v%d, want v%d", c.id, resp.V, SchemaVersion)
+	}
+	return &pmc.Result{
+		Selected: resp.Selected,
+		Stats: pmc.Stats{
+			Components: resp.Stats.Components, Candidates: resp.Stats.Candidates,
+			ScoreEvals: resp.Stats.ScoreEvals, Reseeds: resp.Stats.Reseeds,
+			Selected: resp.Stats.Selected, Elapsed: time.Duration(resp.Stats.ElapsedNS),
+			CoverageMet: resp.Stats.CoverageMet, IdentMet: resp.Stats.IdentMet,
+		},
+	}, nil
+}
+
+// Localize ships one routed sub-matrix window to the shard and decodes the
+// verdicts.
+func (c *Client) Localize(sub *route.Probes, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+	var resp LocalizeResponse
+	if err := c.post("/v1/localize", encodeLocalize(sub, obs, cfg), &resp); err != nil {
+		return nil, err
+	}
+	if resp.V != SchemaVersion {
+		return nil, fmt.Errorf("shardrpc %d: localize response schema v%d, want v%d", c.id, resp.V, SchemaVersion)
+	}
+	res := &pll.Result{
+		LossyPaths:       resp.LossyPaths,
+		UnexplainedPaths: resp.UnexplainedPaths,
+		Elapsed:          time.Duration(resp.ElapsedNS),
+	}
+	for _, v := range resp.Bad {
+		res.Bad = append(res.Bad, pll.Verdict{Link: v.Link, Rate: v.Rate, Explained: v.Explained})
+	}
+	return res, nil
+}
+
+// Interface conformance: a Client is a shard.ShardClient.
+var _ shard.ShardClient = (*Client)(nil)

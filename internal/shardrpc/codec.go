@@ -1,0 +1,348 @@
+// Package shardrpc runs a controller shard as a standalone network
+// service: an HTTP/JSON transport behind the shard.ShardClient interface,
+// so the same coordinator that drives in-process shards drives shards on
+// other machines with no code change above the interface.
+//
+// The paper's component decomposition (§4.3, Observation 1) is what makes
+// this wire-cheap: component slices out, selections and verdicts back are
+// the only traffic — the candidate matrix itself never moves. Both ends
+// derive it independently from the topology and agree via
+// route.MatrixSignature, which every construction request carries.
+//
+// Wire schemas are versioned (SchemaVersion) and every decoded payload is
+// bounded and validated (Limits): a truncated, oversized or out-of-range
+// payload gets a structured 4xx and a metrics bump, never a panic or a
+// silently wrong answer.
+package shardrpc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shard"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// SchemaVersion is the wire-schema version stamped on every request and
+// response. A server answers a mismatched version with 400 rather than
+// guessing at field semantics.
+const SchemaVersion = 1
+
+// Limits bounds every payload a server will decode. The zero value is
+// unusable; use DefaultLimits.
+type Limits struct {
+	// MaxBodyBytes caps the request body (enforced before JSON decode).
+	MaxBodyBytes int64
+	// MaxComponents caps components per construction request.
+	MaxComponents int
+	// MaxPaths caps probe paths per localization request.
+	MaxPaths int
+	// MaxLinksPerPath caps the link set of one probe path.
+	MaxLinksPerPath int
+	// MaxObservations caps observations per localization request.
+	MaxObservations int
+	// MaxNumLinks caps a localize request's link-ID space: decode
+	// allocates O(num_links) index memory, so the field cannot be left to
+	// the sender.
+	MaxNumLinks int
+	// MaxPMCElements caps the MaxElements a construct request may carry:
+	// that option sizes the shard's refinement universe, so an unbounded
+	// value would let a sick coordinator disable the engine's own memory
+	// guard and OOM the shard.
+	MaxPMCElements int
+}
+
+// DefaultLimits is sized for the paper's largest reproduced topologies
+// (Fattree(24): ~12M candidate paths across 12 components) with headroom,
+// while still rejecting a runaway or hostile payload long before it can
+// exhaust memory.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxBodyBytes:    256 << 20,
+		MaxComponents:   1 << 20,
+		MaxPaths:        1 << 24,
+		MaxLinksPerPath: 64,
+		MaxObservations: 1 << 24,
+		MaxNumLinks:     1 << 24,
+		MaxPMCElements:  pmc.DefaultMaxElements,
+	}
+}
+
+// PingResponse is the liveness probe's body: enough for a coordinator (or
+// an operator's curl) to check that the shard's engine matches its own.
+type PingResponse struct {
+	V         int    `json:"v"`
+	MatrixSig uint64 `json:"matrix_sig,string"`
+	NumLinks  int    `json:"num_links"`
+	Paths     int    `json:"paths"`
+}
+
+// Component is one independent subproblem on the wire: global link IDs and
+// candidate-path indices, both ascending (the canonical form
+// route.DecomposeCSR produces; servers reject anything else).
+type Component struct {
+	Links []topo.LinkID `json:"links"`
+	Paths []int32       `json:"paths"`
+}
+
+// PMCOptions is pmc.Options on the wire.
+type PMCOptions struct {
+	Alpha       int  `json:"alpha"`
+	Beta        int  `json:"beta"`
+	Lazy        bool `json:"lazy,omitempty"`
+	Symmetry    bool `json:"symmetry,omitempty"`
+	NoEvenness  bool `json:"no_evenness,omitempty"`
+	Workers     int  `json:"workers,omitempty"`
+	MaxElements int  `json:"max_elements,omitempty"`
+}
+
+// ConstructRequest is one shard's work order for a construction cycle.
+type ConstructRequest struct {
+	V         int         `json:"v"`
+	MatrixSig uint64      `json:"matrix_sig,string"`
+	NumLinks  int         `json:"num_links"`
+	Opt       PMCOptions  `json:"opt"`
+	Comps     []Component `json:"comps"`
+}
+
+// Stats is pmc.Stats on the wire.
+type Stats struct {
+	Components  int   `json:"components"`
+	Candidates  int   `json:"candidates"`
+	ScoreEvals  int64 `json:"score_evals"`
+	Reseeds     int   `json:"reseeds"`
+	Selected    int   `json:"selected"`
+	ElapsedNS   int64 `json:"elapsed_ns"`
+	CoverageMet bool  `json:"coverage_met"`
+	IdentMet    bool  `json:"ident_met"`
+}
+
+// ConstructResponse carries the shard's selection back: candidate-path
+// indices, sorted, exactly as pmc.ConstructComponents returns them.
+type ConstructResponse struct {
+	V        int   `json:"v"`
+	Selected []int `json:"selected"`
+	Stats    Stats `json:"stats"`
+}
+
+// Path is one probe path of a routed sub-matrix: global link IDs plus the
+// endpoints PLL needs for its unhealthy-server filter.
+type Path struct {
+	Links []topo.LinkID `json:"links"`
+	Src   topo.NodeID   `json:"src"`
+	Dst   topo.NodeID   `json:"dst"`
+}
+
+// Observation is one probe path's window counters.
+type Observation struct {
+	Path int `json:"path"`
+	Sent int `json:"sent"`
+	Lost int `json:"lost"`
+}
+
+// PLLConfig is pll.Config on the wire; Unhealthy is the sorted slice form
+// of the set.
+type PLLConfig struct {
+	HitRatio       float64       `json:"hit_ratio"`
+	LossRatioFloor float64       `json:"loss_ratio_floor"`
+	MinLoss        int           `json:"min_loss"`
+	BaselineRate   float64       `json:"baseline_rate,omitempty"`
+	Significance   float64       `json:"significance,omitempty"`
+	Unhealthy      []topo.NodeID `json:"unhealthy,omitempty"`
+	Workers        int           `json:"workers,omitempty"`
+}
+
+// LocalizeRequest ships one shard's routed window: the sub-matrix it owns
+// plus the observations routed to it. Unlike construction, localization
+// needs no matrix signature — the sub-matrix travels inline.
+type LocalizeRequest struct {
+	V        int           `json:"v"`
+	NumLinks int           `json:"num_links"`
+	Paths    []Path        `json:"paths"`
+	Obs      []Observation `json:"obs"`
+	Cfg      PLLConfig     `json:"cfg"`
+}
+
+// Verdict is one localized link on the wire.
+type Verdict struct {
+	Link      topo.LinkID `json:"link"`
+	Rate      float64     `json:"rate"`
+	Explained int         `json:"explained"`
+}
+
+// LocalizeResponse carries the shard's verdicts back.
+type LocalizeResponse struct {
+	V                int       `json:"v"`
+	Bad              []Verdict `json:"bad"`
+	LossyPaths       int       `json:"lossy_paths"`
+	UnexplainedPaths int       `json:"unexplained_paths"`
+	ElapsedNS        int64     `json:"elapsed_ns"`
+}
+
+// encodeConstruct translates the coordinator's work order to the wire.
+func encodeConstruct(req shard.ConstructRequest) ConstructRequest {
+	out := ConstructRequest{
+		V:         SchemaVersion,
+		MatrixSig: req.MatrixSig,
+		NumLinks:  req.NumLinks,
+		Opt: PMCOptions{
+			Alpha: req.Opt.Alpha, Beta: req.Opt.Beta,
+			Lazy: req.Opt.Lazy, Symmetry: req.Opt.Symmetry,
+			NoEvenness: req.Opt.NoEvenness,
+			Workers:    req.Opt.Workers, MaxElements: req.Opt.MaxElements,
+		},
+		Comps: make([]Component, len(req.Comps)),
+	}
+	for i, c := range req.Comps {
+		out.Comps[i] = Component{Links: c.Links, Paths: c.Paths}
+	}
+	return out
+}
+
+// decodeOptions translates wire options back to pmc.Options (Decompose is
+// meaningless here: the coordinator already chose the partition).
+func (o PMCOptions) decode() pmc.Options {
+	return pmc.Options{
+		Alpha: o.Alpha, Beta: o.Beta,
+		Lazy: o.Lazy, Symmetry: o.Symmetry, NoEvenness: o.NoEvenness,
+		Workers: o.Workers, MaxElements: o.MaxElements,
+	}
+}
+
+// validate checks a construction request against the server's engine. The
+// signature check is separate (it maps to 409, not 400).
+func (r *ConstructRequest) validate(lim Limits, numLinks, numPaths int) error {
+	if r.V != SchemaVersion {
+		return fmt.Errorf("unsupported schema version %d (want %d)", r.V, SchemaVersion)
+	}
+	if r.NumLinks != numLinks {
+		return fmt.Errorf("num_links %d does not match engine %d", r.NumLinks, numLinks)
+	}
+	if len(r.Comps) > lim.MaxComponents {
+		return fmt.Errorf("%d components exceed limit %d", len(r.Comps), lim.MaxComponents)
+	}
+	if r.Opt.MaxElements < 0 || r.Opt.MaxElements > lim.MaxPMCElements {
+		return fmt.Errorf("opt.max_elements %d outside [0,%d] — the shard's refinement memory guard is not negotiable",
+			r.Opt.MaxElements, lim.MaxPMCElements)
+	}
+	if r.Opt.Workers < 0 {
+		return fmt.Errorf("opt.workers %d must be non-negative", r.Opt.Workers)
+	}
+	for ci, c := range r.Comps {
+		if len(c.Links) == 0 || len(c.Paths) == 0 {
+			return fmt.Errorf("component %d is empty", ci)
+		}
+		for i, l := range c.Links {
+			if l < 0 || int(l) >= numLinks {
+				return fmt.Errorf("component %d: link %d out of range [0,%d)", ci, l, numLinks)
+			}
+			if i > 0 && c.Links[i-1] >= l {
+				return fmt.Errorf("component %d: links not strictly ascending at index %d", ci, i)
+			}
+		}
+		for i, p := range c.Paths {
+			if p < 0 || int(p) >= numPaths {
+				return fmt.Errorf("component %d: path %d out of range [0,%d)", ci, p, numPaths)
+			}
+			if i > 0 && c.Paths[i-1] >= p {
+				return fmt.Errorf("component %d: paths not strictly ascending at index %d", ci, i)
+			}
+		}
+	}
+	return nil
+}
+
+// validate bounds a localization request.
+func (r *LocalizeRequest) validate(lim Limits) error {
+	if r.V != SchemaVersion {
+		return fmt.Errorf("unsupported schema version %d (want %d)", r.V, SchemaVersion)
+	}
+	if r.NumLinks <= 0 || r.NumLinks > lim.MaxNumLinks {
+		return fmt.Errorf("num_links %d outside [1,%d]", r.NumLinks, lim.MaxNumLinks)
+	}
+	if len(r.Paths) > lim.MaxPaths {
+		return fmt.Errorf("%d paths exceed limit %d", len(r.Paths), lim.MaxPaths)
+	}
+	if len(r.Obs) > lim.MaxObservations {
+		return fmt.Errorf("%d observations exceed limit %d", len(r.Obs), lim.MaxObservations)
+	}
+	for i, p := range r.Paths {
+		if len(p.Links) > lim.MaxLinksPerPath {
+			return fmt.Errorf("path %d: %d links exceed limit %d", i, len(p.Links), lim.MaxLinksPerPath)
+		}
+		for _, l := range p.Links {
+			if l < 0 || int(l) >= r.NumLinks {
+				return fmt.Errorf("path %d: link %d out of range [0,%d)", i, l, r.NumLinks)
+			}
+		}
+	}
+	for i, o := range r.Obs {
+		if o.Path < 0 || o.Path >= len(r.Paths) {
+			return fmt.Errorf("observation %d: path %d out of range [0,%d)", i, o.Path, len(r.Paths))
+		}
+		if o.Sent < 0 || o.Lost < 0 || o.Lost > o.Sent {
+			return fmt.Errorf("observation %d (path %d): impossible counters sent=%d lost=%d",
+				i, o.Path, o.Sent, o.Lost)
+		}
+	}
+	return nil
+}
+
+// encodeLocalize translates a routed sub-matrix window to the wire.
+func encodeLocalize(sub *route.Probes, obs []pll.Observation, cfg pll.Config) LocalizeRequest {
+	req := LocalizeRequest{
+		V:        SchemaVersion,
+		NumLinks: sub.NumLinks,
+		Paths:    make([]Path, sub.NumPaths()),
+		Obs:      make([]Observation, len(obs)),
+		Cfg: PLLConfig{
+			HitRatio: cfg.HitRatio, LossRatioFloor: cfg.LossRatioFloor,
+			MinLoss: cfg.MinLoss, BaselineRate: cfg.BaselineRate,
+			Significance: cfg.Significance, Workers: cfg.Workers,
+		},
+	}
+	for i := range req.Paths {
+		req.Paths[i] = Path{Links: sub.PathLinks[i], Src: sub.Src[i], Dst: sub.Dst[i]}
+	}
+	for i, o := range obs {
+		req.Obs[i] = Observation{Path: o.Path, Sent: o.Sent, Lost: o.Lost}
+	}
+	for n := range cfg.Unhealthy {
+		if cfg.Unhealthy[n] {
+			req.Cfg.Unhealthy = append(req.Cfg.Unhealthy, n)
+		}
+	}
+	sort.Slice(req.Cfg.Unhealthy, func(i, j int) bool { return req.Cfg.Unhealthy[i] < req.Cfg.Unhealthy[j] })
+	return req
+}
+
+// decode rebuilds the localization inputs from the wire.
+func (r *LocalizeRequest) decode() (*route.Probes, []pll.Observation, pll.Config) {
+	links := make([][]topo.LinkID, len(r.Paths))
+	for i, p := range r.Paths {
+		links[i] = p.Links
+	}
+	sub := route.NewProbesFromLinks(links, r.NumLinks)
+	for i, p := range r.Paths {
+		sub.Src[i], sub.Dst[i] = p.Src, p.Dst
+	}
+	obs := make([]pll.Observation, len(r.Obs))
+	for i, o := range r.Obs {
+		obs[i] = pll.Observation{Path: o.Path, Sent: o.Sent, Lost: o.Lost}
+	}
+	cfg := pll.Config{
+		HitRatio: r.Cfg.HitRatio, LossRatioFloor: r.Cfg.LossRatioFloor,
+		MinLoss: r.Cfg.MinLoss, BaselineRate: r.Cfg.BaselineRate,
+		Significance: r.Cfg.Significance, Workers: r.Cfg.Workers,
+	}
+	if len(r.Cfg.Unhealthy) > 0 {
+		cfg.Unhealthy = make(map[topo.NodeID]bool, len(r.Cfg.Unhealthy))
+		for _, n := range r.Cfg.Unhealthy {
+			cfg.Unhealthy[n] = true
+		}
+	}
+	return sub, obs, cfg
+}

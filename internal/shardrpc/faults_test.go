@@ -1,0 +1,333 @@
+package shardrpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/httpx"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shard"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+func testServer(t *testing.T, lim Limits) (*Server, *httptest.Server) {
+	t.Helper()
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	srv := NewServerLimits(ps, f.NumLinks(), lim)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func errorBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var eb httpx.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("error response is not structured JSON: %v", err)
+	}
+	return eb.Error
+}
+
+// TestTruncatedPayloadRejected feeds the server a request cut off
+// mid-object: structured 400, and the server keeps serving afterwards.
+func TestTruncatedPayloadRejected(t *testing.T) {
+	srv, ts := testServer(t, DefaultLimits())
+	full, _ := json.Marshal(ConstructRequest{V: SchemaVersion, MatrixSig: srv.MatrixSig()})
+	for _, endpoint := range []string{"/v1/construct", "/v1/localize"} {
+		resp := postJSON(t, ts.URL+endpoint, full[:len(full)/2])
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s truncated payload: status %d, want 400", endpoint, resp.StatusCode)
+		}
+		if eb := errorBody(t, resp); !strings.Contains(eb, "undecodable") {
+			t.Errorf("%s truncated payload: error %q lacks decode diagnosis", endpoint, eb)
+		}
+	}
+	// The shard must still be alive and correct after garbage.
+	cl := Dial(0, ts.URL, ClientOptions{})
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("server unhealthy after truncated payloads: %v", err)
+	}
+}
+
+// TestOversizedPayloadRejected pins the body bound: 413, not an OOM or a
+// hang.
+func TestOversizedPayloadRejected(t *testing.T) {
+	lim := DefaultLimits()
+	lim.MaxBodyBytes = 1 << 10
+	_, ts := testServer(t, lim)
+	big := make([]byte, 1<<12)
+	for i := range big {
+		big[i] = ' '
+	}
+	resp := postJSON(t, ts.URL+"/v1/construct", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized payload: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestValidationRejectsBadPayloads sweeps the schema guards: wrong
+// version, out-of-range links/paths, non-canonical component order, and
+// impossible observation counters all answer 400; a mismatched matrix
+// signature answers 409.
+func TestValidationRejectsBadPayloads(t *testing.T) {
+	srv, ts := testServer(t, DefaultLimits())
+	sig := srv.MatrixSig()
+	comp := Component{Links: []topo.LinkID{0, 1}, Paths: []int32{0, 1}}
+	cases := []struct {
+		name string
+		url  string
+		req  any
+		want int
+	}{
+		{"construct/version", "/v1/construct",
+			ConstructRequest{V: 99, MatrixSig: sig, NumLinks: srv.numLinks, Comps: []Component{comp}}, 400},
+		{"construct/sig", "/v1/construct",
+			ConstructRequest{V: SchemaVersion, MatrixSig: sig ^ 1, NumLinks: srv.numLinks,
+				Opt: PMCOptions{Alpha: 1, Beta: 1}, Comps: []Component{comp}}, 409},
+		{"construct/linkRange", "/v1/construct",
+			ConstructRequest{V: SchemaVersion, MatrixSig: sig, NumLinks: srv.numLinks,
+				Comps: []Component{{Links: []topo.LinkID{topo.LinkID(srv.numLinks)}, Paths: []int32{0}}}}, 400},
+		{"construct/unsortedLinks", "/v1/construct",
+			ConstructRequest{V: SchemaVersion, MatrixSig: sig, NumLinks: srv.numLinks,
+				Comps: []Component{{Links: []topo.LinkID{1, 0}, Paths: []int32{0}}}}, 400},
+		{"construct/pathRange", "/v1/construct",
+			ConstructRequest{V: SchemaVersion, MatrixSig: sig, NumLinks: srv.numLinks,
+				Comps: []Component{{Links: []topo.LinkID{0}, Paths: []int32{1 << 30}}}}, 400},
+		{"localize/version", "/v1/localize",
+			LocalizeRequest{V: 0, NumLinks: 4}, 400},
+		{"localize/numLinksUnbounded", "/v1/localize",
+			LocalizeRequest{V: SchemaVersion, NumLinks: 1 << 40,
+				Cfg: PLLConfig{HitRatio: 0.6}}, 400},
+		{"localize/obsCounters", "/v1/localize",
+			LocalizeRequest{V: SchemaVersion, NumLinks: 4,
+				Paths: []Path{{Links: []topo.LinkID{0}}},
+				Obs:   []Observation{{Path: 0, Sent: 10, Lost: 11}},
+				Cfg:   PLLConfig{HitRatio: 0.6}}, 400},
+		{"localize/obsRange", "/v1/localize",
+			LocalizeRequest{V: SchemaVersion, NumLinks: 4,
+				Paths: []Path{{Links: []topo.LinkID{0}}},
+				Obs:   []Observation{{Path: 5, Sent: 10}},
+				Cfg:   PLLConfig{HitRatio: 0.6}}, 400},
+	}
+	for _, tc := range cases {
+		body, err := json.Marshal(tc.req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := postJSON(t, ts.URL+tc.url, body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// faultableHandler wraps a shard service so a test can make construction
+// fail while liveness keeps passing — the "answers heartbeats but errors
+// on construct" failure the coordinator must survive.
+func faultableHandler(inner http.Handler, failConstruct *atomic.Bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failConstruct.Load() && r.URL.Path == "/v1/construct" {
+			httpx.Error(w, http.StatusInternalServerError, "injected construct fault")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// TestConstructFaultDegradesToReassignment runs a coordinator over two
+// loopback shards, one of which pings fine but fails every construction.
+// The cycle must complete by quarantining the faulty shard and re-running
+// its components on the survivor — a complete, bit-identical merge, never
+// a partial one. A later cycle with the fault healed readmits the shard.
+func TestConstructFaultDegradesToReassignment(t *testing.T) {
+	f := topo.MustFattree(8)
+	ps := route.NewFattreePaths(f)
+	opt := pmc.Options{Alpha: 2, Beta: 1, Lazy: true}
+	single := opt
+	single.Decompose = true
+	ref, err := pmc.Construct(ps, f.NumLinks(), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv0 := NewServer(ps, f.NumLinks())
+	ts0 := httptest.NewServer(srv0.Handler())
+	defer ts0.Close()
+	srv1 := NewServer(ps, f.NumLinks())
+	var fail atomic.Bool
+	fail.Store(true)
+	ts1 := httptest.NewServer(faultableHandler(srv1.Handler(), &fail))
+	defer ts1.Close()
+
+	c, err := shard.New(ps, f.NumLinks(), shard.Options{
+		Clients: []shard.ShardClient{
+			Dial(0, ts0.URL, ClientOptions{}),
+			Dial(1, ts1.URL, ClientOptions{}),
+		},
+		PMC: opt, TTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	res, err := c.Construct()
+	if err != nil {
+		t.Fatalf("construct with one faulty shard: %v", err)
+	}
+	if res.Retries < 1 {
+		t.Errorf("faulty shard cost no retries; fault was not exercised")
+	}
+	if res.Alive != 1 {
+		t.Errorf("alive = %d, want 1 (faulty shard quarantined)", res.Alive)
+	}
+	if !reflect.DeepEqual(res.Selected, ref.Selected) {
+		t.Errorf("degraded merge differs from single controller — partial merge served")
+	}
+	if u := c.Unhealthy(); len(u) != 1 || u[0] != 1 {
+		t.Errorf("Unhealthy() = %v, want [1] (quarantined shard visible)", u)
+	}
+
+	// Heal the fault: the next cycle's quarantine re-probe readmits the
+	// shard and the merge is again clean and identical.
+	fail.Store(false)
+	res, err = c.Construct()
+	if err != nil {
+		t.Fatalf("construct after heal: %v", err)
+	}
+	if res.Alive != 2 || res.Retries != 0 {
+		t.Errorf("healed cycle: alive=%d retries=%d, want 2 and 0", res.Alive, res.Retries)
+	}
+	if !reflect.DeepEqual(res.Selected, ref.Selected) {
+		t.Errorf("post-heal merge differs from single controller")
+	}
+}
+
+// TestMidCycleDisconnect kills a shard service outright — connection
+// refused, the remote analog of a crashed controller — and checks the same
+// degradation path, construction and localization both.
+func TestMidCycleDisconnect(t *testing.T) {
+	f := topo.MustFattree(8)
+	ps := route.NewFattreePaths(f)
+	opt := pmc.Options{Alpha: 2, Beta: 1, Lazy: true}
+	single := opt
+	single.Decompose = true
+	ref, err := pmc.Construct(ps, f.NumLinks(), single)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	servers := make([]*httptest.Server, 2)
+	clients := make([]shard.ShardClient, 2)
+	for i := range servers {
+		servers[i] = httptest.NewServer(NewServer(ps, f.NumLinks()).Handler())
+		clients[i] = Dial(i, servers[i].URL, ClientOptions{})
+	}
+	defer servers[0].Close()
+
+	c, err := shard.New(ps, f.NumLinks(), shard.Options{Clients: clients, PMC: opt, TTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Build the plane before the disconnect so shard 1 owns live routes.
+	probes := route.NewProbes(ps, ref.Selected, f.NumLinks())
+	obs := syntheticWindow(probes, 3)
+	refLoc, err := pll.Localize(probes, obs, pll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := c.BuildPlane(probes)
+
+	servers[1].Close() // mid-window crash: TTL has not expired
+
+	res, err := c.Construct()
+	if err != nil {
+		t.Fatalf("construct across disconnect: %v", err)
+	}
+	if res.Retries < 1 || res.Alive != 1 {
+		t.Errorf("disconnect cycle: retries=%d alive=%d, want >=1 and 1", res.Retries, res.Alive)
+	}
+	if !reflect.DeepEqual(res.Selected, ref.Selected) {
+		t.Errorf("post-disconnect merge differs from single controller")
+	}
+
+	// The already-built plane falls back to local execution for the dead
+	// shard's slice: the window is not lost and the verdicts are exact.
+	got, err := plane.Localize(obs, pll.DefaultConfig())
+	if err != nil {
+		t.Fatalf("plane localize across disconnect: %v", err)
+	}
+	if !reflect.DeepEqual(got.Bad, refLoc.Bad) ||
+		got.LossyPaths != refLoc.LossyPaths ||
+		got.UnexplainedPaths != refLoc.UnexplainedPaths {
+		t.Errorf("fallback localization differs from single controller")
+	}
+}
+
+// TestPingRejectsWrongEngine pins the fingerprint handshake at liveness
+// time: a coordinator-pinned client probing a shard built for a different
+// topology must fail the ping (so the shard is declared dead) instead of
+// reporting healthy and failing every dispatched construction.
+func TestPingRejectsWrongEngine(t *testing.T) {
+	f8 := topo.MustFattree(8)
+	srv8 := NewServer(route.NewFattreePaths(f8), f8.NumLinks())
+	ts := httptest.NewServer(srv8.Handler())
+	defer ts.Close()
+
+	cl := Dial(0, ts.URL, ClientOptions{})
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("unpinned ping should pass: %v", err)
+	}
+	f4 := topo.MustFattree(4)
+	ps4 := route.NewFattreePaths(f4)
+	csr4 := route.MaterializeCSR(ps4)
+	cl.ExpectMatrix(route.MatrixSignature(csr4, f4.NumLinks()), f4.NumLinks())
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping against a Fattree(8) shard with a Fattree(4) pin should fail")
+	} else if !strings.Contains(err.Error(), "engine mismatch") {
+		t.Fatalf("mismatch error %q lacks diagnosis", err)
+	}
+}
+
+// TestConstructRejectsUnboundedMaxElements pins the server-side cap on the
+// one option that sizes shard memory: a coordinator cannot disable the
+// refinement guard remotely.
+func TestConstructRejectsUnboundedMaxElements(t *testing.T) {
+	srv, ts := testServer(t, DefaultLimits())
+	body, _ := json.Marshal(ConstructRequest{
+		V: SchemaVersion, MatrixSig: srv.MatrixSig(), NumLinks: srv.numLinks,
+		Opt:   PMCOptions{Alpha: 1, Beta: 1, MaxElements: 1 << 62},
+		Comps: []Component{{Links: []topo.LinkID{0}, Paths: []int32{0}}},
+	})
+	resp := postJSON(t, ts.URL+"/v1/construct", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("max_elements 1<<62: status %d, want 400", resp.StatusCode)
+	}
+	if eb := errorBody(t, resp); !strings.Contains(eb, "max_elements") {
+		t.Fatalf("error %q does not name the offending field", eb)
+	}
+}

@@ -1,0 +1,189 @@
+package shardrpc
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"github.com/detector-net/detector/internal/httpx"
+	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+)
+
+var (
+	serverRequests = metrics.NewCounter("shardrpc_server_requests")
+	serverRejected = metrics.NewCounter("shardrpc_server_rejected")
+)
+
+// Server is one controller shard as a network service: it owns a full
+// materialization of the candidate matrix (derived locally from the
+// topology, never shipped) and executes construction and localization work
+// orders against it.
+//
+//	GET  /v1/ping       → PingResponse (liveness + engine fingerprint)
+//	POST /v1/construct  → ConstructResponse
+//	POST /v1/localize   → LocalizeResponse
+//
+// Errors are structured (httpx.ErrorBody): 400 for malformed or
+// out-of-bounds payloads, 409 for a matrix-signature mismatch, 413 for an
+// oversized body, 422 for an engine rejection. A coordinator treats any of
+// them as a dispatch failure and fails the work over to surviving shards.
+type Server struct {
+	ps       route.PathSet
+	csr      *route.CSR
+	numLinks int
+	sig      uint64
+	lim      Limits
+}
+
+// NewServer builds a shard service over its own materialization of ps.
+func NewServer(ps route.PathSet, numLinks int) *Server {
+	return NewServerLimits(ps, numLinks, DefaultLimits())
+}
+
+// NewServerLimits is NewServer with explicit payload bounds.
+func NewServerLimits(ps route.PathSet, numLinks int, lim Limits) *Server {
+	csr := route.MaterializeCSR(ps)
+	return &Server{
+		ps:       ps,
+		csr:      csr,
+		numLinks: numLinks,
+		sig:      route.MatrixSignature(csr, numLinks),
+		lim:      lim,
+	}
+}
+
+// MatrixSig returns the engine's candidate-matrix signature.
+func (s *Server) MatrixSig() uint64 { return s.sig }
+
+// decodeBody reads and decodes a bounded JSON body, mapping failures to
+// the right status: 413 when the body exceeded MaxBodyBytes, 400 for
+// anything undecodable (truncation included).
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.lim.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		serverRejected.Inc()
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpx.Error(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.lim.MaxBodyBytes)
+			return false
+		}
+		httpx.Error(w, http.StatusBadRequest, "undecodable request: %v", err)
+		return false
+	}
+	return true
+}
+
+// Handler serves the shard RPC surface plus the standard GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ping", func(w http.ResponseWriter, r *http.Request) {
+		serverRequests.Inc()
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			serverRejected.Inc()
+			return
+		}
+		httpx.WriteJSON(w, PingResponse{
+			V: SchemaVersion, MatrixSig: s.sig,
+			NumLinks: s.numLinks, Paths: s.ps.Len(),
+		})
+	})
+	mux.HandleFunc("/v1/construct", func(w http.ResponseWriter, r *http.Request) {
+		serverRequests.Inc()
+		if !httpx.RequireMethod(w, r, http.MethodPost) {
+			serverRejected.Inc()
+			return
+		}
+		var req ConstructRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		if err := req.validate(s.lim, s.numLinks, s.ps.Len()); err != nil {
+			serverRejected.Inc()
+			httpx.Error(w, http.StatusBadRequest, "invalid construct request: %v", err)
+			return
+		}
+		if req.MatrixSig != s.sig {
+			serverRejected.Inc()
+			httpx.Error(w, http.StatusConflict,
+				"matrix signature %#016x does not match engine %#016x — coordinator and shard derive different candidate matrices",
+				req.MatrixSig, s.sig)
+			return
+		}
+		comps := make([]route.Component, len(req.Comps))
+		for i, c := range req.Comps {
+			comps[i] = route.Component{Links: c.Links, Paths: c.Paths}
+		}
+		res, err := pmc.ConstructComponents(s.ps, s.csr, comps, s.numLinks, req.Opt.decode())
+		if err != nil {
+			serverRejected.Inc()
+			httpx.Error(w, http.StatusUnprocessableEntity, "construction failed: %v", err)
+			return
+		}
+		httpx.WriteJSON(w, ConstructResponse{
+			V:        SchemaVersion,
+			Selected: res.Selected,
+			Stats: Stats{
+				Components: res.Stats.Components, Candidates: res.Stats.Candidates,
+				ScoreEvals: res.Stats.ScoreEvals, Reseeds: res.Stats.Reseeds,
+				Selected: res.Stats.Selected, ElapsedNS: int64(res.Stats.Elapsed),
+				CoverageMet: res.Stats.CoverageMet, IdentMet: res.Stats.IdentMet,
+			},
+		})
+	})
+	mux.HandleFunc("/v1/localize", func(w http.ResponseWriter, r *http.Request) {
+		serverRequests.Inc()
+		if !httpx.RequireMethod(w, r, http.MethodPost) {
+			serverRejected.Inc()
+			return
+		}
+		var req LocalizeRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		if err := req.validate(s.lim); err != nil {
+			serverRejected.Inc()
+			httpx.Error(w, http.StatusBadRequest, "invalid localize request: %v", err)
+			return
+		}
+		sub, obs, cfg := req.decode()
+		res, err := pll.Localize(sub, obs, cfg)
+		if err != nil {
+			serverRejected.Inc()
+			httpx.Error(w, http.StatusUnprocessableEntity, "localization failed: %v", err)
+			return
+		}
+		resp := LocalizeResponse{
+			V:                SchemaVersion,
+			LossyPaths:       res.LossyPaths,
+			UnexplainedPaths: res.UnexplainedPaths,
+			ElapsedNS:        int64(res.Elapsed),
+		}
+		for _, v := range res.Bad {
+			resp.Bad = append(resp.Bad, Verdict{Link: v.Link, Rate: v.Rate, Explained: v.Explained})
+		}
+		httpx.WriteJSON(w, resp)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			return
+		}
+		httpx.WriteJSON(w, metrics.Counters())
+	})
+	return mux
+}
+
+// ListenAndServe runs the shard service on addr until the server fails
+// (detectord -shard-serve wraps this).
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
