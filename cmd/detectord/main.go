@@ -68,8 +68,16 @@ func main() {
 		endpoints  = flag.String("shard-endpoints", "", "comma-separated shard service URLs; the front-end drives this external fleet")
 		shardServe = flag.Bool("shard-serve", false, "run as one controller shard service instead of the front-end")
 		listen     = flag.String("listen", "127.0.0.1:7117", "shard service listen address (with -shard-serve)")
+		wire       = flag.String("wire", shardrpc.WireAuto, "shard transport codec: auto (negotiate at ping time), json, or binary")
 	)
 	flag.Parse()
+
+	switch *wire {
+	case shardrpc.WireAuto, shardrpc.WireJSON, shardrpc.WireBinary:
+	default:
+		fmt.Fprintf(os.Stderr, "detectord: -wire %q must be auto, json or binary\n", *wire)
+		os.Exit(2)
+	}
 
 	if *shardServe {
 		if err := serveShard(*k, *listen); err != nil {
@@ -96,6 +104,7 @@ func main() {
 		Shards:         *shards,
 		RemoteShards:   *remote,
 		ShardEndpoints: eps,
+		ShardWire:      *wire,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detectord:", err)
@@ -109,6 +118,10 @@ func main() {
 		fmt.Printf("sharded controller plane: %d shards over %d components\n",
 			coord.NumShards(), coord.Components())
 		for _, si := range coord.Status().Shards {
+			if si.Codec != "" {
+				fmt.Printf("  shard %d @ %s (%d components, %s wire)\n", si.ID, si.Addr, len(si.Components), si.Codec)
+				continue
+			}
 			fmt.Printf("  shard %d @ %s (%d components)\n", si.ID, si.Addr, len(si.Components))
 		}
 	}

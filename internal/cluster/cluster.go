@@ -61,6 +61,11 @@ type Options struct {
 	// ShardTTL marks a controller shard dead after this heartbeat
 	// silence (default 4 windows, like WatchdogTTL).
 	ShardTTL time.Duration
+	// ShardWire selects the transport codec for remote shards
+	// (shardrpc.WireAuto/WireJSON/WireBinary; default auto-negotiate at
+	// ping time). Applies to RemoteShards boots and ShardEndpoints
+	// fleets alike, for the controller and the diagnoser both.
+	ShardWire string
 	// PLL overrides the diagnoser's localization config. Compressed-time
 	// runs should raise LossRatioFloor/MinLoss: with windows of a few
 	// hundred milliseconds, a single scheduler stall mimics a burst of
@@ -161,6 +166,7 @@ func Start(opts Options) (*Cluster, error) {
 	}
 	if len(c.ShardURLs) > 0 {
 		opts.Control.ShardEndpoints = c.ShardURLs
+		opts.Control.ShardWire = opts.ShardWire
 	}
 
 	c.Fab, err = fabric.Start(f.Topology, c.Rules)
@@ -188,6 +194,7 @@ func Start(opts Options) (*Cluster, error) {
 		Topo:           f.Topology,
 		Shards:         opts.Shards,
 		ShardEndpoints: c.ShardURLs,
+		ShardWire:      opts.ShardWire,
 	})
 	srv, url, err = serveHTTP(c.Diagnoser.Handler())
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/sim"
 	"github.com/detector-net/detector/internal/topo"
 )
@@ -148,5 +149,42 @@ func TestRemoteShardEndToEndAlert(t *testing.T) {
 	}
 	if alert.Bad[0].Rate < 0.5 {
 		t.Errorf("estimated loss rate %.2f for a full-loss link", alert.Bad[0].Rate)
+	}
+}
+
+// TestRemoteShardBinaryWireIdentical re-runs the serving-identity check
+// with the fleet forced onto the v2 binary codec: the controller and the
+// diagnoser drive every shard over binary frames, the served matrix is
+// still byte-identical to an unsharded boot, and the coordinator's
+// placement view reports the codec per shard.
+func TestRemoteShardBinaryWireIdentical(t *testing.T) {
+	ref, err := Start(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ref.Stop)
+
+	opts := fastOptions()
+	opts.Shards = 2
+	opts.RemoteShards = true
+	opts.ShardTTL = 300 * time.Millisecond
+	opts.ShardWire = shardrpc.WireBinary
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	coord := c.Controller.Coordinator()
+	if coord == nil {
+		t.Fatal("remote sharded boot produced no coordinator")
+	}
+	for _, si := range coord.Status().Shards {
+		if si.Codec != shardrpc.CodecBinary {
+			t.Errorf("shard %d codec %q, want %q", si.ID, si.Codec, shardrpc.CodecBinary)
+		}
+	}
+	if !reflect.DeepEqual(c.Controller.ProbeMatrix().PathLinks, ref.Controller.ProbeMatrix().PathLinks) {
+		t.Fatal("served matrix differs between binary-wire and unsharded boots")
 	}
 }

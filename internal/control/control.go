@@ -63,6 +63,11 @@ type Config struct {
 	// Every service must be built for the same topology — the matrix
 	// signature handshake rejects a mismatched fleet.
 	ShardEndpoints []string
+	// ShardWire selects the transport codec for ShardEndpoints clients:
+	// shardrpc.WireAuto (default — negotiate per shard at ping time),
+	// WireJSON, or WireBinary. GET /shards reports the codec each shard
+	// actually negotiated.
+	ShardWire string
 }
 
 // DefaultConfig mirrors the paper's operating point, with the aggregation
@@ -174,7 +179,7 @@ func (c *Controller) construct(ps *route.FattreePaths) (*pmc.Result, error) {
 		if len(c.Cfg.ShardEndpoints) > 0 {
 			opt.Shards = 0
 			for i, ep := range c.Cfg.ShardEndpoints {
-				opt.Clients = append(opt.Clients, shardrpc.Dial(i, ep, shardrpc.ClientOptions{}))
+				opt.Clients = append(opt.Clients, shardrpc.Dial(i, ep, shardrpc.ClientOptions{Wire: c.Cfg.ShardWire}))
 			}
 		}
 		coord, err := shard.New(ps, c.F.NumLinks(), opt)

@@ -82,6 +82,9 @@ type Options struct {
 	// execution — same algorithm, same verdicts — when a service fails
 	// mid-window); Shards is implied (= len(ShardEndpoints)).
 	ShardEndpoints []string
+	// ShardWire selects the transport codec for ShardEndpoints clients
+	// (shardrpc.WireAuto/WireJSON/WireBinary; default auto-negotiate).
+	ShardWire string
 	// HTTPClient overrides the default client.
 	HTTPClient *http.Client
 	// Topo, when set, lets alerts name link endpoints.
@@ -136,10 +139,24 @@ func New(opts Options) *Diagnoser {
 		d.shards = len(opts.ShardEndpoints)
 		d.clients = make(map[int]shard.ShardClient, d.shards)
 		for i, ep := range opts.ShardEndpoints {
-			d.clients[i] = shardrpc.Dial(i, ep, shardrpc.ClientOptions{})
+			d.clients[i] = shardrpc.Dial(i, ep, shardrpc.ClientOptions{Wire: opts.ShardWire})
 		}
+		d.negotiateCodecs()
 	}
 	return d
+}
+
+// negotiateCodecs pings every shard client in the background. The
+// diagnoser runs no heartbeat prober (liveness is the controller
+// coordinator's job), but codec negotiation also happens at ping time —
+// without this, an auto-wire diagnoser would ship every localize window
+// as JSON forever. Best-effort: a failed ping just leaves that client on
+// the JSON fallback, and the plane's local-execution fallback covers a
+// shard that is really down.
+func (d *Diagnoser) negotiateCodecs() {
+	for _, cl := range d.clients {
+		go func(cl shard.ShardClient) { _ = cl.Ping() }(cl)
+	}
 }
 
 // SetMatrix injects the probe matrix directly (in-process alternative to
@@ -337,6 +354,10 @@ func (d *Diagnoser) shardPlane(matrix *route.Probes) *shard.Plane {
 		}
 		d.plane = shard.NewPlane(matrix, alive).UseClients(d.clients)
 		d.planeFor = matrix
+		// A new matrix means a new construction cycle — a natural moment
+		// to re-run codec negotiation, picking up shards redeployed at a
+		// different version since the last cycle.
+		d.negotiateCodecs()
 	}
 	return d.plane
 }

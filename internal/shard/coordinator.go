@@ -165,6 +165,23 @@ func New(ps route.PathSet, numLinks int, opt Options) (*Coordinator, error) {
 			mc.ExpectMatrix(c.sig, c.numLinks)
 		}
 	}
+	// One synchronous probe round before the periodic probers start: it
+	// seeds liveness with a real heartbeat and — on transport clients —
+	// runs the codec negotiation, so even the very first construct
+	// dispatch ships in the negotiated wire format instead of the JSON
+	// fallback. Pings run in parallel, so a dead endpoint costs one
+	// refused connection, not a serial timeout chain.
+	var initial sync.WaitGroup
+	for i := range c.clients {
+		initial.Add(1)
+		go func(i int) {
+			defer initial.Done()
+			if err := c.clients[i].Ping(); err == nil {
+				c.wd.Heartbeat(topo.NodeID(i))
+			}
+		}(i)
+	}
+	initial.Wait()
 	for i := range c.clients {
 		c.probers.Add(1)
 		go c.probe(i)
@@ -507,6 +524,9 @@ type ShardInfo struct {
 	Addr        string `json:"addr"`
 	Alive       bool   `json:"alive"`
 	Quarantined bool   `json:"quarantined,omitempty"`
+	// Codec is the negotiated wire codec for transport-backed shards
+	// (CodecReporter); empty for in-process shards, which have no wire.
+	Codec string `json:"codec,omitempty"`
 	// Components are the component indices the shard currently owns.
 	Components []int `json:"components"`
 }
@@ -552,13 +572,17 @@ func (c *Coordinator) Status() Status {
 		if comps == nil {
 			comps = []int{}
 		}
-		st.Shards = append(st.Shards, ShardInfo{
+		info := ShardInfo{
 			ID:          i,
 			Addr:        c.clients[i].Addr(),
 			Alive:       !unhealthy[topo.NodeID(i)] && !c.quarantined[i],
 			Quarantined: c.quarantined[i],
 			Components:  comps,
-		})
+		}
+		if cr, ok := c.clients[i].(CodecReporter); ok {
+			info.Codec = cr.Codec()
+		}
+		st.Shards = append(st.Shards, info)
 	}
 	return st
 }

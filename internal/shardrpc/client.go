@@ -2,10 +2,13 @@ package shardrpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/httptrace"
 	"sync"
 	"time"
 
@@ -17,58 +20,157 @@ import (
 	"github.com/detector-net/detector/internal/shard"
 )
 
+// Wire policies for ClientOptions.Wire.
+const (
+	// WireAuto negotiates at ping time: the client starts on JSON (every
+	// server speaks it) and upgrades to the binary codec when the shard's
+	// ping advertises it — so a mixed v1/v2 fleet keeps working and each
+	// shard is driven over the cheapest codec it supports.
+	WireAuto = "auto"
+	// WireJSON forces the v1 JSON codec.
+	WireJSON = CodecJSON
+	// WireBinary forces the v2 binary codec; a v1-only shard will answer
+	// 400, which surfaces as a dispatch failure instead of silently
+	// degrading — use it to assert a fully upgraded fleet.
+	WireBinary = CodecBinary
+)
+
 // ClientOptions tunes a transport client.
 type ClientOptions struct {
 	// HTTPClient overrides the default (30 s total-request timeout —
 	// construction on a big component takes seconds, so this is a
-	// hung-shard bound, not a latency bound).
+	// hung-shard bound, not a latency bound — over a connection-counting
+	// transport tuned for shard traffic). With an override the byte
+	// counters degrade to payload accounting: request bodies per attempt
+	// and response bytes read, no header or ping-request bytes.
 	HTTPClient *http.Client
 	// Attempts is how many times an idempotent call is tried before the
 	// dispatch is reported failed (default 2: one retry). Construction
 	// and localization are pure computations, so a retry can never
 	// double-apply anything.
 	Attempts int
+	// Wire selects the request codec: WireAuto (default — negotiate at
+	// ping time, JSON until the shard advertises binary), WireJSON, or
+	// WireBinary.
+	Wire string
+	// MaxResponseBytes bounds every response read, mirroring the limit
+	// the server enforces on requests: a misbehaving shard cannot balloon
+	// coordinator memory through an unbounded response body. Default
+	// DefaultLimits().MaxBodyBytes.
+	MaxResponseBytes int64
 }
 
 // Client drives one remote shard service and implements shard.ShardClient,
 // so a coordinator treats it exactly like an in-process shard. Per-shard
-// operational counters (requests, bytes in/out, retries) register in
-// internal/metrics and surface at every service's GET /metrics.
+// operational counters (requests, bytes in/out, retries, connections
+// opened/reused) register in internal/metrics and surface at every
+// service's GET /metrics.
 type Client struct {
-	id   int
-	base string
-	hc   *http.Client
-	att  int
+	id      int
+	base    string
+	hc      *http.Client
+	att     int
+	wire    string
+	maxResp int64
+	// wireCount is true when the client owns a counting transport: the
+	// byte counters then measure actual wire traffic — headers, bodies,
+	// failed attempts, pings — not just successfully posted payloads.
+	wireCount bool
 
 	mu          sync.Mutex
+	negotiated  string // codec chosen by the last ping under WireAuto
 	expectSet   bool
 	expectSig   uint64
 	expectLinks int
 
-	requests *metrics.Counter
-	retries  *metrics.Counter
-	bytesIn  *metrics.Counter
-	bytesOut *metrics.Counter
+	requests    *metrics.Counter
+	retries     *metrics.Counter
+	bytesIn     *metrics.Counter
+	bytesOut    *metrics.Counter
+	connsOpened *metrics.Counter
+	connsReused *metrics.Counter
+}
+
+// countingConn counts every byte crossing a shard connection, so the
+// bytes_in/bytes_out counters report wire truth: request headers, bodies
+// of attempts that died mid-flight, ping GETs — all of it.
+type countingConn struct {
+	net.Conn
+	in, out *metrics.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.in.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.out.Add(int64(n))
+	}
+	return n, err
 }
 
 // Dial builds a client for the shard service at baseURL, serving
 // coordinator slot id. No connection is made until the first call.
+// An unknown Wire policy panics: silently treating a typo ("Binary",
+// "bin") as auto-negotiation would defeat exactly the fail-loud
+// guarantee WireBinary exists to give.
 func Dial(id int, baseURL string, opt ClientOptions) *Client {
-	hc := opt.HTTPClient
-	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
+	switch opt.Wire {
+	case "", WireAuto, WireJSON, WireBinary:
+	default:
+		panic(fmt.Sprintf("shardrpc: unknown wire policy %q (want %q, %q or %q)",
+			opt.Wire, WireAuto, WireJSON, WireBinary))
 	}
-	att := opt.Attempts
-	if att <= 0 {
-		att = 2
+	c := &Client{
+		id: id, base: baseURL,
+		wire:        opt.Wire,
+		negotiated:  CodecJSON,
+		maxResp:     opt.MaxResponseBytes,
+		requests:    metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_requests", id)),
+		retries:     metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_retries", id)),
+		bytesIn:     metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_bytes_in", id)),
+		bytesOut:    metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_bytes_out", id)),
+		connsOpened: metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_conns_opened", id)),
+		connsReused: metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_conns_reused", id)),
 	}
-	return &Client{
-		id: id, base: baseURL, hc: hc, att: att,
-		requests: metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_requests", id)),
-		retries:  metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_retries", id)),
-		bytesIn:  metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_bytes_in", id)),
-		bytesOut: metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_bytes_out", id)),
+	if c.maxResp <= 0 {
+		c.maxResp = DefaultLimits().MaxBodyBytes
 	}
+	c.att = opt.Attempts
+	if c.att <= 0 {
+		c.att = 2
+	}
+	c.hc = opt.HTTPClient
+	if c.hc == nil {
+		// http.DefaultTransport keeps only 2 idle connections per host,
+		// so a construct dispatch racing the heartbeat prober (plus any
+		// concurrent localize) to the same shard closes and reopens
+		// connections every cycle. Size the idle pool for shard traffic
+		// and count bytes at the connection so the transport counters
+		// cannot lie.
+		dialer := &net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}
+		tr := &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				conn, err := dialer.DialContext(ctx, network, addr)
+				if err != nil {
+					return nil, err
+				}
+				return &countingConn{Conn: conn, in: c.bytesIn, out: c.bytesOut}, nil
+			},
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     90 * time.Second,
+		}
+		c.hc = &http.Client{Timeout: 30 * time.Second, Transport: tr}
+		c.wireCount = true
+	}
+	return c
 }
 
 // ID returns the coordinator slot this client serves.
@@ -76,6 +178,21 @@ func (c *Client) ID() int { return c.id }
 
 // Addr returns the shard service's base URL.
 func (c *Client) Addr() string { return c.base }
+
+// Codec reports the codec the next request would use: the forced wire
+// policy, or the outcome of the last ping negotiation under WireAuto.
+// The controller's /shards view surfaces it per shard.
+func (c *Client) Codec() string {
+	switch c.wire {
+	case WireJSON:
+		return CodecJSON
+	case WireBinary:
+		return CodecBinary
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.negotiated
+}
 
 // Close releases idle connections.
 func (c *Client) Close() error {
@@ -95,19 +212,64 @@ func (c *Client) ExpectMatrix(sig uint64, numLinks int) {
 	c.expectLinks = numLinks
 }
 
-// Ping probes the shard service's liveness endpoint.
+// traceContext attaches a connection-reuse trace to a request context, so
+// the conns_opened/conns_reused counters show whether keep-alive is
+// actually holding under churn.
+func (c *Client) traceContext(ctx context.Context) context.Context {
+	return httptrace.WithClientTrace(ctx, &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				c.connsReused.Inc()
+			} else {
+				c.connsOpened.Inc()
+			}
+		},
+	})
+}
+
+// readBounded reads at most max bytes of a response body, reporting
+// whether the body exceeded the bound.
+func readBounded(body io.Reader, max int64) ([]byte, bool, error) {
+	b, err := io.ReadAll(io.LimitReader(body, max+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(b)) > max {
+		return b[:max], true, nil
+	}
+	return b, false, nil
+}
+
+// pingResponseCap bounds the liveness probe's body; a ping is a fixed
+// handful of fields, so anything past this is a sick shard.
+const pingResponseCap = 4096
+
+// Ping probes the shard service's liveness endpoint and, under WireAuto,
+// renegotiates the codec from the advertisement in the response — so a
+// shard redeployed at a different version is picked up at the next
+// heartbeat, upgrade or downgrade.
 func (c *Client) Ping() error {
 	c.requests.Inc()
-	resp, err := c.hc.Get(c.base + "/v1/ping")
+	req, err := http.NewRequestWithContext(c.traceContext(context.Background()),
+		http.MethodGet, c.base+"/v1/ping", nil)
+	if err != nil {
+		return fmt.Errorf("shardrpc %d: ping request: %w", c.id, err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("shardrpc %d: ping %s: %w", c.id, c.base, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	body, over, err := readBounded(resp.Body, pingResponseCap)
 	if err != nil {
 		return fmt.Errorf("shardrpc %d: ping read: %w", c.id, err)
 	}
-	c.bytesIn.Add(int64(len(body)))
+	if !c.wireCount {
+		c.bytesIn.Add(int64(len(body)))
+	}
+	if over {
+		return fmt.Errorf("shardrpc %d: ping response exceeds %d bytes", c.id, pingResponseCap)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("shardrpc %d: ping status %s", c.id, resp.Status)
 	}
@@ -118,7 +280,14 @@ func (c *Client) Ping() error {
 	if pr.V != SchemaVersion {
 		return fmt.Errorf("shardrpc %d: shard speaks schema v%d, client v%d", c.id, pr.V, SchemaVersion)
 	}
+	negotiated := CodecJSON
+	for _, name := range pr.Codecs {
+		if name == CodecBinary {
+			negotiated = CodecBinary
+		}
+	}
 	c.mu.Lock()
+	c.negotiated = negotiated
 	expectSet, expectSig, expectLinks := c.expectSet, c.expectSig, c.expectLinks
 	c.mu.Unlock()
 	if expectSet && (pr.MatrixSig != expectSig || pr.NumLinks != expectLinks) {
@@ -128,11 +297,52 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// post runs one idempotent JSON round trip with bounded retries. A
-// transport failure retries; any HTTP response — success or structured
-// error — is final, because the shard has already spoken.
-func (c *Client) post(path string, req, out any) error {
-	body, err := json.Marshal(req)
+// encodeRequest marshals a request body in the client's current codec.
+func (c *Client) encodeRequest(req any) (body []byte, contentType string, err error) {
+	if c.Codec() == CodecBinary {
+		switch r := req.(type) {
+		case ConstructRequest:
+			return r.encodeBinary(), ContentTypeBinary, nil
+		case LocalizeRequest:
+			return r.encodeBinary(), ContentTypeBinary, nil
+		}
+	}
+	body, err = json.Marshal(req)
+	return body, contentTypeJSON, err
+}
+
+// decodeResponse unmarshals a success body in whatever codec the server
+// answered with (the server mirrors the request codec, but trusting the
+// response header keeps a mid-rollout downgrade decodable).
+func decodeResponse(resp *http.Response, body []byte, respKind byte, maxPayload int64, out any) error {
+	if codecForContentType(resp.Header.Get("Content-Type")) == CodecBinary {
+		switch respKind {
+		case kindConstructResp:
+			decoded, err := decodeConstructRespBinary(body, maxPayload)
+			if err != nil {
+				return err
+			}
+			*out.(*ConstructResponse) = *decoded
+			return nil
+		case kindLocalizeResp:
+			decoded, err := decodeLocalizeRespBinary(body, maxPayload)
+			if err != nil {
+				return err
+			}
+			*out.(*LocalizeResponse) = *decoded
+			return nil
+		}
+	}
+	return json.Unmarshal(body, out)
+}
+
+// post runs one idempotent round trip with bounded retries, in the codec
+// negotiation selected. A transport failure retries; any HTTP response —
+// success or structured error — is final, because the shard has already
+// spoken. Responses are bounded by MaxResponseBytes: an oversized one is
+// a final error, like any other corrupt response.
+func (c *Client) post(path string, reqBody any, respKind byte, out any) error {
+	body, contentType, err := c.encodeRequest(reqBody)
 	if err != nil {
 		return fmt.Errorf("shardrpc %d: encode %s: %w", c.id, path, err)
 	}
@@ -142,19 +352,36 @@ func (c *Client) post(path string, req, out any) error {
 			c.retries.Inc()
 		}
 		c.requests.Inc()
-		resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(c.traceContext(context.Background()),
+			http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("shardrpc %d: %s: %w", c.id, path, err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		if !c.wireCount {
+			// Payload-level fallback accounting: the attempt's request
+			// body counts whether or not the shard answers — failed
+			// attempts move bytes too.
+			c.bytesOut.Add(int64(len(body)))
+		}
+		resp, err := c.hc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("shardrpc %d: %s: %w", c.id, path, err)
 			continue
 		}
-		c.bytesOut.Add(int64(len(body)))
-		respBody, err := io.ReadAll(resp.Body)
+		respBody, over, err := readBounded(resp.Body, c.maxResp)
 		resp.Body.Close()
 		if err != nil {
 			lastErr = fmt.Errorf("shardrpc %d: %s: read response: %w", c.id, path, err)
 			continue
 		}
-		c.bytesIn.Add(int64(len(respBody)))
+		if !c.wireCount {
+			c.bytesIn.Add(int64(len(respBody)))
+		}
+		if over {
+			return fmt.Errorf("shardrpc %d: %s: response exceeds %d bytes — refusing to buffer a runaway shard reply",
+				c.id, path, c.maxResp)
+		}
 		if resp.StatusCode != http.StatusOK {
 			var eb httpx.ErrorBody
 			if json.Unmarshal(respBody, &eb) == nil && eb.Error != "" {
@@ -162,7 +389,7 @@ func (c *Client) post(path string, req, out any) error {
 			}
 			return fmt.Errorf("shardrpc %d: %s: status %s", c.id, path, resp.Status)
 		}
-		if err := json.Unmarshal(respBody, out); err != nil {
+		if err := decodeResponse(resp, respBody, respKind, c.maxResp, out); err != nil {
 			return fmt.Errorf("shardrpc %d: %s: decode response: %w", c.id, path, err)
 		}
 		return nil
@@ -173,7 +400,7 @@ func (c *Client) post(path string, req, out any) error {
 // Construct dispatches one construction work order over the wire.
 func (c *Client) Construct(req shard.ConstructRequest) (*pmc.Result, error) {
 	var resp ConstructResponse
-	if err := c.post("/v1/construct", encodeConstruct(req), &resp); err != nil {
+	if err := c.post("/v1/construct", encodeConstruct(req), kindConstructResp, &resp); err != nil {
 		return nil, err
 	}
 	if resp.V != SchemaVersion {
@@ -194,7 +421,7 @@ func (c *Client) Construct(req shard.ConstructRequest) (*pmc.Result, error) {
 // verdicts.
 func (c *Client) Localize(sub *route.Probes, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
 	var resp LocalizeResponse
-	if err := c.post("/v1/localize", encodeLocalize(sub, obs, cfg), &resp); err != nil {
+	if err := c.post("/v1/localize", encodeLocalize(sub, obs, cfg), kindLocalizeResp, &resp); err != nil {
 		return nil, err
 	}
 	if resp.V != SchemaVersion {
@@ -211,5 +438,9 @@ func (c *Client) Localize(sub *route.Probes, obs []pll.Observation, cfg pll.Conf
 	return res, nil
 }
 
-// Interface conformance: a Client is a shard.ShardClient.
-var _ shard.ShardClient = (*Client)(nil)
+// Interface conformance: a Client is a shard.ShardClient that reports its
+// wire codec.
+var (
+	_ shard.ShardClient   = (*Client)(nil)
+	_ shard.CodecReporter = (*Client)(nil)
+)

@@ -1,7 +1,12 @@
 // Package shardrpc runs a controller shard as a standalone network
-// service: an HTTP/JSON transport behind the shard.ShardClient interface,
-// so the same coordinator that drives in-process shards drives shards on
-// other machines with no code change above the interface.
+// service: an HTTP transport behind the shard.ShardClient interface, so
+// the same coordinator that drives in-process shards drives shards on
+// other machines with no code change above the interface. Two codecs
+// share the wire — the v1 JSON schemas below, and a v2 length-prefixed
+// varint-delta binary codec (binary.go) negotiated at ping time and
+// selected per request via Content-Type, so mixed-version fleets keep
+// working while the binary codec cuts the dominant construct payload by
+// roughly 5× (ARCHITECTURE.md has the measured table).
 //
 // The paper's component decomposition (§4.3, Observation 1) is what makes
 // this wire-cheap: component slices out, selections and verdicts back are
@@ -78,6 +83,11 @@ type PingResponse struct {
 	MatrixSig uint64 `json:"matrix_sig,string"`
 	NumLinks  int    `json:"num_links"`
 	Paths     int    `json:"paths"`
+	// Codecs lists the wire codecs the shard accepts ("json", "binary").
+	// A v1 service omits the field, which a client reads as JSON-only —
+	// this is the whole negotiation: the server advertises, the client
+	// picks the cheapest codec both ends speak.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // Component is one independent subproblem on the wire: global link IDs and

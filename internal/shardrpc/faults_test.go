@@ -3,6 +3,7 @@ package shardrpc
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -330,4 +331,288 @@ func TestConstructRejectsUnboundedMaxElements(t *testing.T) {
 	if eb := errorBody(t, resp); !strings.Contains(eb, "max_elements") {
 		t.Fatalf("error %q does not name the offending field", eb)
 	}
+}
+
+// constructWorkOrder builds the coordinator-side work order for a full
+// decomposition of ps — a semantically valid construction any shard built
+// over the same path set must accept.
+func constructWorkOrder(ps route.PathSet, numLinks int) shard.ConstructRequest {
+	csr := route.MaterializeCSR(ps)
+	return shard.ConstructRequest{
+		MatrixSig: route.MatrixSignature(csr, numLinks),
+		NumLinks:  numLinks,
+		Comps:     route.DecomposeCSR(csr, numLinks),
+		Opt:       pmc.Options{Alpha: 1, Beta: 1, Lazy: true},
+	}
+}
+
+// legacyV1Handler makes a current shard service look like a PR-4-era v1
+// deployment: pings do not advertise codecs, and a binary request gets
+// the 400 a JSON-only decoder would produce.
+func legacyV1Handler(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/ping" {
+			rec := httptest.NewRecorder()
+			inner.ServeHTTP(rec, r)
+			var pr PingResponse
+			if rec.Code == http.StatusOK && json.Unmarshal(rec.Body.Bytes(), &pr) == nil {
+				pr.Codecs = nil
+				httpx.WriteJSON(w, pr)
+				return
+			}
+			w.WriteHeader(rec.Code)
+			_, _ = w.Write(rec.Body.Bytes())
+			return
+		}
+		if requestCodec(r) == CodecBinary {
+			httpx.Error(w, http.StatusBadRequest,
+				"undecodable request: invalid character '\\u00d7' looking for beginning of value")
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// TestCodecNegotiation pins the upgrade handshake: an auto-wire client
+// speaks JSON until the shard's ping advertises the binary codec, then
+// drives the same work order over binary with an identical result.
+func TestCodecNegotiation(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	srv := NewServer(ps, f.NumLinks())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	req := constructWorkOrder(ps, f.NumLinks())
+	ref, err := pmc.ConstructComponents(ps, route.MaterializeCSR(ps), req.Comps, f.NumLinks(), req.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := Dial(60, ts.URL, ClientOptions{})
+	defer cl.Close()
+	if got := cl.Codec(); got != CodecJSON {
+		t.Fatalf("pre-negotiation codec %q, want %q (JSON until the shard speaks)", got, CodecJSON)
+	}
+	preNeg, err := cl.Construct(req)
+	if err != nil {
+		t.Fatalf("construct before negotiation: %v", err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if got := cl.Codec(); got != CodecBinary {
+		t.Fatalf("post-ping codec %q, want %q (server advertises binary)", got, CodecBinary)
+	}
+	postNeg, err := cl.Construct(req)
+	if err != nil {
+		t.Fatalf("construct after negotiation: %v", err)
+	}
+	if !reflect.DeepEqual(preNeg.Selected, ref.Selected) || !reflect.DeepEqual(postNeg.Selected, ref.Selected) {
+		t.Fatal("selection depends on the codec — transport perturbed output")
+	}
+}
+
+// TestMixedVersionFleet pins both rollout directions: a v2 client against
+// a v1-only shard degrades cleanly to JSON (auto) or fails loudly
+// (forced binary), and a v1 JSON client keeps working against a v2
+// server, which answers in JSON.
+func TestMixedVersionFleet(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	req := constructWorkOrder(ps, f.NumLinks())
+	ref, err := pmc.ConstructComponents(ps, route.MaterializeCSR(ps), req.Comps, f.NumLinks(), req.Opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacy := httptest.NewServer(legacyV1Handler(NewServer(ps, f.NumLinks()).Handler()))
+	defer legacy.Close()
+	modern := NewServer(ps, f.NumLinks())
+	modernTS := httptest.NewServer(modern.Handler())
+	defer modernTS.Close()
+
+	t.Run("autoClientAgainstV1", func(t *testing.T) {
+		cl := Dial(61, legacy.URL, ClientOptions{})
+		defer cl.Close()
+		if err := cl.Ping(); err != nil {
+			t.Fatalf("ping v1 server: %v", err)
+		}
+		if got := cl.Codec(); got != CodecJSON {
+			t.Fatalf("codec against v1 server %q, want %q", got, CodecJSON)
+		}
+		res, err := cl.Construct(req)
+		if err != nil {
+			t.Fatalf("construct against v1 server: %v", err)
+		}
+		if !reflect.DeepEqual(res.Selected, ref.Selected) {
+			t.Fatal("v1 fallback selection differs")
+		}
+	})
+	t.Run("forcedBinaryAgainstV1", func(t *testing.T) {
+		cl := Dial(62, legacy.URL, ClientOptions{Wire: WireBinary})
+		defer cl.Close()
+		_, err := cl.Construct(req)
+		if err == nil {
+			t.Fatal("forced binary against a v1 server must fail, not silently degrade")
+		}
+		if !strings.Contains(err.Error(), "400") {
+			t.Fatalf("forced-binary failure %q does not surface the server's 400", err)
+		}
+	})
+	t.Run("v1ClientAgainstV2", func(t *testing.T) {
+		body, err := json.Marshal(encodeConstruct(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := postJSON(t, modernTS.URL+"/v1/construct", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("JSON construct against v2 server: status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("JSON request answered with %q — a v1 client could not decode this", ct)
+		}
+		var cresp ConstructResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cresp); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cresp.Selected, ref.Selected) {
+			t.Fatal("v1-style JSON selection differs")
+		}
+	})
+}
+
+// TestOversizedResponseRejected is the response-side mirror of the
+// request body limit: a shard that answers with an unbounded body cannot
+// balloon coordinator memory — the client stops reading at its limit and
+// reports a final, structured error.
+func TestOversizedResponseRejected(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/construct", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		junk := bytes.Repeat([]byte(" "), 1<<16)
+		_, _ = w.Write(junk)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := Dial(64, ts.URL, ClientOptions{Attempts: 1, MaxResponseBytes: 4096})
+	defer cl.Close()
+	_, err := cl.Construct(constructWorkOrder(ps, f.NumLinks()))
+	if err == nil {
+		t.Fatal("oversized response must be an error")
+	}
+	if !strings.Contains(err.Error(), "exceeds 4096 bytes") {
+		t.Fatalf("oversized-response error %q does not name the bound", err)
+	}
+}
+
+// TestByteCountersCountFailedAttempts pins honest accounting: a request
+// whose shard dies after reading the body still moved those bytes, and
+// the counters must say so — under the default transport they count at
+// the connection, so headers, failed attempts and pings are all wire
+// truth.
+func TestByteCountersCountFailedAttempts(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	req := constructWorkOrder(ps, f.NumLinks())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/construct", func(w http.ResponseWriter, r *http.Request) {
+		// Drain the request (the bytes really cross the wire), then kill
+		// the connection before any response.
+		_, _ = io.Copy(io.Discard, r.Body)
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := Dial(65, ts.URL, ClientOptions{})
+	defer cl.Close()
+	jsonBody, err := json.Marshal(encodeConstruct(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBefore, retriesBefore := cl.bytesOut.Value(), cl.retries.Value()
+	if _, err := cl.Construct(req); err == nil {
+		t.Fatal("construct against a connection-killing shard must fail")
+	}
+	moved := cl.bytesOut.Value() - outBefore
+	// Two attempts (default one retry), each shipping the full JSON body
+	// plus headers.
+	if want := 2 * int64(len(jsonBody)); moved < want {
+		t.Fatalf("bytes_out counted %d, want >= %d — failed attempts moved bytes the counter missed", moved, want)
+	}
+	if got := cl.retries.Value() - retriesBefore; got != 1 {
+		t.Fatalf("retries counted %d, want 1", got)
+	}
+}
+
+// TestPingCountsWireBytes: a liveness probe is wire traffic too — request
+// bytes out, response bytes in.
+func TestPingCountsWireBytes(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	ts := httptest.NewServer(NewServer(ps, f.NumLinks()).Handler())
+	defer ts.Close()
+
+	cl := Dial(66, ts.URL, ClientOptions{})
+	defer cl.Close()
+	inBefore, outBefore := cl.bytesIn.Value(), cl.bytesOut.Value()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if out := cl.bytesOut.Value() - outBefore; out == 0 {
+		t.Fatal("ping request moved no counted bytes — GET accounting still missing")
+	}
+	if in := cl.bytesIn.Value() - inBefore; in == 0 {
+		t.Fatal("ping response moved no counted bytes")
+	}
+}
+
+// TestConnectionReuse pins the tuned transport: sequential calls to one
+// shard hold a single keep-alive connection instead of redialing, and
+// the reuse counters prove it.
+func TestConnectionReuse(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	ts := httptest.NewServer(NewServer(ps, f.NumLinks()).Handler())
+	defer ts.Close()
+
+	cl := Dial(67, ts.URL, ClientOptions{})
+	defer cl.Close()
+	openedBefore, reusedBefore := cl.connsOpened.Value(), cl.connsReused.Value()
+	req := constructWorkOrder(ps, f.NumLinks())
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Construct(req); err != nil {
+		t.Fatal(err)
+	}
+	opened := cl.connsOpened.Value() - openedBefore
+	reused := cl.connsReused.Value() - reusedBefore
+	if opened != 1 || reused != 2 {
+		t.Fatalf("3 sequential calls: opened %d / reused %d connections, want 1 / 2 — keep-alive is not holding", opened, reused)
+	}
+}
+
+// TestDialRejectsUnknownWire pins the fail-fast on a mistyped wire
+// policy: silently treating "Binary" as auto-negotiation would defeat
+// the fail-loud guarantee WireBinary exists to give.
+func TestDialRejectsUnknownWire(t *testing.T) {
+	for _, ok := range []string{"", WireAuto, WireJSON, WireBinary} {
+		Dial(68, "http://127.0.0.1:1", ClientOptions{Wire: ok}).Close()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dial accepted wire policy \"Binary\"")
+		}
+	}()
+	Dial(68, "http://127.0.0.1:1", ClientOptions{Wire: "Binary"})
 }

@@ -3,7 +3,9 @@ package shardrpc
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"github.com/detector-net/detector/internal/httpx"
@@ -27,10 +29,15 @@ var (
 //	POST /v1/construct  → ConstructResponse
 //	POST /v1/localize   → LocalizeResponse
 //
-// Errors are structured (httpx.ErrorBody): 400 for malformed or
-// out-of-bounds payloads, 409 for a matrix-signature mismatch, 413 for an
-// oversized body, 422 for an engine rejection. A coordinator treats any of
-// them as a dispatch failure and fails the work over to surviving shards.
+// Requests select their codec via Content-Type: JSON (the v1 wire, the
+// default) or the v2 length-prefixed binary codec (ContentTypeBinary);
+// the response mirrors the request's codec and /v1/ping advertises both,
+// which is how clients negotiate. Errors are structured (httpx.ErrorBody,
+// always JSON): 400 for malformed or out-of-bounds payloads, 409 for a
+// matrix-signature mismatch, 413 for an oversized body, 415 for an
+// unknown media type, 422 for an engine rejection. A coordinator treats
+// any of them as a dispatch failure and fails the work over to surviving
+// shards.
 type Server struct {
 	ps       route.PathSet
 	csr      *route.CSR
@@ -59,23 +66,107 @@ func NewServerLimits(ps route.PathSet, numLinks int, lim Limits) *Server {
 // MatrixSig returns the engine's candidate-matrix signature.
 func (s *Server) MatrixSig() uint64 { return s.sig }
 
-// decodeBody reads and decodes a bounded JSON body, mapping failures to
-// the right status: 413 when the body exceeded MaxBodyBytes, 400 for
-// anything undecodable (truncation included).
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+// codecForContentType maps a Content-Type header value to a codec name:
+// JSON when absent or naming JSON (every v1 peer), binary for the v2
+// media type, "" for anything else.
+func codecForContentType(ct string) string {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(ct) {
+	case ContentTypeBinary:
+		return CodecBinary
+	case "", contentTypeJSON:
+		return CodecJSON
+	}
+	return ""
+}
+
+// requestCodec reads the codec a request selected via Content-Type.
+func requestCodec(r *http.Request) string {
+	return codecForContentType(r.Header.Get("Content-Type"))
+}
+
+// decodeBody reads and decodes a bounded request body in the codec its
+// Content-Type selects, mapping failures to the right status: 413 when
+// the body (or a binary frame's declared length) exceeds MaxBodyBytes,
+// 400 for anything undecodable (truncation included), 415 for an unknown
+// media type. Both codecs pass through the same Limits; the binary path
+// buys compactness, never laxity.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, kind byte, v any) (string, bool) {
+	codec := requestCodec(r)
+	if codec == "" {
+		serverRejected.Inc()
+		httpx.Error(w, http.StatusUnsupportedMediaType,
+			"unsupported content type %q (want %s or %s)",
+			r.Header.Get("Content-Type"), contentTypeJSON, ContentTypeBinary)
+		return codec, false
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.lim.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	var err error
+	if codec == CodecJSON {
+		err = json.NewDecoder(r.Body).Decode(v)
+	} else {
+		var data []byte
+		if data, err = io.ReadAll(r.Body); err == nil {
+			err = decodeBinaryInto(data, kind, s.lim.MaxBodyBytes, v)
+		}
+	}
+	if err != nil {
 		serverRejected.Inc()
 		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+		if errors.As(err, &tooBig) || errors.Is(err, errFrameTooLarge) {
 			httpx.Error(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", s.lim.MaxBodyBytes)
-			return false
+			return codec, false
 		}
 		httpx.Error(w, http.StatusBadRequest, "undecodable request: %v", err)
-		return false
+		return codec, false
 	}
-	return true
+	return codec, true
+}
+
+// decodeBinaryInto dispatches a v2 frame to the kind's decoder and copies
+// the result into the handler's request struct.
+func decodeBinaryInto(data []byte, kind byte, maxPayload int64, v any) error {
+	switch kind {
+	case kindConstructReq:
+		req, err := decodeConstructBinary(data, maxPayload)
+		if err != nil {
+			return err
+		}
+		*v.(*ConstructRequest) = *req
+	case kindLocalizeReq:
+		req, err := decodeLocalizeBinary(data, maxPayload)
+		if err != nil {
+			return err
+		}
+		*v.(*LocalizeRequest) = *req
+	default:
+		return errors.New("unknown payload kind")
+	}
+	return nil
+}
+
+// writeReply answers in the codec the request used; errors always travel
+// as JSON (httpx.Error), success bodies follow the negotiated codec.
+func writeReply(w http.ResponseWriter, codec string, v any) {
+	if codec != CodecBinary {
+		httpx.WriteJSON(w, v)
+		return
+	}
+	var frame []byte
+	switch resp := v.(type) {
+	case ConstructResponse:
+		frame = resp.encodeBinary()
+	case LocalizeResponse:
+		frame = resp.encodeBinary()
+	default:
+		httpx.WriteJSON(w, v)
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	_, _ = w.Write(frame)
 }
 
 // Handler serves the shard RPC surface plus the standard GET /metrics.
@@ -90,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 		httpx.WriteJSON(w, PingResponse{
 			V: SchemaVersion, MatrixSig: s.sig,
 			NumLinks: s.numLinks, Paths: s.ps.Len(),
+			Codecs: []string{CodecJSON, CodecBinary},
 		})
 	})
 	mux.HandleFunc("/v1/construct", func(w http.ResponseWriter, r *http.Request) {
@@ -99,7 +191,8 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		var req ConstructRequest
-		if !s.decodeBody(w, r, &req) {
+		codec, ok := s.decodeBody(w, r, kindConstructReq, &req)
+		if !ok {
 			return
 		}
 		if err := req.validate(s.lim, s.numLinks, s.ps.Len()); err != nil {
@@ -124,7 +217,7 @@ func (s *Server) Handler() http.Handler {
 			httpx.Error(w, http.StatusUnprocessableEntity, "construction failed: %v", err)
 			return
 		}
-		httpx.WriteJSON(w, ConstructResponse{
+		writeReply(w, codec, ConstructResponse{
 			V:        SchemaVersion,
 			Selected: res.Selected,
 			Stats: Stats{
@@ -142,7 +235,8 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		var req LocalizeRequest
-		if !s.decodeBody(w, r, &req) {
+		codec, ok := s.decodeBody(w, r, kindLocalizeReq, &req)
+		if !ok {
 			return
 		}
 		if err := req.validate(s.lim); err != nil {
@@ -166,7 +260,7 @@ func (s *Server) Handler() http.Handler {
 		for _, v := range res.Bad {
 			resp.Bad = append(resp.Bad, Verdict{Link: v.Link, Rate: v.Rate, Explained: v.Explained})
 		}
-		httpx.WriteJSON(w, resp)
+		writeReply(w, codec, resp)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if !httpx.RequireMethod(w, r, http.MethodGet) {
