@@ -58,6 +58,16 @@ func serveShard(k int, listen string) error {
 	return srv.ListenAndServe(listen)
 }
 
+// reportWire maps the -wire flag to the pinger report codec: an explicit
+// binary fleet goes binary end to end; auto and json keep JSON reports
+// (the report POST has no negotiation handshake to auto against).
+func reportWire(wire string) string {
+	if wire == shardrpc.WireBinary {
+		return shardrpc.CodecBinary
+	}
+	return ""
+}
+
 func main() {
 	var (
 		k          = flag.Int("k", 4, "Fattree radix")
@@ -68,7 +78,7 @@ func main() {
 		endpoints  = flag.String("shard-endpoints", "", "comma-separated shard service URLs; the front-end drives this external fleet")
 		shardServe = flag.Bool("shard-serve", false, "run as one controller shard service instead of the front-end")
 		listen     = flag.String("listen", "127.0.0.1:7117", "shard service listen address (with -shard-serve)")
-		wire       = flag.String("wire", shardrpc.WireAuto, "shard transport codec: auto (negotiate at ping time), json, or binary")
+		wire       = flag.String("wire", shardrpc.WireAuto, "shard transport codec: auto (negotiate at ping time), json, or binary; 'binary' also switches pinger reports to the v2 frame")
 	)
 	flag.Parse()
 
@@ -105,6 +115,7 @@ func main() {
 		RemoteShards:   *remote,
 		ShardEndpoints: eps,
 		ShardWire:      *wire,
+		ReportWire:     reportWire(*wire),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detectord:", err)
@@ -136,12 +147,15 @@ func main() {
 			alerts := c.Diagnoser.Alerts()
 			for ; seen < len(alerts); seen++ {
 				a := alerts[seen]
-				if len(a.Bad) == 0 {
+				if len(a.Bad) == 0 && len(a.Soft) == 0 {
 					continue
 				}
 				fmt.Printf("ALERT %s: %d lossy paths\n", a.Time.Format("15:04:05"), a.LossyPaths)
 				for _, v := range a.Bad {
-					fmt.Printf("  bad link %d (%s <-> %s), est. loss %.2f%%\n", v.Link, v.A, v.B, 100*v.Rate)
+					fmt.Printf("  bad link %d (%s <-> %s), est. loss %.2f%%, verdict %s\n", v.Link, v.A, v.B, 100*v.Rate, v.Verdict)
+				}
+				for _, v := range a.Soft {
+					fmt.Printf("  soft link %d (%s <-> %s), %s at %.2f%%\n", v.Link, v.A, v.B, v.Verdict, 100*v.Rate)
 				}
 			}
 		}

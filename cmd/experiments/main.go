@@ -21,17 +21,18 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig4,fig5,fig6 or 'all'")
-		trials = flag.Int("trials", 10, "random scenarios per cell")
-		seed   = flag.Int64("seed", 1, "RNG seed")
-		big    = flag.Bool("big", false, "paper-adjacent instance sizes (minutes of runtime)")
-		k      = flag.Int("k", 0, "override Fattree radix for table4/table5 (0 = experiment default)")
-		probes = flag.Int("probes", 400, "probes per path per simulated window")
-		beta   = flag.Int("beta", 0, "override table5's probe-matrix identifiability level (0 = paper default 2)")
+		run      = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig4,fig5,fig6,scenarios or 'all'")
+		trials   = flag.Int("trials", 10, "random scenarios per cell")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		big      = flag.Bool("big", false, "paper-adjacent instance sizes (minutes of runtime)")
+		k        = flag.Int("k", 0, "override Fattree radix for table4/table5/scenarios (0 = experiment default)")
+		probes   = flag.Int("probes", 400, "probes per path per simulated window")
+		beta     = flag.Int("beta", 0, "override table5's probe-matrix identifiability level (0 = paper default 2)")
+		scenario = flag.String("scenario", "", "restrict the scenario suite to one fault mode: lossy, silent-partial, congested, delayed, incast or flapping (empty = all)")
 	)
 	flag.Parse()
 
-	p := expt.Params{Trials: *trials, Seed: *seed, Big: *big, K: *k, ProbesPerPath: *probes, Beta: *beta}
+	p := expt.Params{Trials: *trials, Seed: *seed, Big: *big, K: *k, ProbesPerPath: *probes, Beta: *beta, Scenario: *scenario}
 
 	type driver struct {
 		name string
@@ -46,6 +47,7 @@ func main() {
 		{"fig4", func() error { _, err := expt.Fig4(os.Stdout, p); return err }},
 		{"fig5", func() error { _, err := expt.Fig5(os.Stdout, p); return err }},
 		{"fig6", func() error { _, err := expt.Fig6(os.Stdout, p); return err }},
+		{"scenarios", func() error { _, err := expt.ScenarioSweep(os.Stdout, p); return err }},
 	}
 
 	want := map[string]bool{}

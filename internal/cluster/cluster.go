@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/detector-net/detector/internal/control"
@@ -66,6 +67,10 @@ type Options struct {
 	// ping time). Applies to RemoteShards boots and ShardEndpoints
 	// fleets alike, for the controller and the diagnoser both.
 	ShardWire string
+	// ReportWire selects the pinger→diagnoser report codec: empty or
+	// shardrpc.CodecJSON for JSON bodies, shardrpc.CodecBinary for the
+	// v2 binary report frame (varint-delta paths, raw-bits floats).
+	ReportWire string
 	// PLL overrides the diagnoser's localization config. Compressed-time
 	// runs should raise LossRatioFloor/MinLoss: with windows of a few
 	// hundred milliseconds, a single scheduler stall mimics a burst of
@@ -188,6 +193,20 @@ func Start(opts Options) (*Cluster, error) {
 	if opts.PLL != nil {
 		pllCfg = *opts.PLL
 	}
+	// The fabric's drop counters are the diagnoser's SNMP side channel:
+	// per-link deltas since the last read, so the verdict lattice can
+	// split counted loss (lossy) from uncounted loss (silent-partial —
+	// gray rules never bump a counter).
+	var cntMu sync.Mutex
+	lastRead := make(map[topo.LinkID]int64)
+	counters := pll.LinkCounters(func(l topo.LinkID) (int64, bool) {
+		cntMu.Lock()
+		defer cntMu.Unlock()
+		cur := c.Rules.Counter(l)
+		delta := cur - lastRead[l]
+		lastRead[l] = cur
+		return delta, true
+	})
 	c.Diagnoser = diag.New(diag.Options{
 		Window:         opts.Window,
 		PLL:            pllCfg,
@@ -195,6 +214,7 @@ func Start(opts Options) (*Cluster, error) {
 		Shards:         opts.Shards,
 		ShardEndpoints: c.ShardURLs,
 		ShardWire:      opts.ShardWire,
+		LinkCounters:   counters,
 	})
 	srv, url, err = serveHTTP(c.Diagnoser.Handler())
 	if err != nil {
@@ -233,6 +253,7 @@ func Start(opts Options) (*Cluster, error) {
 			p, err := pinger.Start(f.Topology, c.Rules, c.Fab.Registry, sv, c.ControllerURL, pinger.Options{
 				Timeout:      opts.ProbeTimeout,
 				HeartbeatURL: c.WatchdogURL,
+				ReportWire:   opts.ReportWire,
 			})
 			if err != nil {
 				return fail(fmt.Errorf("cluster: pinger %d: %w", sv, err))

@@ -7,6 +7,8 @@ package diag
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"sync"
 	"time"
@@ -39,6 +41,10 @@ type LinkVerdict struct {
 	// Class is the inferred loss kind (full / deterministic-partial /
 	// random-partial / unknown), the paper's §7 diagnosis-scoping idea.
 	Class string `json:"class,omitempty"`
+	// Verdict places the link in the multi-signal lattice (lossy /
+	// silent-partial / congested / delayed / flapping): Class says how the
+	// link loses, Verdict says whether it is dying or merely busy.
+	Verdict string `json:"verdict,omitempty"`
 }
 
 // Alert is the outcome of one localization window.
@@ -53,6 +59,12 @@ type Alert struct {
 	// several fast windows to expose losses of extremely low rate that a
 	// single window misses (paper §6.4's false-negative remedy).
 	Slow bool `json:"slow,omitempty"`
+	// Soft lists congested and delayed links: advisories, not link-down
+	// alerts. A localized link whose lattice verdict is congestion or
+	// delay lands here instead of Bad, so transient queue pressure never
+	// pages as a dead link; the signal-localization pass adds links whose
+	// faults lose nothing at all.
+	Soft []LinkVerdict `json:"soft,omitempty"`
 }
 
 // Options configures the diagnoser.
@@ -89,6 +101,16 @@ type Options struct {
 	HTTPClient *http.Client
 	// Topo, when set, lets alerts name link endpoints.
 	Topo *topo.Topology
+	// Signals tunes the multi-signal verdict lattice; zero fields take
+	// pll.DefaultSignalConfig.
+	Signals pll.SignalConfig
+	// LinkCounters, when set, exposes per-window switch drop-counter
+	// deltas (the SNMP side channel) so the lattice can split observed
+	// loss into counted (lossy) and silent (gray).
+	LinkCounters pll.LinkCounters
+	// HistoryWindows bounds the per-path loss-rate history kept for flap
+	// detection (default 12 windows).
+	HistoryWindows int
 }
 
 // Diagnoser aggregates reports and localizes per window.
@@ -103,9 +125,11 @@ type Diagnoser struct {
 	version     int
 	plane       *shard.Plane // lazily built per matrix when opts.Shards > 1
 	planeFor    *route.Probes
-	acc         map[uint32]*counter // pathID -> window counters
-	slowAcc     map[uint32]*counter // multi-window accumulation
-	slowWindows int                 // fast windows since last slow pass
+	acc         map[uint32]*counter  // pathID -> window counters
+	slowAcc     map[uint32]*counter  // multi-window accumulation
+	slowWindows int                  // fast windows since last slow pass
+	hist        map[uint32][]float64 // per-path loss rates of past windows
+	rttBase     map[uint32]int64     // per-path healthy-baseline mean RTT
 	alerts      []Alert
 	reports     int64
 	stopped     bool
@@ -113,7 +137,17 @@ type Diagnoser struct {
 	done        sync.WaitGroup
 }
 
-type counter struct{ sent, lost int }
+// counter accumulates one path's window: probe counters plus
+// delivered-weighted signal sums, so multiple reports for the same path
+// (several pingers, or several sub-windows) merge into honest means.
+type counter struct {
+	sent, lost int
+	// acked weights the ECN sum; rttW weights the latency sums (older
+	// pingers report no RTT — their deliveries must not drag the mean).
+	acked, rttW    float64
+	rttSum, jitSum float64
+	ecnSum         float64
+}
 
 // New creates a diagnoser; call Run to start the window loop, or drive
 // windows manually with RunWindow in tests.
@@ -133,6 +167,8 @@ func New(opts Options) *Diagnoser {
 		shards:   opts.Shards,
 		acc:      make(map[uint32]*counter),
 		slowAcc:  make(map[uint32]*counter),
+		hist:     make(map[uint32][]float64),
+		rttBase:  make(map[uint32]int64),
 		stopChan: make(chan struct{}),
 	}
 	if len(opts.ShardEndpoints) > 0 {
@@ -181,6 +217,15 @@ func (d *Diagnoser) Ingest(rep *pinger.Report) {
 		}
 		c.sent += r.Sent
 		c.lost += r.Lost
+		if del := float64(r.Sent - r.Lost); del > 0 {
+			c.acked += del
+			c.ecnSum += r.ECNFrac * del
+			if r.MeanRTTNS > 0 {
+				c.rttW += del
+				c.rttSum += float64(r.MeanRTTNS) * del
+				c.jitSum += float64(r.JitterNS) * del
+			}
+		}
 	}
 }
 
@@ -191,7 +236,9 @@ func (d *Diagnoser) Reports() int64 {
 	return d.reports
 }
 
-// validateReport rejects counters that cannot describe a real window.
+// validateReport rejects counters and signals that cannot describe a real
+// window: negative counters, more losses than probes, negative latencies,
+// non-finite or out-of-range ECN fractions.
 func validateReport(rep *pinger.Report) error {
 	for i, pr := range rep.Results {
 		if pr.Sent < 0 || pr.Lost < 0 {
@@ -201,6 +248,14 @@ func validateReport(rep *pinger.Report) error {
 		if pr.Lost > pr.Sent {
 			return fmt.Errorf("result %d (path %d): lost %d exceeds sent %d",
 				i, pr.PathID, pr.Lost, pr.Sent)
+		}
+		if pr.MeanRTTNS < 0 || pr.JitterNS < 0 {
+			return fmt.Errorf("result %d (path %d): negative latency mean_rtt_ns=%d jitter_ns=%d",
+				i, pr.PathID, pr.MeanRTTNS, pr.JitterNS)
+		}
+		if math.IsNaN(pr.ECNFrac) || math.IsInf(pr.ECNFrac, 0) || pr.ECNFrac < 0 || pr.ECNFrac > 1 {
+			return fmt.Errorf("result %d (path %d): ECN fraction %v outside [0,1]",
+				i, pr.PathID, pr.ECNFrac)
 		}
 	}
 	return nil
@@ -218,7 +273,28 @@ func (d *Diagnoser) Handler() http.Handler {
 			return
 		}
 		var rep pinger.Report
-		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		if ct := r.Header.Get("Content-Type"); ct == shardrpc.ContentTypeBinary {
+			// The v2 binary report frame, same codec as the shard plane.
+			lim := shardrpc.DefaultLimits()
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, lim.MaxBodyBytes))
+			if err != nil {
+				malformedReports.Inc()
+				httpx.Error(w, http.StatusRequestEntityTooLarge, "report body too large: %v", err)
+				return
+			}
+			wr, err := shardrpc.DecodeReportBinary(body, lim.MaxBodyBytes)
+			if err != nil {
+				malformedReports.Inc()
+				httpx.Error(w, http.StatusBadRequest, "undecodable report: %v", err)
+				return
+			}
+			rep = pinger.Report{Node: wr.Node, Version: wr.Version, EndNS: wr.EndNS,
+				Results: make([]pinger.PathReport, len(wr.Results))}
+			for i, res := range wr.Results {
+				rep.Results[i] = pinger.PathReport{PathID: res.PathID, Sent: res.Sent, Lost: res.Lost,
+					MeanRTTNS: res.MeanRTTNS, JitterNS: res.JitterNS, ECNFrac: res.ECNFrac}
+			}
+		} else if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
 			malformedReports.Inc()
 			httpx.Error(w, http.StatusBadRequest, "undecodable report: %v", err)
 			return
@@ -295,12 +371,47 @@ func (d *Diagnoser) RunWindow() *Alert {
 		}
 	}
 
+	histCap := d.opts.HistoryWindows
+	if histCap <= 0 {
+		histCap = 12
+	}
 	d.mu.Lock()
 	matrix := d.matrix
 	version := d.version
 	obs := make([]pll.Observation, 0, len(d.acc))
+	// sig snapshots the cross-window context as it stood BEFORE this
+	// window: flap detection appends the current rate itself, and the RTT
+	// baseline must not learn from the window it is judging.
+	sig := &pll.Signals{
+		History:   make(map[int][]float64, len(d.acc)),
+		BaseRTTNS: make(map[int]int64, len(d.acc)),
+		Counters:  d.opts.LinkCounters,
+	}
 	for pathID, c := range d.acc {
-		obs = append(obs, pll.Observation{Path: int(pathID), Sent: c.sent, Lost: c.lost})
+		o := pll.Observation{Path: int(pathID), Sent: c.sent, Lost: c.lost}
+		if c.acked > 0 {
+			o.ECNFrac = c.ecnSum / c.acked
+		}
+		if c.rttW > 0 {
+			o.MeanRTTNS = int64(c.rttSum / c.rttW)
+			o.JitterNS = int64(c.jitSum / c.rttW)
+		}
+		obs = append(obs, o)
+		if h := d.hist[pathID]; len(h) > 0 {
+			sig.History[o.Path] = append([]float64(nil), h...)
+		}
+		if base := d.rttBase[pathID]; base > 0 {
+			sig.BaseRTTNS[o.Path] = base
+		}
+		// Roll the history and the min-tracked RTT baseline forward.
+		h := append(d.hist[pathID], float64(c.lost)/float64(max(c.sent, 1)))
+		if len(h) > histCap {
+			h = h[len(h)-histCap:]
+		}
+		d.hist[pathID] = h
+		if o.MeanRTTNS > 0 && (d.rttBase[pathID] == 0 || o.MeanRTTNS < d.rttBase[pathID]) {
+			d.rttBase[pathID] = o.MeanRTTNS
+		}
 		// Feed the long-window accumulator.
 		sc := d.slowAcc[pathID]
 		if sc == nil {
@@ -328,9 +439,11 @@ func (d *Diagnoser) RunWindow() *Alert {
 	if matrix == nil {
 		return nil
 	}
-	alert := d.localizeAlert(matrix, version, obs, cfg, false)
+	alert := d.localizeAlert(matrix, version, obs, cfg, false, sig)
 	if slowObs != nil {
-		d.localizeAlert(matrix, version, slowObs, cfg, true)
+		// The slow pass is the low-rate loss net; it pools too many windows
+		// for the time-series signals to mean anything.
+		d.localizeAlert(matrix, version, slowObs, cfg, true, nil)
 	}
 	return alert
 }
@@ -363,8 +476,11 @@ func (d *Diagnoser) shardPlane(matrix *route.Probes) *shard.Plane {
 }
 
 // localizeAlert runs one PLL pass — routed across the shard plane when
-// configured — and records the alert.
-func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.Observation, cfg pll.Config, slow bool) *Alert {
+// configured — and records the alert. The fast pass (sig non-nil) places
+// every localized link in the verdict lattice: congestion and delay
+// verdicts become Soft advisories instead of Bad alerts, and the
+// signal-localization pass adds soft links whose faults lose nothing.
+func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.Observation, cfg pll.Config, slow bool, sig *pll.Signals) *Alert {
 	if len(obs) == 0 {
 		return nil
 	}
@@ -386,17 +502,39 @@ func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.O
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 		Slow:      slow,
 	}
+	name := func(lv *LinkVerdict) {
+		if d.opts.Topo != nil {
+			l := d.opts.Topo.Link(lv.Link)
+			lv.A = d.opts.Topo.Node(l.A).Name
+			lv.B = d.opts.Topo.Node(l.B).Name
+		}
+	}
+	reported := make(map[topo.LinkID]bool, len(res.Bad))
 	for _, v := range res.Bad {
 		lv := LinkVerdict{
 			Link: v.Link, Rate: v.Rate,
 			Class: pll.Classify(matrix, obs, v.Link).String(),
 		}
-		if d.opts.Topo != nil {
-			l := d.opts.Topo.Link(v.Link)
-			lv.A = d.opts.Topo.Node(l.A).Name
-			lv.B = d.opts.Topo.Node(l.B).Name
+		verdict := pll.ClassifyVerdict(matrix, obs, v.Link, sig, d.opts.Signals)
+		lv.Verdict = verdict.String()
+		name(&lv)
+		reported[v.Link] = true
+		if verdict == pll.VerdictCongested || verdict == pll.VerdictDelayed {
+			alert.Soft = append(alert.Soft, lv)
+		} else {
+			alert.Bad = append(alert.Bad, lv)
 		}
-		alert.Bad = append(alert.Bad, lv)
+	}
+	if sig != nil {
+		sres := pll.LocalizeSignals(matrix, obs, sig, d.opts.Signals, cfg)
+		for _, sv := range append(sres.Congested, sres.Delayed...) {
+			if reported[sv.Link] {
+				continue
+			}
+			lv := LinkVerdict{Link: sv.Link, Rate: sv.Level, Verdict: sv.Class.String()}
+			name(&lv)
+			alert.Soft = append(alert.Soft, lv)
+		}
 	}
 	d.mu.Lock()
 	d.alerts = append(d.alerts, alert)

@@ -41,6 +41,10 @@ type Params struct {
 	// run on the exact incremental scoring engine; lowering to 1 isolates
 	// what identifiability costs in paths and construction time.
 	Beta int
+	// Scenario restricts the fault-injection suite to one fault mode
+	// (lossy, silent-partial, congested, delayed, incast, flapping);
+	// empty sweeps all of them.
+	Scenario string
 }
 
 // DefaultParams fits a CI box.

@@ -1,0 +1,54 @@
+package expt
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/detector-net/detector/internal/sim"
+)
+
+// TestScenarioSweepSmoke runs the fault-injection suite at CI scale and
+// holds the acceptance floors: loss-class faults localize with high
+// accuracy and no false positives, and congestion/delay-class faults never
+// raise a hard link-down alert.
+func TestScenarioSweepSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	p := DefaultParams()
+	p.K = 8
+	p.Trials = 3
+	p.ProbesPerPath = 200
+	rows, err := ScenarioSweep(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+	if len(rows) != 6*len(ScenarioCounts) {
+		t.Fatalf("rows = %d, want %d", len(rows), 6*len(ScenarioCounts))
+	}
+	for _, r := range rows {
+		hard := expectedVerdict(r.Mode).Hard()
+		if hard && r.Accuracy < 0.9 {
+			t.Errorf("%s x%d: accuracy %.2f < 0.90", r.Mode, r.Failed, r.Accuracy)
+		}
+		switch r.Mode {
+		case sim.ModeLossy, sim.ModeSilentPartial:
+			// The gray-failure acceptance band: 0% false positives.
+			if r.FalsePositive != 0 {
+				t.Errorf("%s x%d: false-positive ratio %.2f, want 0", r.Mode, r.Failed, r.FalsePositive)
+			}
+		case sim.ModeFlapping:
+			// Ten simultaneously dead links on a CI-sized Fattree is an
+			// ambiguous instance (as in Table 5's high-count cells); bound
+			// the false positives rather than forbidding them.
+			if r.FalsePositive > 0.1 {
+				t.Errorf("%s x%d: false-positive ratio %.2f > 0.10", r.Mode, r.Failed, r.FalsePositive)
+			}
+		}
+		if !hard && r.LinkDownFP != 0 {
+			t.Errorf("%s x%d: %d false link-down alerts, want 0", r.Mode, r.Failed, r.LinkDownFP)
+		}
+		if r.VerdictOK < 0.9 {
+			t.Errorf("%s x%d: verdict-correct %.2f < 0.90", r.Mode, r.Failed, r.VerdictOK)
+		}
+	}
+}

@@ -127,6 +127,9 @@ func (f *Fabric) runSwitch(self topo.NodeID, conn *net.UDPConn) {
 				if f.Rules.Drop(l, pkt) {
 					continue // dropped by the emulated fault
 				}
+				if f.Rules.Mark(l, pkt) {
+					pkt.Flags |= wire.FlagECN
+				}
 				delay = f.Rules.Delay(l)
 			}
 		}

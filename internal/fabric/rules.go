@@ -129,6 +129,25 @@ func (rt *RuleTable) Drop(l topo.LinkID, p *wire.Packet) bool {
 	return true
 }
 
+// Mark rolls ECN marking for a packet crossing link l: rules whose model
+// produces congestion signals (sim.SignalModel) mark the packet with the
+// model's probability, emulating a RED/ECN queue. The switch sets
+// wire.FlagECN on a true return.
+func (rt *RuleTable) Mark(l topo.LinkID, p *wire.Packet) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m, ok := rt.rules[l]
+	if !ok {
+		return false
+	}
+	sm, ok := m.(sim.SignalModel)
+	if !ok {
+		return false
+	}
+	_, prob := sm.LinkSignal(FlowOf(p), 0, rt.rng)
+	return prob > 0 && rt.rng.Float64() < prob
+}
+
 // Counter reads a link's drop counter.
 func (rt *RuleTable) Counter(l topo.LinkID) int64 {
 	rt.mu.RLock()

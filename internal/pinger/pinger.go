@@ -17,6 +17,7 @@ import (
 
 	"github.com/detector-net/detector/internal/control"
 	"github.com/detector-net/detector/internal/fabric"
+	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/topo"
 	"github.com/detector-net/detector/internal/wire"
 )
@@ -28,6 +29,12 @@ type PathReport struct {
 	Lost   int    `json:"lost"`
 	// MeanRTTNS is the mean round-trip time of delivered probes.
 	MeanRTTNS int64 `json:"mean_rtt_ns"`
+	// JitterNS is the RFC 3550 interarrival jitter of the delivered
+	// probes' RTTs: the smoothed mean of |RTT(i)−RTT(i−1)|.
+	JitterNS int64 `json:"jitter_ns,omitempty"`
+	// ECNFrac is the fraction of delivered probes whose echo carried the
+	// congestion-experienced mark (a switch set wire.FlagECN en route).
+	ECNFrac float64 `json:"ecn_frac,omitempty"`
 }
 
 // Report is the window aggregate POSTed to the diagnoser.
@@ -51,6 +58,9 @@ type Options struct {
 	HeartbeatURL string
 	// HTTPClient overrides the default client.
 	HTTPClient *http.Client
+	// ReportWire selects the report encoding: shardrpc.CodecJSON (default)
+	// or shardrpc.CodecBinary for the v2 binary frame.
+	ReportWire string
 }
 
 type pathState struct {
@@ -59,8 +69,11 @@ type pathState struct {
 	lost     int
 	rttNS    int64
 	acked    int
-	label    int // rotating flow-label index
-	confirms int // confirmation probes fired this window
+	ecn      int     // echoes that arrived congestion-marked
+	jitter   float64 // RFC 3550 smoothed |RTT delta|, ns
+	prevRTT  int64   // last delivered RTT, for the jitter delta
+	label    int     // rotating flow-label index
+	confirms int     // confirmation probes fired this window
 }
 
 type outstanding struct {
@@ -249,8 +262,19 @@ func (p *Pinger) receiveLoop() {
 		if o, ok := p.pending[pkt.ProbeID]; ok {
 			delete(p.pending, pkt.ProbeID)
 			st := p.paths[o.pathIdx]
+			if st.acked > 0 {
+				d := float64(rtt - st.prevRTT)
+				if d < 0 {
+					d = -d
+				}
+				st.jitter += (d - st.jitter) / 16
+			}
+			st.prevRTT = rtt
 			st.acked++
 			st.rttNS += rtt
+			if pkt.Flags&wire.FlagECN != 0 {
+				st.ecn++
+			}
 		}
 		p.mu.Unlock()
 	}
@@ -325,22 +349,40 @@ func (p *Pinger) report() {
 			continue
 		}
 		pr := PathReport{PathID: st.entry.PathID, Sent: counted, Lost: st.lost}
+		// All signal means divide by acked; with nothing delivered they
+		// stay zero rather than NaN/Inf.
 		if st.acked > 0 {
 			pr.MeanRTTNS = st.rttNS / int64(st.acked)
+			pr.JitterNS = int64(st.jitter)
+			pr.ECNFrac = float64(st.ecn) / float64(st.acked)
 		}
 		rep.Results = append(rep.Results, pr)
 		st.sent -= counted
 		st.acked, st.lost, st.rttNS, st.confirms = 0, 0, 0, 0
+		st.ecn, st.jitter, st.prevRTT = 0, 0, 0
 	}
 	p.mu.Unlock()
 	if len(rep.Results) == 0 || p.pinglist.ReportURL == "" {
 		return
 	}
-	body, err := json.Marshal(rep)
-	if err != nil {
-		return
+	var body []byte
+	contentType := "application/json"
+	if p.Opts.ReportWire == shardrpc.CodecBinary {
+		wr := shardrpc.Report{Node: rep.Node, Version: rep.Version, EndNS: rep.EndNS,
+			Results: make([]shardrpc.ReportResult, len(rep.Results))}
+		for i, r := range rep.Results {
+			wr.Results[i] = shardrpc.ReportResult{PathID: r.PathID, Sent: r.Sent, Lost: r.Lost,
+				MeanRTTNS: r.MeanRTTNS, JitterNS: r.JitterNS, ECNFrac: r.ECNFrac}
+		}
+		body = wr.EncodeBinary()
+		contentType = shardrpc.ContentTypeBinary
+	} else {
+		var err error
+		if body, err = json.Marshal(rep); err != nil {
+			return
+		}
 	}
-	resp, err := p.client.Post(p.pinglist.ReportURL+"/report", "application/json", bytes.NewReader(body))
+	resp, err := p.client.Post(p.pinglist.ReportURL+"/report", contentType, bytes.NewReader(body))
 	if err == nil {
 		resp.Body.Close()
 	}

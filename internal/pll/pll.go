@@ -28,6 +28,13 @@ type Observation struct {
 	// Sent and Lost count probes and losses on the path (echo included:
 	// a probe is lost if either direction drops it).
 	Sent, Lost int
+	// MeanRTTNS and JitterNS are the mean round-trip time and RFC 3550
+	// interarrival jitter over the delivered probes, in nanoseconds; zero
+	// when no probe was delivered or the source does not measure latency.
+	MeanRTTNS, JitterNS int64
+	// ECNFrac is the fraction of delivered probes that came back
+	// congestion-marked, in [0,1].
+	ECNFrac float64
 }
 
 // Config tunes PLL. The zero value is unusable; use DefaultConfig.

@@ -137,6 +137,29 @@ func randLocalizeResponse(r *rand.Rand) LocalizeResponse {
 	return resp
 }
 
+func randReport(r *rand.Rand) Report {
+	rep := Report{
+		Node:    topo.NodeID(r.Intn(math.MaxInt32)),
+		Version: r.Intn(1 << 20),
+		EndNS:   int64(r.Uint64() >> 1),
+	}
+	var pathID uint32
+	for n := r.Intn(12); n > 0; n-- {
+		// Nearly ascending path IDs with occasional jumps, as pinglists
+		// produce.
+		pathID += uint32(r.Intn(100))
+		sent := r.Intn(1000)
+		res := ReportResult{PathID: pathID, Sent: sent, Lost: r.Intn(sent + 1)}
+		if r.Intn(4) > 0 {
+			res.MeanRTTNS = int64(r.Intn(1 << 30))
+			res.JitterNS = int64(r.Intn(1 << 20))
+			res.ECNFrac = r.Float64()
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
 // TestBinaryMatchesJSONRoundTrip is the codec differential: for every
 // payload kind, decode(encodeBinary(x)) must equal decode(encodeJSON(x))
 // field for field — the binary codec may never perturb a value the JSON
@@ -197,6 +220,17 @@ func TestBinaryMatchesJSONRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(*lrespBin, lrespJSON) {
 			t.Fatalf("round %d: localize response diverges:\nbinary: %+v\njson:   %+v", i, *lrespBin, lrespJSON)
 		}
+
+		rep := randReport(r)
+		var repJSON Report
+		jsonRT(&rep, &repJSON)
+		repBin, err := DecodeReportBinary(rep.EncodeBinary(), 0)
+		if err != nil {
+			t.Fatalf("round %d: report binary decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(*repBin, repJSON) {
+			t.Fatalf("round %d: report diverges:\nbinary: %+v\njson:   %+v", i, *repBin, repJSON)
+		}
 	}
 }
 
@@ -243,6 +277,30 @@ func TestBinaryGoldenEdgeCases(t *testing.T) {
 		math.Float64bits(gotLR.Cfg.BaselineRate) != math.Float64bits(lr.Cfg.BaselineRate) ||
 		math.Float64bits(gotLR.Cfg.Significance) != math.Float64bits(lr.Cfg.Significance) {
 		t.Fatalf("float bits perturbed: %+v vs %+v", gotLR.Cfg, lr.Cfg)
+	}
+
+	// Report extremes: signed latency fields at the int64 edges (malformed
+	// on the wire is the validator's problem, not the codec's), awkward
+	// ECN float bit patterns, empty results.
+	rep := Report{Node: math.MaxInt32, Version: math.MaxInt32, EndNS: math.MinInt64,
+		Results: []ReportResult{
+			{PathID: math.MaxUint32 >> 1, Sent: math.MaxInt32, Lost: math.MaxInt32,
+				MeanRTTNS: math.MinInt64, JitterNS: math.MaxInt64, ECNFrac: math.Copysign(0, -1)},
+			{PathID: 0, ECNFrac: math.SmallestNonzeroFloat64},
+		}}
+	gotRep, err := DecodeReportBinary(rep.EncodeBinary(), 0)
+	if err != nil {
+		t.Fatalf("extreme report: %v", err)
+	}
+	if !reflect.DeepEqual(*gotRep, rep) {
+		t.Fatalf("extreme report round trip:\ngot:  %+v\nwant: %+v", *gotRep, rep)
+	}
+	if math.Float64bits(gotRep.Results[0].ECNFrac) != math.Float64bits(rep.Results[0].ECNFrac) {
+		t.Fatal("negative-zero ECN fraction bits perturbed")
+	}
+	emptyRep := Report{}
+	if gotRep, err = DecodeReportBinary(emptyRep.EncodeBinary(), 0); err != nil || !reflect.DeepEqual(*gotRep, emptyRep) {
+		t.Fatalf("empty report round trip: %+v, %v", *gotRep, err)
 	}
 }
 
@@ -384,7 +442,10 @@ func FuzzBinaryFrame(f *testing.F) {
 	f.Add(lr.encodeBinary())
 	lresp := randLocalizeResponse(r)
 	f.Add(lresp.encodeBinary())
+	rep := randReport(r)
+	f.Add(rep.EncodeBinary())
 	f.Add([]byte{frameMagic[0], frameMagic[1], BinaryVersion, kindConstructReq, 0})
+	f.Add([]byte{frameMagic[0], frameMagic[1], BinaryVersion, kindReport, 0})
 	f.Add([]byte{0xD7})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -418,6 +479,13 @@ func FuzzBinaryFrame(f *testing.F) {
 			again, err := decodeLocalizeRespBinary(enc, 0)
 			if err != nil || !bytes.Equal(enc, again.encodeBinary()) {
 				t.Fatalf("localize response re-encode not a fixed point: %v", err)
+			}
+		}
+		if rep, err := DecodeReportBinary(data, maxPayload); err == nil {
+			enc := rep.EncodeBinary()
+			again, err := DecodeReportBinary(enc, 0)
+			if err != nil || !bytes.Equal(enc, again.EncodeBinary()) {
+				t.Fatalf("report re-encode not a fixed point: %v", err)
 			}
 		}
 	})

@@ -1,0 +1,127 @@
+package shardrpc
+
+// The pinger→diagnoser report payload, as the fifth kind of the v2 binary
+// frame. The report wire is the chattiest edge of the control plane — every
+// server POSTs one report per window — and it is the first payload whose
+// floats (per-path RTT, jitter, ECN fraction) matter, so it shares the
+// frame format, the varint-delta integer packing and the raw-bits float
+// path of the shard codec instead of inventing a second one.
+//
+// The structs mirror internal/pinger's Report/PathReport field for field
+// (same JSON tags); they are redeclared here so the codec does not import
+// the agent. Conversion in either direction is a loop over identical
+// fields.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// kindReport extends the payload-kind space (construct/localize × req/resp
+// are 1..4). Old decoders reject it by kind byte, which is the intended
+// mixed-fleet behaviour: a v2-report-unaware diagnoser answers 400 and the
+// pinger falls back to JSON.
+const kindReport byte = 5
+
+// ReportResult is one path's window counters and signals on the wire.
+type ReportResult struct {
+	PathID uint32 `json:"path_id"`
+	Sent   int    `json:"sent"`
+	Lost   int    `json:"lost"`
+	// MeanRTTNS and JitterNS are the mean RTT and RFC 3550 jitter of the
+	// delivered probes; zero when nothing was delivered.
+	MeanRTTNS int64 `json:"mean_rtt_ns"`
+	JitterNS  int64 `json:"jitter_ns,omitempty"`
+	// ECNFrac is the fraction of delivered probes echoed back with the
+	// congestion-experienced mark.
+	ECNFrac float64 `json:"ecn_frac,omitempty"`
+}
+
+// Report is one pinger's window aggregate.
+type Report struct {
+	Node    topo.NodeID    `json:"node"`
+	Version int            `json:"version"`
+	EndNS   int64          `json:"end_ns"`
+	Results []ReportResult `json:"results"`
+}
+
+// EncodeBinary packs the report into a v2 frame. Path IDs ride the zigzag
+// delta cursor (pingers report paths in pinglist order, nearly ascending),
+// counters are uvarints, RTT and jitter signed varints, the ECN fraction
+// raw IEEE 754 bits.
+func (r *Report) EncodeBinary() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(r.Node))
+	b = binary.AppendUvarint(b, uint64(r.Version))
+	b = binary.AppendVarint(b, r.EndNS)
+	b = binary.AppendUvarint(b, uint64(len(r.Results)))
+	var pathEnc zigzagEnc
+	for _, pr := range r.Results {
+		b = pathEnc.append(b, int64(pr.PathID))
+		b = binary.AppendUvarint(b, uint64(pr.Sent))
+		b = binary.AppendUvarint(b, uint64(pr.Lost))
+		b = binary.AppendVarint(b, pr.MeanRTTNS)
+		b = binary.AppendVarint(b, pr.JitterNS)
+		b = appendF64(b, pr.ECNFrac)
+	}
+	return sealFrame(kindReport, b)
+}
+
+// DecodeReportBinary unpacks a v2 report frame under the payload budget.
+// Field-level validation (counter sanity, float ranges) is the consumer's
+// job, exactly as for a JSON body; the decode only enforces structure.
+func DecodeReportBinary(data []byte, maxPayload int64) (*Report, error) {
+	payload, err := openFrame(data, kindReport, maxPayload)
+	if err != nil {
+		return nil, err
+	}
+	r := &breader{buf: payload}
+	var rep Report
+	node, err := r.uint31()
+	if err != nil {
+		return nil, err
+	}
+	rep.Node = topo.NodeID(node)
+	if rep.Version, err = r.uint31(); err != nil {
+		return nil, err
+	}
+	if rep.EndNS, err = r.varint(); err != nil {
+		return nil, err
+	}
+	n, err := r.seqLen()
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		rep.Results = make([]ReportResult, n)
+		var pathDec zigzagDec
+		for i := range rep.Results {
+			p, err := pathDec.next(r)
+			if err != nil {
+				return nil, fmt.Errorf("result %d path: %w", i, err)
+			}
+			rep.Results[i].PathID = uint32(p)
+			if rep.Results[i].Sent, err = r.uint31(); err != nil {
+				return nil, err
+			}
+			if rep.Results[i].Lost, err = r.uint31(); err != nil {
+				return nil, err
+			}
+			if rep.Results[i].MeanRTTNS, err = r.varint(); err != nil {
+				return nil, err
+			}
+			if rep.Results[i].JitterNS, err = r.varint(); err != nil {
+				return nil, err
+			}
+			if rep.Results[i].ECNFrac, err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing payload bytes", r.remaining())
+	}
+	return &rep, nil
+}

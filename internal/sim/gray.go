@@ -1,0 +1,338 @@
+package sim
+
+// Gray-failure and congestion fault models (paper §7's richer failure-mode
+// discrimination). The paper's three loss kinds (loss.go) describe what a
+// link drops; real incidents also perturb what a link *delays* and *marks*:
+// congestion inflates RTT and sets ECN, incast does so in bursts, a slow
+// forwarding path inflates latency without losing anything, and a flapping
+// link alternates between perfect and dead across measurement windows. The
+// models here produce those signals so the monitoring plane can tell a
+// congested link from a dying one.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// SignalModel is implemented by fault models that perturb more than loss:
+// extra one-way packet delay and ECN marking. SimulateSignalWindow consults
+// it per packet per traversal; models without it add no delay and never
+// mark.
+type SignalModel interface {
+	// LinkSignal returns the extra one-way delay and the ECN-mark
+	// probability for one packet of flow f crossing the link during
+	// measurement window w.
+	LinkSignal(f FlowKey, w int, rng *rand.Rand) (extra time.Duration, ecnProb float64)
+}
+
+// WindowedModel is implemented by time-varying faults whose drop
+// probability depends on the measurement window (flapping links). The
+// window-free DropProb remains the marginal rate for callers without a
+// window clock (the fabric rule table, MeanRate accounting).
+type WindowedModel interface {
+	DropProbAt(f FlowKey, w int) float64
+}
+
+// DelayFault inflates a link's latency without dropping anything — a slow
+// forwarding path, a rerouted optical span, a overloaded linecard CPU. The
+// loss pipeline never sees it; only the RTT signal does.
+type DelayFault struct {
+	// Extra is the added one-way delay per traversal.
+	Extra time.Duration
+	// Sigma spreads the added delay (half-normal), producing the jitter a
+	// real slow path shows.
+	Sigma time.Duration
+}
+
+// DropProb implements LossModel: a delay fault loses nothing.
+func (DelayFault) DropProb(FlowKey) float64 { return 0 }
+
+// Kind implements LossModel.
+func (DelayFault) Kind() LossKind { return DelayKind }
+
+// MeanRate implements LossModel.
+func (DelayFault) MeanRate() float64 { return 0 }
+
+// Silent implements LossModel: no drops, so nothing for counters to see.
+func (DelayFault) Silent() bool { return true }
+
+// LinkSignal implements SignalModel.
+func (m DelayFault) LinkSignal(_ FlowKey, _ int, rng *rand.Rand) (time.Duration, float64) {
+	d := m.Extra
+	if m.Sigma > 0 {
+		d += time.Duration(math.Abs(rng.NormFloat64()) * float64(m.Sigma))
+	}
+	return d, 0
+}
+
+// CongestionFault holds a link at a sustained utilization: queueing delay
+// from the LatencyModel's M/M/1 approximation, RED-style ECN marking above
+// a threshold, and tail drops as the queue saturates. Drops are counted
+// (queue drops bump switch counters); the discriminating signal is the ECN
+// fraction and the inflated RTT, not the loss itself.
+type CongestionFault struct {
+	// Rho is the sustained utilization in (0,1).
+	Rho float64
+	// Queue is the queueing model; the zero value takes DefaultLatencyModel.
+	Queue LatencyModel
+	// MarkFloor is the utilization where ECN marking starts (default 0.6);
+	// marking probability ramps linearly to MaxMark at rho = 1.
+	MarkFloor float64
+	// MaxMark is the marking probability at saturation (default 0.6).
+	MaxMark float64
+	// DropFloor is the utilization where tail drops start (default 0.85);
+	// drop probability ramps linearly to MaxDrop at rho = 1.
+	DropFloor float64
+	// MaxDrop is the tail-drop probability at saturation (default 0.08).
+	MaxDrop float64
+}
+
+func (m CongestionFault) norm() CongestionFault {
+	if m.Queue.CapacityBps == 0 {
+		m.Queue = DefaultLatencyModel()
+	}
+	if m.MarkFloor == 0 {
+		m.MarkFloor = 0.6
+	}
+	if m.MaxMark == 0 {
+		m.MaxMark = 0.6
+	}
+	if m.DropFloor == 0 {
+		m.DropFloor = 0.85
+	}
+	if m.MaxDrop == 0 {
+		m.MaxDrop = 0.08
+	}
+	return m
+}
+
+// ramp maps rho through a linear ramp from floor to 1.
+func ramp(rho, floor, max float64) float64 {
+	if rho <= floor {
+		return 0
+	}
+	p := (rho - floor) / (1 - floor) * max
+	if p > max {
+		return max
+	}
+	return p
+}
+
+// DropProb implements LossModel: tail drops past DropFloor.
+func (m CongestionFault) DropProb(FlowKey) float64 {
+	m = m.norm()
+	return ramp(m.Rho, m.DropFloor, m.MaxDrop)
+}
+
+// Kind implements LossModel.
+func (CongestionFault) Kind() LossKind { return CongestionKind }
+
+// MeanRate implements LossModel.
+func (m CongestionFault) MeanRate() float64 { return m.DropProb(FlowKey{}) }
+
+// Silent implements LossModel: queue drops are counted by the switch.
+func (CongestionFault) Silent() bool { return false }
+
+// LinkSignal implements SignalModel: queueing delay at Rho plus RED marks.
+func (m CongestionFault) LinkSignal(_ FlowKey, _ int, rng *rand.Rand) (time.Duration, float64) {
+	m = m.norm()
+	return m.Queue.DelayAtRho(m.Rho, rng) - m.Queue.baseDelay(), ramp(m.Rho, m.MarkFloor, m.MaxMark)
+}
+
+// IncastFault models synchronized fan-in at a ToR downlink: the link is
+// healthy most of the time and saturated during bursts. Each packet lands
+// in a burst with probability Duty; burst packets see the Burst congestion
+// effects (queueing delay, ECN, tail drops). The bimodal RTT distribution
+// is what makes incast's jitter signature.
+type IncastFault struct {
+	// Duty is the fraction of time spent in a burst (default 0.25).
+	Duty float64
+	// Burst is the congestion state during a burst; zero Rho defaults 0.97.
+	Burst CongestionFault
+}
+
+func (m IncastFault) norm() IncastFault {
+	if m.Duty == 0 {
+		m.Duty = 0.25
+	}
+	if m.Burst.Rho == 0 {
+		m.Burst.Rho = 0.97
+	}
+	m.Burst = m.Burst.norm()
+	return m
+}
+
+// DropProb implements LossModel: the duty-weighted burst drop rate.
+func (m IncastFault) DropProb(f FlowKey) float64 {
+	m = m.norm()
+	return m.Duty * m.Burst.DropProb(f)
+}
+
+// Kind implements LossModel.
+func (IncastFault) Kind() LossKind { return IncastKind }
+
+// MeanRate implements LossModel.
+func (m IncastFault) MeanRate() float64 { return m.DropProb(FlowKey{}) }
+
+// Silent implements LossModel.
+func (IncastFault) Silent() bool { return false }
+
+// LinkSignal implements SignalModel: burst packets queue and mark, the rest
+// pass clean.
+func (m IncastFault) LinkSignal(f FlowKey, w int, rng *rand.Rand) (time.Duration, float64) {
+	m = m.norm()
+	if rng.Float64() >= m.Duty {
+		return 0, 0
+	}
+	return m.Burst.LinkSignal(f, w, rng)
+}
+
+// FlappingFault alternates a link between dead and healthy across
+// measurement windows — the classic failing-transceiver pattern that a
+// single-window localizer reports as an intermittent full loss and an
+// operator chases as a ghost. Down windows drop everything.
+type FlappingFault struct {
+	// DownWindows and UpWindows set the flap cycle (defaults 1 and 1: the
+	// link alternates every window, down on even windows).
+	DownWindows, UpWindows int
+	// Gray suppresses the drop counters while down.
+	Gray bool
+}
+
+func (m FlappingFault) cycle() (down, period int) {
+	down = m.DownWindows
+	if down <= 0 {
+		down = 1
+	}
+	up := m.UpWindows
+	if up <= 0 {
+		up = 1
+	}
+	return down, down + up
+}
+
+// DropProbAt implements WindowedModel: down windows drop everything.
+func (m FlappingFault) DropProbAt(_ FlowKey, w int) float64 {
+	down, period := m.cycle()
+	if w%period < down {
+		return 1
+	}
+	return 0
+}
+
+// DropProb implements LossModel: the window-free marginal (duty cycle).
+func (m FlappingFault) DropProb(FlowKey) float64 { return m.MeanRate() }
+
+// Kind implements LossModel.
+func (FlappingFault) Kind() LossKind { return FlappingKind }
+
+// MeanRate implements LossModel.
+func (m FlappingFault) MeanRate() float64 {
+	down, period := m.cycle()
+	return float64(down) / float64(period)
+}
+
+// Silent implements LossModel.
+func (m FlappingFault) Silent() bool { return m.Gray }
+
+// SilentPartial is the gray failure proper: random partial drops that
+// never bump a switch counter (a corrupting linecard, a lossy backplane
+// lane). Identical to RandomLoss{Gray: true}, named for scenario suites.
+func SilentPartial(rate float64) LossModel { return RandomLoss{P: rate, Gray: true} }
+
+// FaultMode names one scenario family of the gray-failure suite; each mode
+// maps to one verdict class the diagnoser is expected to emit.
+type FaultMode string
+
+const (
+	// ModeLossy is the control: counted random partial loss (CRC errors,
+	// buffer overruns) — expected verdict "lossy".
+	ModeLossy FaultMode = "lossy"
+	// ModeSilentPartial drops without counters — expected "silent-partial".
+	ModeSilentPartial FaultMode = "silent-partial"
+	// ModeCongested sustains high utilization — expected "congested".
+	ModeCongested FaultMode = "congested"
+	// ModeDelayed inflates latency only — expected "delayed".
+	ModeDelayed FaultMode = "delayed"
+	// ModeIncast is bursty congestion at ToR downlinks — expected
+	// "congested" (incast is congestion, localized at the fan-in link).
+	ModeIncast FaultMode = "incast"
+	// ModeFlapping alternates dead/healthy per window — expected "flapping".
+	ModeFlapping FaultMode = "flapping"
+)
+
+// FaultModes lists every mode of the suite, in sweep order.
+func FaultModes() []FaultMode {
+	return []FaultMode{ModeLossy, ModeSilentPartial, ModeCongested, ModeDelayed, ModeIncast, ModeFlapping}
+}
+
+// ParseFaultMode validates a mode name (CLI flags).
+func ParseFaultMode(s string) (FaultMode, error) {
+	for _, m := range FaultModes() {
+		if string(m) == s {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("sim: unknown fault mode %q (want one of %v)", s, FaultModes())
+}
+
+// GenerateMode draws a scenario of n same-mode link faults on distinct
+// links. Incast faults land on ToR downlinks (edge–aggregation tier, the
+// fan-in bottleneck); every other mode draws from all switch-to-switch
+// links, mirroring table45FailureConfig's exclusion of server links (which
+// the ToR-level probe matrix does not traverse).
+func GenerateMode(t *topo.Topology, mode FaultMode, n int, rng *rand.Rand) (*Scenario, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: fault count must be positive, got %d", n)
+	}
+	var cands []topo.LinkID
+	for _, l := range t.Links {
+		if l.Tier == topo.TierServerEdge {
+			continue
+		}
+		if mode == ModeIncast && l.Tier != topo.TierEdgeAgg {
+			continue
+		}
+		cands = append(cands, l.ID)
+	}
+	if n > len(cands) {
+		return nil, fmt.Errorf("sim: %d faults exceed %d candidate links for mode %s", n, len(cands), mode)
+	}
+	// Partial Fisher-Yates over a copy: n distinct links.
+	picked := append([]topo.LinkID(nil), cands...)
+	failures := make([]Failure, 0, n)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(picked)-i)
+		picked[i], picked[j] = picked[j], picked[i]
+		m, err := drawModeModel(mode, rng)
+		if err != nil {
+			return nil, err
+		}
+		failures = append(failures, Failure{Link: picked[i], Model: m, FromSwitch: -1})
+	}
+	return NewScenario(failures...), nil
+}
+
+// drawModeModel draws one fault model of the mode with randomized severity.
+func drawModeModel(mode FaultMode, rng *rand.Rand) (LossModel, error) {
+	switch mode {
+	case ModeLossy:
+		return RandomLoss{P: logUniform(0.02, 0.3, rng)}, nil
+	case ModeSilentPartial:
+		return SilentPartial(logUniform(0.02, 0.3, rng)), nil
+	case ModeCongested:
+		return CongestionFault{Rho: 0.88 + 0.1*rng.Float64()}, nil
+	case ModeDelayed:
+		extra := time.Duration(logUniform(1e6, 5e6, rng)) // 1–5 ms
+		return DelayFault{Extra: extra, Sigma: extra / 4}, nil
+	case ModeIncast:
+		return IncastFault{Duty: 0.15 + 0.25*rng.Float64()}, nil
+	case ModeFlapping:
+		return FlappingFault{DownWindows: 1, UpWindows: 1}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown fault mode %q", mode)
+}

@@ -38,7 +38,14 @@ func DefaultLatencyModel() LatencyModel {
 
 // linkDelay samples the one-way delay of one link at the given load.
 func (m LatencyModel) linkDelay(bytesPerSec float64, rng *rand.Rand) time.Duration {
-	rho := bytesPerSec * 8 / m.CapacityBps
+	return m.DelayAtRho(bytesPerSec*8/m.CapacityBps, rng)
+}
+
+// DelayAtRho samples the one-way delay of one link held at utilization rho:
+// base delay, service time, and an exponentially distributed M/M/1 wait.
+// It draws exactly one random number, so callers composing it keep their
+// RNG sequences stable.
+func (m LatencyModel) DelayAtRho(rho float64, rng *rand.Rand) time.Duration {
 	if rho > m.MaxRho {
 		rho = m.MaxRho
 	}
@@ -46,6 +53,11 @@ func (m LatencyModel) linkDelay(bytesPerSec float64, rng *rand.Rand) time.Durati
 	meanWait := service * rho / (1 - rho)
 	wait := rng.ExpFloat64() * meanWait
 	return m.BaseDelay + time.Duration((service+wait)*float64(time.Second))
+}
+
+// baseDelay is the deterministic idle-link delay: base plus service time.
+func (m LatencyModel) baseDelay() time.Duration {
+	return m.BaseDelay + time.Duration(m.PacketBits/m.CapacityBps*float64(time.Second))
 }
 
 // RTT samples one request/response round trip across the links under load.

@@ -17,6 +17,17 @@ const (
 	// RandomKind drops each packet independently with a fixed probability
 	// (bit flips, CRC errors, buffer overflow).
 	RandomKind
+	// DelayKind inflates latency without dropping anything (slow forwarding
+	// path); a gray-failure mode beyond the paper's three (§7).
+	DelayKind
+	// CongestionKind is sustained high utilization: queueing delay, ECN
+	// marks, tail drops near saturation.
+	CongestionKind
+	// IncastKind is bursty fan-in congestion at a ToR downlink.
+	IncastKind
+	// FlappingKind alternates the link between dead and healthy across
+	// measurement windows.
+	FlappingKind
 )
 
 // String names the kind as in the paper.
@@ -28,6 +39,14 @@ func (k LossKind) String() string {
 		return "deterministic-partial"
 	case RandomKind:
 		return "random-partial"
+	case DelayKind:
+		return "delayed"
+	case CongestionKind:
+		return "congested"
+	case IncastKind:
+		return "incast"
+	case FlappingKind:
+		return "flapping"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

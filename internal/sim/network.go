@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"time"
 
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/route"
@@ -122,6 +123,153 @@ func SimulateWindow(n *Network, probes *route.Probes, cfg ProbeWindowConfig, rng
 		obs[i] = pll.Observation{Path: i, Sent: cfg.ProbesPerPath, Lost: lost}
 	}
 	return obs
+}
+
+// linkDropAt rolls the fate of one packet of flow f on link l during
+// measurement window w, consulting window-varying models (flapping links).
+// At any fixed window it draws exactly like linkDrop.
+func (n *Network) linkDropAt(l topo.LinkID, f FlowKey, w int, rng *rand.Rand) bool {
+	if m, ok := n.Scenario.Model(l); ok {
+		p := m.DropProb(f)
+		if wm, ok := m.(WindowedModel); ok {
+			p = wm.DropProbAt(f, w)
+		}
+		if p >= 1 || (p > 0 && rng.Float64() < p) {
+			if !m.Silent() {
+				n.Counters[l]++
+			}
+			return true
+		}
+	}
+	if n.Baseline > 0 && rng.Float64() < n.Baseline {
+		n.Counters[l]++
+		return true
+	}
+	return false
+}
+
+// linkSignal samples the extra delay and ECN mark of one packet crossing
+// link l, for fault models that perturb more than loss.
+func (n *Network) linkSignal(l topo.LinkID, f FlowKey, w int, rng *rand.Rand) (extra time.Duration, marked bool) {
+	m, ok := n.Scenario.Model(l)
+	if !ok {
+		return 0, false
+	}
+	sm, ok := m.(SignalModel)
+	if !ok {
+		return 0, false
+	}
+	extra, ecnProb := sm.LinkSignal(f, w, rng)
+	if ecnProb > 0 && rng.Float64() < ecnProb {
+		marked = true
+	}
+	return extra, marked
+}
+
+// SignalWindowConfig shapes one simulated measurement window with latency
+// and ECN signals.
+type SignalWindowConfig struct {
+	// ProbesPerPath, PortRange and BasePort are as in ProbeWindowConfig.
+	ProbesPerPath int
+	PortRange     int
+	BasePort      uint16
+	// Window is the measurement-window index, driving time-varying faults.
+	Window int
+	// Latency models the healthy per-link delay; the zero value takes
+	// DefaultLatencyModel.
+	Latency LatencyModel
+}
+
+// SimulateSignalWindow runs one measurement window like SimulateWindow but
+// additionally produces the latency and ECN signals a real pinger reports:
+// per-path mean RTT, RFC 3550 jitter, and ECN-mark fraction over delivered
+// probes. Healthy links contribute their deterministic base + service
+// delay; faulted links add whatever their SignalModel says. It uses its
+// own RNG stream and does not perturb SimulateWindow's draw sequence.
+func SimulateSignalWindow(n *Network, probes *route.Probes, cfg SignalWindowConfig, rng *rand.Rand) []pll.Observation {
+	if cfg.PortRange <= 0 {
+		cfg.PortRange = 16
+	}
+	basePort := cfg.BasePort
+	if basePort == 0 {
+		basePort = 33434
+	}
+	lat := cfg.Latency
+	if lat.CapacityBps == 0 {
+		lat = DefaultLatencyModel()
+	}
+	hop := lat.baseDelay()
+	obs := make([]pll.Observation, probes.NumPaths())
+	for i := range probes.PathLinks {
+		links := probes.PathLinks[i]
+		base := FlowKey{
+			Src: probes.Src[i], Dst: probes.Dst[i],
+			SrcPort: basePort, DstPort: 7,
+			Proto: UDPProto,
+		}
+		var lost, markedCount int
+		var rttSum int64
+		var jitter float64
+		var prevRTT int64
+		first := true
+		for p := 0; p < cfg.ProbesPerPath; p++ {
+			f := base
+			f.SrcPort = base.SrcPort + uint16(p%cfg.PortRange)
+			rtt, marked, ok := n.probeSignal(links, f, cfg.Window, hop, rng)
+			if !ok {
+				lost++
+				continue
+			}
+			if marked {
+				markedCount++
+			}
+			ns := int64(rtt)
+			rttSum += ns
+			if first {
+				first = false
+			} else {
+				d := float64(ns - prevRTT)
+				if d < 0 {
+					d = -d
+				}
+				jitter += (d - jitter) / 16
+			}
+			prevRTT = ns
+		}
+		o := pll.Observation{Path: i, Sent: cfg.ProbesPerPath, Lost: lost}
+		if delivered := cfg.ProbesPerPath - lost; delivered > 0 {
+			o.MeanRTTNS = rttSum / int64(delivered)
+			o.JitterNS = int64(jitter)
+			o.ECNFrac = float64(markedCount) / float64(delivered)
+		}
+		obs[i] = o
+	}
+	return obs
+}
+
+// probeSignal simulates one request/echo probe with signals: the round
+// trip delay accumulated over every traversed link-direction (hop per
+// healthy crossing plus fault extras) and whether any crossing ECN-marked
+// the packet. ok is false when either direction dropped the probe.
+func (n *Network) probeSignal(links []topo.LinkID, f FlowKey, w int, hop time.Duration, rng *rand.Rand) (rtt time.Duration, marked, ok bool) {
+	for _, l := range links {
+		if n.linkDropAt(l, f, w, rng) {
+			return 0, false, false
+		}
+		extra, m := n.linkSignal(l, f, w, rng)
+		rtt += hop + extra
+		marked = marked || m
+	}
+	rev := f.Reverse()
+	for i := len(links) - 1; i >= 0; i-- {
+		if n.linkDropAt(links[i], rev, w, rng) {
+			return 0, false, false
+		}
+		extra, m := n.linkSignal(links[i], rev, w, rng)
+		rtt += hop + extra
+		marked = marked || m
+	}
+	return rtt, marked, true
 }
 
 // CounterSnapshot returns a copy of the per-link drop counters.

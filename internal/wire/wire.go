@@ -29,6 +29,11 @@ const (
 	// FlagConfirm marks a loss-confirmation retransmit (the pinger sends
 	// two extra probes of the same content when it detects a loss, §3.1).
 	FlagConfirm
+	// FlagECN marks congestion experienced: a switch on the path set it
+	// (the emulation analog of the IP ECN CE codepoint). Reversed copies
+	// flags, so a mark on the request survives into the echo and reaches
+	// the pinger.
+	FlagECN
 )
 
 // MaxRouteLen bounds the source route; Fattree server-to-server needs 7.
