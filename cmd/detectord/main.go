@@ -30,6 +30,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -37,11 +39,26 @@ import (
 
 	"github.com/detector-net/detector/internal/cluster"
 	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/sim"
 	"github.com/detector-net/detector/internal/topo"
 )
+
+// startPprof serves net/http/pprof on its own listener when -pprof is set:
+// the profiling surface never rides on a service port by accident.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, obs.PprofMux()); err != nil {
+			fmt.Fprintln(os.Stderr, "detectord: pprof listener:", err)
+		}
+	}()
+	fmt.Printf("pprof: http://%s/debug/pprof/\n", addr)
+}
 
 // serveShard runs the binary as one controller shard: a shardrpc service
 // over its own materialization of the Fattree(k) candidate matrix.
@@ -54,7 +71,7 @@ func serveShard(k int, listen string) error {
 	srv := shardrpc.NewServer(ps, f.NumLinks())
 	fmt.Printf("detectord shard: Fattree(%d) engine up on %s — %d candidate paths, matrix sig %#016x\n",
 		k, listen, ps.Len(), srv.MatrixSig())
-	fmt.Println("endpoints: GET /v1/ping · POST /v1/construct · POST /v1/localize · GET /metrics")
+	fmt.Println("endpoints: GET /v1/ping · POST /v1/construct · POST /v1/localize · GET /metrics · GET /healthz · GET /statusz")
 	return srv.ListenAndServe(listen)
 }
 
@@ -79,8 +96,14 @@ func main() {
 		shardServe = flag.Bool("shard-serve", false, "run as one controller shard service instead of the front-end")
 		listen     = flag.String("listen", "127.0.0.1:7117", "shard service listen address (with -shard-serve)")
 		wire       = flag.String("wire", shardrpc.WireAuto, "shard transport codec: auto (negotiate at ping time), json, or binary; 'binary' also switches pinger reports to the v2 frame")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
+		verbose    = flag.Bool("v", false, "log at info level instead of warn")
 	)
 	flag.Parse()
+	if *verbose {
+		obs.SetLevel(slog.LevelInfo)
+	}
+	startPprof(*pprofAddr)
 
 	switch *wire {
 	case shardrpc.WireAuto, shardrpc.WireJSON, shardrpc.WireBinary:
@@ -137,6 +160,7 @@ func main() {
 		}
 	}
 	fmt.Printf("controller %s | diagnoser %s | watchdog %s\n", c.ControllerURL, c.DiagnoserURL, c.WatchdogURL)
+	fmt.Println("observability: GET /metrics (Prometheus text; ?format=json for JSON) · GET /healthz · GET /statusz on every service")
 	fmt.Println("commands: fail <link> full|gray|blackhole|rate <p> · repair <link> · links · alerts · quit")
 
 	// Stream alerts as they appear.

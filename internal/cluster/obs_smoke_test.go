@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/obs"
+	"github.com/detector-net/detector/internal/pinger"
+)
+
+var smokeSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+
+// scrapeProm fetches url and validates the Prometheus text exposition the
+// way a scraper would: 200, the 0.0.4 text content type, every sample line
+// parseable with a numeric value, and no duplicate series. Returns the
+// samples keyed by series (name + verbatim label set).
+func scrapeProm(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("GET %s: Content-Type %q is not the Prometheus text format", url, ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := smokeSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("%s: malformed sample line %q", url, line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("%s: non-numeric sample %q", url, line)
+		}
+		series := m[1] + m[2]
+		if _, dup := samples[series]; dup {
+			t.Fatalf("%s: duplicate series %q", url, series)
+		}
+		samples[series] = v
+	}
+	return samples
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: undecodable JSON: %v", url, err)
+	}
+}
+
+// hasSpan reports whether a statusz timeline files a span named name under
+// the cycle with the given (externally minted) ID.
+func hasSpan(sz obs.Statusz, id uint64, name string) bool {
+	for _, cy := range sz.Cycles {
+		if cy.ID != id {
+			continue
+		}
+		for _, sp := range cy.Spans {
+			if sp.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestClusterObservabilitySurface is the acceptance drill for the
+// observability plane: one loopback Fattree(8) cluster with remote shards
+// boots, runs one construction cycle and one hand-closed diagnosis window,
+// and then every process answers /metrics with a well-formed Prometheus
+// exposition and /healthz with "ok", every coordinator and diagnoser stage
+// histogram is non-empty, and the shard services' /statusz timelines file
+// their construct and localize spans under the coordinator's and
+// diagnoser's cycle IDs — proving the X-Detector-Cycle header made it
+// across the transport.
+func TestClusterObservabilitySurface(t *testing.T) {
+	opts := fastOptions()
+	opts.K = 8
+	// Windows close by hand below, so the cadence timers never fire.
+	opts.Window = time.Hour
+	opts.Control.WindowMS = 3_600_000
+	opts.Shards = 2
+	opts.RemoteShards = true
+	opts.ShardTTL = 10 * time.Second
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	// One synthetic report covering every probe path, then one hand-closed
+	// window: routing sends each shard its slice, so both shard services
+	// see a localization request carrying the window's cycle ID.
+	numPaths := c.Controller.ProbeMatrix().NumPaths()
+	rep := &pinger.Report{Version: c.Controller.Version()}
+	for p := 0; p < numPaths; p++ {
+		pr := pinger.PathReport{PathID: uint32(p), Sent: 20}
+		if p == 0 {
+			pr.Lost = 10
+		}
+		rep.Results = append(rep.Results, pr)
+	}
+	c.Diagnoser.Ingest(rep)
+	c.Diagnoser.RunWindow()
+
+	urls := map[string]string{
+		"controller": c.ControllerURL,
+		"diagnoser":  c.DiagnoserURL,
+		"watchdog":   c.WatchdogURL,
+	}
+	for i, u := range c.ShardURLs {
+		urls[fmt.Sprintf("shard%d", i)] = u
+	}
+	for name, u := range urls {
+		var h obs.Health
+		getJSON(t, u+"/healthz", &h)
+		if h.Status != "ok" {
+			t.Errorf("%s /healthz = %q (detail %q, unhealthy %v), want ok",
+				name, h.Status, h.Detail, h.UnhealthyShards)
+		}
+		if samples := scrapeProm(t, u+"/metrics"); len(samples) == 0 {
+			t.Errorf("%s /metrics served an empty exposition", name)
+		}
+	}
+
+	// Every loopback process shares the registry, so one scrape shows the
+	// whole pipeline's stage histograms; each must have fired.
+	samples := scrapeProm(t, c.ControllerURL+"/metrics")
+	for _, stage := range []string{
+		"materialize", "decompose", "assign", "construct_dispatch", "merge",
+		"serve", "ingest", "window_close", "localize", "classify",
+	} {
+		series := fmt.Sprintf(`detector_stage_duration_seconds_count{stage=%q}`, stage)
+		if samples[series] < 1 {
+			t.Errorf("stage histogram %s is empty after a full cycle + window", series)
+		}
+	}
+
+	// Cycle correlation: the controller minted the construct cycle, the
+	// diagnoser the window cycle; both IDs must reappear verbatim in each
+	// shard service's timeline, tagged with the matching span.
+	var ctl obs.Statusz
+	getJSON(t, c.ControllerURL+"/statusz", &ctl)
+	var constructID uint64
+	for _, cy := range ctl.Cycles {
+		if cy.Kind == "construct" {
+			constructID = cy.ID // newest first
+			break
+		}
+	}
+	if constructID == 0 {
+		t.Fatalf("controller /statusz has no construct cycle: %+v", ctl.Cycles)
+	}
+
+	var dg obs.Statusz
+	getJSON(t, c.DiagnoserURL+"/statusz", &dg)
+	var windowID uint64
+	for _, cy := range dg.Cycles {
+		if cy.Kind == "window" {
+			windowID = cy.ID
+			break
+		}
+	}
+	if windowID == 0 {
+		t.Fatalf("diagnoser /statusz has no window cycle: %+v", dg.Cycles)
+	}
+
+	for i, u := range c.ShardURLs {
+		var sz obs.Statusz
+		getJSON(t, u+"/statusz", &sz)
+		if !hasSpan(sz, constructID, "construct") {
+			t.Errorf("shard %d /statusz files no construct span under coordinator cycle %d: %+v",
+				i, constructID, sz.Cycles)
+		}
+		if !hasSpan(sz, windowID, "localize") {
+			t.Errorf("shard %d /statusz files no localize span under diagnoser cycle %d: %+v",
+				i, windowID, sz.Cycles)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"github.com/detector-net/detector/internal/httpx"
 	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/pmc"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/shard"
@@ -25,6 +26,10 @@ import (
 // wrong methods) so that a misconfigured agent fleet is visible without
 // log scraping.
 var badRequests = metrics.NewCounter("control_bad_requests")
+
+// stageServe times the serve phase of a cycle: pinger selection, route
+// expansion and matrix assembly, after construction has returned.
+var stageServe = obs.Stages.With("serve")
 
 // Config tunes the controller.
 type Config struct {
@@ -125,6 +130,8 @@ type Controller struct {
 	F   *topo.Fattree
 	Cfg Config
 
+	tr *obs.Tracer
+
 	mu        sync.RWMutex
 	version   int
 	pinglists map[topo.NodeID]*Pinglist
@@ -135,8 +142,15 @@ type Controller struct {
 
 // New creates a controller; call RunCycle before serving.
 func New(f *topo.Fattree, cfg Config) *Controller {
-	return &Controller{F: f, Cfg: cfg, pinglists: make(map[topo.NodeID]*Pinglist)}
+	return &Controller{
+		F: f, Cfg: cfg,
+		pinglists: make(map[topo.NodeID]*Pinglist),
+		tr:        obs.NewTracer("control", 16),
+	}
 }
+
+// Tracer exposes the controller's cycle tracer (the /statusz source).
+func (c *Controller) Tracer() *obs.Tracer { return c.tr }
 
 // Coordinator returns the sharded-plane coordinator, or nil when running
 // single-controller (Cfg.Shards <= 1) or before the first cycle.
@@ -162,7 +176,7 @@ func (c *Controller) Close() {
 // Cfg.ShardEndpoints. Either way the selection is the same: the
 // coordinator's merge guarantee means pinglists and the served matrix do
 // not depend on the shard count or the transport.
-func (c *Controller) construct(ps *route.FattreePaths) (*pmc.Result, error) {
+func (c *Controller) construct(ps *route.FattreePaths, cy *obs.Cycle) (*pmc.Result, error) {
 	if c.Cfg.Shards <= 1 && len(c.Cfg.ShardEndpoints) == 0 {
 		return pmc.Construct(ps, c.F.NumLinks(), pmc.Options{
 			Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta,
@@ -191,7 +205,7 @@ func (c *Controller) construct(ps *route.FattreePaths) (*pmc.Result, error) {
 	}
 	coord := c.coord
 	c.mu.Unlock()
-	res, err := coord.Construct()
+	res, err := coord.ConstructCycle(cy)
 	if err != nil {
 		return nil, err
 	}
@@ -202,11 +216,23 @@ func (c *Controller) construct(ps *route.FattreePaths) (*pmc.Result, error) {
 // minutes). unhealthy servers are skipped when selecting pingers and
 // responders.
 func (c *Controller) RunCycle(unhealthy map[topo.NodeID]bool) error {
+	cy := c.tr.StartCycle("construct")
+	defer cy.End()
+	sp := cy.Span("paths")
 	ps := route.NewFattreePaths(c.F)
-	res, err := c.construct(ps)
+	sp.End()
+	sp = cy.Span("construct")
+	res, err := c.construct(ps, cy)
+	sp.EndErr(err)
 	if err != nil {
 		return fmt.Errorf("control: PMC: %w", err)
 	}
+	serveStart := time.Now()
+	serveSpan := cy.Span("serve")
+	defer func() {
+		serveSpan.End()
+		stageServe.Observe(time.Since(serveStart))
+	}()
 
 	healthyServers := func(tor topo.NodeID) []topo.NodeID {
 		var out []topo.NodeID
@@ -415,11 +441,7 @@ func (c *Controller) Handler() http.Handler {
 		fmt.Fprintf(w, "%d", c.Version())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if !httpx.RequireMethod(w, r, http.MethodGet) {
-			badRequests.Inc()
-			return
-		}
-		httpx.WriteJSON(w, metrics.Counters())
+		obs.MetricsHandler()(w, r)
 	})
 	mux.HandleFunc("/shards", func(w http.ResponseWriter, r *http.Request) {
 		if !httpx.RequireMethod(w, r, http.MethodGet) {
@@ -428,6 +450,23 @@ func (c *Controller) Handler() http.Handler {
 		}
 		httpx.WriteJSON(w, c.Shards())
 	})
+	mux.HandleFunc("/healthz", obs.HealthzHandler(func() obs.Health {
+		h := obs.Health{Status: "ok", Service: "control"}
+		if c.Version() == 0 {
+			h.Status = "degraded"
+			h.Detail = "no construction cycle has completed yet"
+		}
+		if coord := c.Coordinator(); coord != nil {
+			if un := coord.Unhealthy(); len(un) > 0 {
+				h.Status = "degraded"
+				h.UnhealthyShards = un
+			}
+		}
+		return h
+	}))
+	mux.HandleFunc("/statusz", obs.StatuszHandler("control", c.tr, func() any {
+		return c.Shards()
+	}))
 	return mux
 }
 

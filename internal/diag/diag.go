@@ -16,6 +16,7 @@ import (
 	"github.com/detector-net/detector/internal/control"
 	"github.com/detector-net/detector/internal/httpx"
 	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/pinger"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/route"
@@ -30,6 +31,15 @@ import (
 // losses than probes). Rejections answer 400 with a JSON error instead of
 // silently dropping data, and this counter makes a sick agent visible.
 var malformedReports = metrics.NewCounter("diag_malformed_reports")
+
+// Diagnoser stage histograms: the window pipeline's per-cycle timing
+// (report ingest, window close-out, verdict classification; the localize
+// stage is observed by the shard plane it runs on).
+var (
+	stageIngest      = obs.Stages.With("ingest")
+	stageWindowClose = obs.Stages.With("window_close")
+	stageClassify    = obs.Stages.With("classify")
+)
 
 // LinkVerdict is one suspected link in an alert.
 type LinkVerdict struct {
@@ -119,6 +129,7 @@ type Diagnoser struct {
 	client  *http.Client
 	shards  int // effective shard count (Shards or len(ShardEndpoints))
 	clients map[int]shard.ShardClient
+	tr      *obs.Tracer
 
 	mu          sync.Mutex
 	matrix      *route.Probes
@@ -165,6 +176,7 @@ func New(opts Options) *Diagnoser {
 	d := &Diagnoser{
 		opts: opts, client: client,
 		shards:   opts.Shards,
+		tr:       obs.NewTracer("diag", 16),
 		acc:      make(map[uint32]*counter),
 		slowAcc:  make(map[uint32]*counter),
 		hist:     make(map[uint32][]float64),
@@ -204,8 +216,13 @@ func (d *Diagnoser) SetMatrix(m *route.Probes, version int) {
 	d.version = version
 }
 
+// Tracer exposes the diagnoser's window tracer (the /statusz source).
+func (d *Diagnoser) Tracer() *obs.Tracer { return d.tr }
+
 // Ingest merges one pinger report (handler and tests share it).
 func (d *Diagnoser) Ingest(rep *pinger.Report) {
+	start := time.Now()
+	defer func() { stageIngest.Observe(time.Since(start)) }()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.reports++
@@ -314,11 +331,28 @@ func (d *Diagnoser) Handler() http.Handler {
 		httpx.WriteJSON(w, d.Alerts())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if !httpx.RequireMethod(w, r, http.MethodGet) {
-			return
-		}
-		httpx.WriteJSON(w, metrics.Counters())
+		obs.MetricsHandler()(w, r)
 	})
+	mux.HandleFunc("/healthz", obs.HealthzHandler(func() obs.Health {
+		h := obs.Health{Status: "ok", Service: "diag"}
+		d.mu.Lock()
+		if d.matrix == nil {
+			h.Status = "degraded"
+			h.Detail = "no probe matrix yet"
+		}
+		d.mu.Unlock()
+		return h
+	}))
+	mux.HandleFunc("/statusz", obs.StatuszHandler("diag", d.tr, func() any {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return map[string]any{
+			"version": d.version,
+			"reports": d.reports,
+			"alerts":  len(d.alerts),
+			"shards":  d.shards,
+		}
+	}))
 	return mux
 }
 
@@ -358,6 +392,8 @@ func (d *Diagnoser) Stop() {
 
 // RunWindow executes one localization pass over the accumulated reports.
 func (d *Diagnoser) RunWindow() *Alert {
+	cy := d.tr.StartCycle("window")
+	defer cy.End()
 	// Refresh matrix and watchdog data if remote.
 	if d.opts.ControllerURL != "" {
 		if m, v, err := control.FetchMatrix(d.client, d.opts.ControllerURL); err == nil {
@@ -375,10 +411,12 @@ func (d *Diagnoser) RunWindow() *Alert {
 	if histCap <= 0 {
 		histCap = 12
 	}
+	closeStart := time.Now()
+	closeSpan := cy.Span("window_close")
 	d.mu.Lock()
 	matrix := d.matrix
 	version := d.version
-	obs := make([]pll.Observation, 0, len(d.acc))
+	observations := make([]pll.Observation, 0, len(d.acc))
 	// sig snapshots the cross-window context as it stood BEFORE this
 	// window: flap detection appends the current rate itself, and the RTT
 	// baseline must not learn from the window it is judging.
@@ -396,7 +434,7 @@ func (d *Diagnoser) RunWindow() *Alert {
 			o.MeanRTTNS = int64(c.rttSum / c.rttW)
 			o.JitterNS = int64(c.jitSum / c.rttW)
 		}
-		obs = append(obs, o)
+		observations = append(observations, o)
 		if h := d.hist[pathID]; len(h) > 0 {
 			sig.History[o.Path] = append([]float64(nil), h...)
 		}
@@ -435,15 +473,17 @@ func (d *Diagnoser) RunWindow() *Alert {
 		}
 	}
 	d.mu.Unlock()
+	closeSpan.End()
+	stageWindowClose.Observe(time.Since(closeStart))
 
 	if matrix == nil {
 		return nil
 	}
-	alert := d.localizeAlert(matrix, version, obs, cfg, false, sig)
+	alert := d.localizeAlert(cy, matrix, version, observations, cfg, false, sig)
 	if slowObs != nil {
 		// The slow pass is the low-rate loss net; it pools too many windows
 		// for the time-series signals to mean anything.
-		d.localizeAlert(matrix, version, slowObs, cfg, true, nil)
+		d.localizeAlert(cy, matrix, version, slowObs, cfg, true, nil)
 	}
 	return alert
 }
@@ -480,8 +520,8 @@ func (d *Diagnoser) shardPlane(matrix *route.Probes) *shard.Plane {
 // every localized link in the verdict lattice: congestion and delay
 // verdicts become Soft advisories instead of Bad alerts, and the
 // signal-localization pass adds soft links whose faults lose nothing.
-func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.Observation, cfg pll.Config, slow bool, sig *pll.Signals) *Alert {
-	if len(obs) == 0 {
+func (d *Diagnoser) localizeAlert(cy *obs.Cycle, matrix *route.Probes, version int, observations []pll.Observation, cfg pll.Config, slow bool, sig *pll.Signals) *Alert {
+	if len(observations) == 0 {
 		return nil
 	}
 	var res *pll.Result
@@ -489,9 +529,11 @@ func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.O
 	// The plane runs whenever localization is sharded OR remote: a single
 	// remote shard still gets its windows over the transport.
 	if d.shards > 1 || len(d.clients) > 0 {
-		res, err = d.shardPlane(matrix).Localize(obs, cfg)
+		res, err = d.shardPlane(matrix).LocalizeCycle(cy, observations, cfg)
 	} else {
-		res, err = pll.Localize(matrix, obs, cfg)
+		sp := cy.Span("localize")
+		res, err = pll.Localize(matrix, observations, cfg)
+		sp.EndErr(err)
 	}
 	if err != nil {
 		return nil
@@ -509,13 +551,15 @@ func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.O
 			lv.B = d.opts.Topo.Node(l.B).Name
 		}
 	}
+	classifyStart := time.Now()
+	classifySpan := cy.Span("classify")
 	reported := make(map[topo.LinkID]bool, len(res.Bad))
 	for _, v := range res.Bad {
 		lv := LinkVerdict{
 			Link: v.Link, Rate: v.Rate,
-			Class: pll.Classify(matrix, obs, v.Link).String(),
+			Class: pll.Classify(matrix, observations, v.Link).String(),
 		}
-		verdict := pll.ClassifyVerdict(matrix, obs, v.Link, sig, d.opts.Signals)
+		verdict := pll.ClassifyVerdict(matrix, observations, v.Link, sig, d.opts.Signals)
 		lv.Verdict = verdict.String()
 		name(&lv)
 		reported[v.Link] = true
@@ -526,7 +570,7 @@ func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.O
 		}
 	}
 	if sig != nil {
-		sres := pll.LocalizeSignals(matrix, obs, sig, d.opts.Signals, cfg)
+		sres := pll.LocalizeSignals(matrix, observations, sig, d.opts.Signals, cfg)
 		for _, sv := range append(sres.Congested, sres.Delayed...) {
 			if reported[sv.Link] {
 				continue
@@ -536,6 +580,8 @@ func (d *Diagnoser) localizeAlert(matrix *route.Probes, version int, obs []pll.O
 			alert.Soft = append(alert.Soft, lv)
 		}
 	}
+	classifySpan.End()
+	stageClassify.Observe(time.Since(classifyStart))
 	d.mu.Lock()
 	d.alerts = append(d.alerts, alert)
 	d.mu.Unlock()

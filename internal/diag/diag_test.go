@@ -3,13 +3,16 @@ package diag
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/detector-net/detector/internal/httpx"
 	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/pinger"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/route"
@@ -255,18 +258,31 @@ func TestReportHandlerRejectsMalformed(t *testing.T) {
 		t.Fatalf("valid report bumped the malformed counter")
 	}
 
-	// The counters are operator-visible over GET /metrics.
-	mResp, err := http.Get(srv.URL + "/metrics")
+	// The counters are operator-visible over GET /metrics — Prometheus text
+	// by default, the JSON snapshot on request.
+	mResp, err := http.Get(srv.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var snapshot map[string]int64
+	var snapshot obs.Snapshot
 	if err := json.NewDecoder(mResp.Body).Decode(&snapshot); err != nil {
-		t.Fatalf("/metrics is not JSON: %v", err)
+		t.Fatalf("/metrics?format=json is not JSON: %v", err)
 	}
 	mResp.Body.Close()
-	if snapshot["diag_malformed_reports"] != before+4 {
-		t.Fatalf("/metrics reports %d malformed, want %d", snapshot["diag_malformed_reports"], before+4)
+	if snapshot.Counters["diag_malformed_reports"] != before+4 {
+		t.Fatalf("/metrics reports %d malformed, want %d", snapshot.Counters["diag_malformed_reports"], before+4)
+	}
+	tResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(tResp.Body)
+	tResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "# TYPE diag_malformed_reports counter") {
+		t.Fatalf("/metrics text exposition is missing the malformed-reports counter:\n%s", text)
 	}
 }
 

@@ -105,15 +105,26 @@ func (s *Series) Mean() float64 {
 	return sum / float64(len(s.vals))
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank:
+// the smallest sample with at least p% of the samples at or below it, i.e.
+// rank ⌈p/100·N⌉. (Truncating the rank index downward — the old bug —
+// returned the 98th-rank sample for p99 of 100 samples.)
 func (s *Series) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), s.vals...)
 	sort.Float64s(sorted)
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return sorted[idx]
+	// The epsilon absorbs float error in p/100*N: 99.9/100*1000 computes as
+	// 999.0000000000001, and a bare Ceil would overshoot to rank 1000.
+	rank := int(math.Ceil(p/100*float64(len(sorted)) - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // Std returns the population standard deviation.

@@ -1,0 +1,49 @@
+package metrics
+
+import "testing"
+
+// TestPercentileNearestRank pins the nearest-rank definition: the p-th
+// percentile of N samples is the sample at rank ⌈p/100·N⌉. The old
+// truncating index made p99 of 100 samples return the 98th-rank sample.
+func TestPercentileNearestRank(t *testing.T) {
+	series := func(n int) *Series {
+		s := &Series{}
+		// Insert out of order; Percentile sorts. Sample values 1..n so the
+		// value at rank r is exactly r.
+		for i := n; i >= 1; i-- {
+			s.Add(float64(i))
+		}
+		return s
+	}
+
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+		want float64
+	}{
+		{"p99 of 100 is rank 99", 100, 99, 99},
+		{"p100 of 100 is the max", 100, 100, 100},
+		{"p50 of 100 is rank 50", 100, 50, 50},
+		{"p50 of 4 is rank 2", 4, 50, 2},
+		{"p25 of 4 is rank 1", 4, 25, 1},
+		{"p26 of 4 rounds up to rank 2", 4, 26, 2},
+		{"p0 clamps to the min", 10, 0, 1},
+		{"p90 of 10 is rank 9", 10, 90, 9},
+		{"p95 of 10 rounds up to the max", 10, 95, 10},
+		{"p50 of 1 is the only sample", 1, 50, 1},
+		{"p99.9 of 1000 is rank 999", 1000, 99.9, 999},
+		{"p99.99 of 1000 rounds up to the max", 1000, 99.99, 1000},
+	}
+	for _, tc := range cases {
+		if got := series(tc.n).Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(%v) over N=%d = %v, want %v",
+				tc.name, tc.p, tc.n, got, tc.want)
+		}
+	}
+
+	empty := &Series{}
+	if got := empty.Percentile(50); got != 0 {
+		t.Errorf("empty series percentile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// level gates the default logger; SetLevel adjusts it live (detectord -v).
+var level = func() *slog.LevelVar {
+	v := new(slog.LevelVar)
+	// Warn by default: operational anomalies (quarantines, failovers)
+	// surface, per-cycle chatter stays out of test and CLI output.
+	v.Set(slog.LevelWarn)
+	return v
+}()
+
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+}
+
+// Logger returns the process-wide structured logger. Events on data-path
+// cycles carry a "cycle" attribute so log lines join the /statusz
+// timelines and remote shard spans they describe.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLogger replaces the process-wide logger (tests, embedders).
+func SetLogger(l *slog.Logger) {
+	if l != nil {
+		logger.Store(l)
+	}
+}
+
+// SetLevel adjusts the default logger's threshold.
+func SetLevel(l slog.Level) { level.Set(l) }

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInstrumentationOverheadBudget asserts the observability plane stays
+// under its cost budget: one construction cycle's worth of instrumentation
+// must cost less than 2% of the Fattree(16) in-process per-shard critical
+// path recorded in ARCHITECTURE.md (162 ms). Comparing two full Fattree(16)
+// constructions would put the 2% bound inside run-to-run noise, so the
+// guard measures the instrumentation itself — the only part this package
+// adds to the pipeline — against the recorded denominator.
+func TestInstrumentationOverheadBudget(t *testing.T) {
+	const (
+		criticalPathNS = 162_000_000 // ARCHITECTURE.md Fattree(16), 4 shards, in-process
+		budgetNS       = criticalPathNS * 2 / 100
+		// One cycle on a 16-shard fleet: 6 coordinator + 4 diagnoser stage
+		// observes, 2 spans per shard (construct + localize), a cycle
+		// start/end, and the per-shard counter bumps.
+		shards = 16
+		iters  = 200
+	)
+	tr := NewTracer("bench", 8)
+	stage := NewHistogramVec("test_overhead_stages", "t", "stage", 32)
+	stages := []*Histogram{
+		stage.With("materialize"), stage.With("decompose"), stage.With("assign"),
+		stage.With("construct_dispatch"), stage.With("merge"), stage.With("serve"),
+		stage.With("ingest"), stage.With("window_close"), stage.With("localize"),
+		stage.With("classify"),
+	}
+	counters := NewCounterVec("test_overhead_counters", "t", "shard", 32)
+	children := make([]*Counter, shards)
+	for i := range children {
+		children[i] = counters.With(string(rune('a' + i)))
+	}
+
+	start := time.Now()
+	for n := 0; n < iters; n++ {
+		cy := tr.StartCycle("construct")
+		for _, h := range stages {
+			h.Observe(time.Millisecond)
+		}
+		for s := 0; s < shards; s++ {
+			cy.ShardSpan("construct", s).End()
+			cy.ShardSpan("localize", s).End()
+			children[s].Inc()
+			children[s].Add(4096)
+		}
+		cy.End()
+	}
+	perCycle := time.Since(start).Nanoseconds() / iters
+
+	if perCycle >= budgetNS {
+		t.Fatalf("one cycle of instrumentation costs %s, budget is %s (2%% of the %s recorded critical path)",
+			time.Duration(perCycle), time.Duration(budgetNS), time.Duration(criticalPathNS))
+	}
+	t.Logf("instrumentation per cycle: %s (budget %s)", time.Duration(perCycle), time.Duration(budgetNS))
+}

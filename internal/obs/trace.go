@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// CycleHeader is the HTTP header that carries a cycle ID from the
+// coordinator (or diagnoser) to a remote shard service, so the shard's
+// server-side spans nest under the caller's timeline: same ID on both
+// sides, one logical cycle across processes.
+const CycleHeader = "X-Detector-Cycle"
+
+// Span is one timed stage inside a cycle. Offsets are relative to the
+// cycle's start so a timeline reads as a flame view without clock math.
+type Span struct {
+	Name string `json:"name"`
+	// Shard is the shard the span ran on or against; -1 when the span is
+	// not shard-scoped.
+	Shard   int    `json:"shard"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Err     string `json:"err,omitempty"`
+}
+
+// Cycle is one in-flight (or finished) cycle: a minted ID plus the spans
+// recorded under it. All methods are nil-safe no-ops, so call sites need no
+// tracing-enabled guards.
+type Cycle struct {
+	id    uint64
+	kind  string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	durUS int64
+	ended bool
+}
+
+// ID returns the cycle's ID (0 on a nil cycle).
+func (c *Cycle) ID() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.id
+}
+
+// Span starts a non-shard-scoped span. End the returned handle to record.
+func (c *Cycle) Span(name string) *Running { return c.ShardSpan(name, -1) }
+
+// ShardSpan starts a span attributed to a shard. Safe to call from
+// concurrent dispatch goroutines.
+func (c *Cycle) ShardSpan(name string, shard int) *Running {
+	if c == nil {
+		return nil
+	}
+	return &Running{c: c, name: name, shard: shard, start: time.Now()}
+}
+
+// End marks the cycle complete, fixing its total duration. Idempotent.
+func (c *Cycle) End() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.ended {
+		c.ended = true
+		c.durUS = time.Since(c.start).Microseconds()
+	}
+}
+
+// Running is a started span; End (or EndErr) records it on its cycle.
+type Running struct {
+	c     *Cycle
+	name  string
+	shard int
+	start time.Time
+}
+
+// End records the span.
+func (r *Running) End() { r.EndErr(nil) }
+
+// EndErr records the span, annotating a failure.
+func (r *Running) EndErr(err error) {
+	if r == nil {
+		return
+	}
+	sp := Span{
+		Name:    r.name,
+		Shard:   r.shard,
+		StartUS: r.start.Sub(r.c.start).Microseconds(),
+		DurUS:   time.Since(r.start).Microseconds(),
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	c := r.c
+	c.mu.Lock()
+	c.spans = append(c.spans, sp)
+	// A joined remote cycle is never explicitly ended; let its duration
+	// track the furthest span so the timeline still has an honest extent.
+	if !c.ended {
+		if end := sp.StartUS + sp.DurUS; end > c.durUS {
+			c.durUS = end
+		}
+	}
+	c.mu.Unlock()
+}
+
+// CycleSnapshot is one cycle's timeline as served at GET /statusz. The ID
+// marshals as a string: cycle IDs use the full uint64 range, past
+// JavaScript's exact-integer window.
+type CycleSnapshot struct {
+	ID    uint64    `json:"id,string"`
+	Kind  string    `json:"kind"`
+	Start time.Time `json:"start"`
+	DurUS int64     `json:"dur_us"`
+	Spans []Span    `json:"spans"`
+}
+
+// Tracer keeps the last-N cycles of one service in a ring. A nil Tracer is
+// valid and records nothing.
+type Tracer struct {
+	service string
+	cap     int
+
+	mu     sync.Mutex
+	lastID uint64
+	ring   []*Cycle // oldest first
+}
+
+// NewTracer builds a tracer keeping the last capacity cycles.
+func NewTracer(service string, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{service: service, cap: capacity}
+}
+
+// mintID issues a unique, strictly increasing cycle ID. Wall-clock
+// nanoseconds seed it so IDs are unique across processes too — a remote
+// shard files the coordinator's ID, never one of its own.
+func (t *Tracer) mintID() uint64 {
+	id := uint64(time.Now().UnixNano())
+	if id <= t.lastID {
+		id = t.lastID + 1
+	}
+	t.lastID = id
+	return id
+}
+
+// pushLocked appends a cycle, evicting the oldest past capacity.
+func (t *Tracer) pushLocked(c *Cycle) {
+	t.ring = append(t.ring, c)
+	if len(t.ring) > t.cap {
+		copy(t.ring, t.ring[len(t.ring)-t.cap:])
+		t.ring = t.ring[:t.cap]
+	}
+}
+
+// StartCycle mints a cycle ID and opens a new timeline under it.
+func (t *Tracer) StartCycle(kind string) *Cycle {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Cycle{id: t.mintID(), kind: kind, start: time.Now()}
+	t.pushLocked(c)
+	return c
+}
+
+// Join returns the cycle with the given externally minted ID, opening it on
+// first sight — how a shard service files request spans under the
+// coordinator's timeline. id 0 (no header) returns nil: untraced.
+func (t *Tracer) Join(id uint64, kind string) *Cycle {
+	if t == nil || id == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		if t.ring[i].id == id {
+			return t.ring[i]
+		}
+	}
+	c := &Cycle{id: id, kind: kind, start: time.Now()}
+	t.pushLocked(c)
+	return c
+}
+
+// Timeline snapshots the retained cycles, newest first.
+func (t *Tracer) Timeline() []CycleSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	cycles := append([]*Cycle(nil), t.ring...)
+	t.mu.Unlock()
+	out := make([]CycleSnapshot, 0, len(cycles))
+	for i := len(cycles) - 1; i >= 0; i-- {
+		c := cycles[i]
+		c.mu.Lock()
+		snap := CycleSnapshot{
+			ID: c.id, Kind: c.kind, Start: c.start, DurUS: c.durUS,
+			Spans: append([]Span(nil), c.spans...),
+		}
+		c.mu.Unlock()
+		out = append(out, snap)
+	}
+	return out
+}

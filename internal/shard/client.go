@@ -32,8 +32,11 @@ type ShardClient interface {
 	Construct(req ConstructRequest) (*pmc.Result, error)
 	// Localize runs one PLL pass over a routed sub-matrix and its
 	// window of observations (link IDs stay in the global space, so the
-	// verdicts need no translation).
-	Localize(sub *route.Probes, obs []pll.Observation, cfg pll.Config) (*pll.Result, error)
+	// verdicts need no translation). cycle is the caller's observability
+	// cycle ID (0 when untraced); transport clients propagate it to the
+	// shard service in the X-Detector-Cycle header so server-side spans
+	// file under the caller's timeline.
+	Localize(cycle uint64, sub *route.Probes, obs []pll.Observation, cfg pll.Config) (*pll.Result, error)
 	// Close releases transport resources. The coordinator owns its
 	// clients and closes them on Stop.
 	Close() error
@@ -52,6 +55,10 @@ type ConstructRequest struct {
 	Comps []route.Component
 	// Opt configures the per-shard PMC run.
 	Opt pmc.Options
+	// Cycle is the coordinator's observability cycle ID (0 when
+	// untraced). It travels to remote shards as the X-Detector-Cycle
+	// header, never in the payload, so the wire schemas are untouched.
+	Cycle uint64
 }
 
 // MatrixChecker is implemented by transport clients that can verify the

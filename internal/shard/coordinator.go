@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/pmc"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/topo"
@@ -21,6 +22,23 @@ var heartbeatLapses = metrics.NewCounter("shard_heartbeat_lapses")
 // constructFailovers counts shards quarantined mid-cycle because a
 // dispatched construction failed; each one forces a reassignment retry.
 var constructFailovers = metrics.NewCounter("shard_construct_failovers")
+
+// Coordinator stage histograms: the live per-cycle decomposition of the
+// construction pipeline (deTector §5's construct timing, exported per
+// cycle instead of per bench run). Looked up once; Observe is atomic.
+var (
+	stageMaterialize = obs.Stages.With("materialize")
+	stageDecompose   = obs.Stages.With("decompose")
+	stageAssign      = obs.Stages.With("assign")
+	stageDispatch    = obs.Stages.With("construct_dispatch")
+	stageMerge       = obs.Stages.With("merge")
+)
+
+// Fleet gauges: how many shards are in/out of the plane right now.
+var (
+	shardsAlive       = obs.NewGauge("shard_fleet_alive", "Shards currently in the plane (last liveness view).")
+	shardsQuarantined = obs.NewGauge("shard_fleet_quarantined", "Shards currently quarantined after a mid-cycle failure.")
+)
 
 // Options shapes a coordinator.
 type Options struct {
@@ -126,13 +144,18 @@ func New(ps route.PathSet, numLinks int, opt Options) (*Coordinator, error) {
 	if opt.HeartbeatEvery <= 0 {
 		opt.HeartbeatEvery = opt.TTL / 4
 	}
+	matStart := time.Now()
 	csr := route.MaterializeCSR(ps)
+	stageMaterialize.Observe(time.Since(matStart))
+	decStart := time.Now()
+	comps := route.DecomposeCSR(csr, numLinks)
+	stageDecompose.Observe(time.Since(decStart))
 	c := &Coordinator{
 		ps:       ps,
 		numLinks: numLinks,
 		opt:      opt,
 		csr:      csr,
-		comps:    route.DecomposeCSR(csr, numLinks),
+		comps:    comps,
 		sig:      route.MatrixSignature(csr, numLinks),
 		wd:       watchdog.New(opt.TTL),
 		stop:     make(chan struct{}),
@@ -370,6 +393,16 @@ func (c *Coordinator) Assignment() []int32 {
 // pmc.Construct(ps, numLinks, opt.PMC with Decompose on) regardless of the
 // shard count, the transport, or which shards die mid-cycle.
 func (c *Coordinator) Construct() (*Result, error) {
+	return c.ConstructCycle(nil)
+}
+
+// ConstructCycle is Construct under an observability cycle: the assign,
+// per-shard dispatch and merge phases get spans on cy (per-shard spans are
+// tagged with the shard id), the stage histograms fill regardless, and the
+// cycle ID is stamped on every ConstructRequest so remote shards' server
+// spans file under the caller's timeline. A nil cy traces nothing and
+// stamps cycle ID 0 — the construction itself is identical either way.
+func (c *Coordinator) ConstructCycle(cy *obs.Cycle) (*Result, error) {
 	start := time.Now()
 	c.reprobeQuarantined()
 	totalMoved := 0
@@ -397,6 +430,8 @@ func (c *Coordinator) Construct() (*Result, error) {
 			}
 			return nil, fmt.Errorf("shard: all %d shards dead; cannot construct", c.opt.Shards)
 		}
+		assignStart := time.Now()
+		assignSpan := cy.Span("assign")
 		totalMoved += c.reassignLocked(alive)
 		assign := append([]int32(nil), c.assign...)
 		c.mu.Unlock()
@@ -406,6 +441,8 @@ func (c *Coordinator) Construct() (*Result, error) {
 			id := assign[ci]
 			perShard[id] = append(perShard[id], int32(ci))
 		}
+		assignSpan.End()
+		stageAssign.Observe(time.Since(assignStart))
 
 		results := make([]*pmc.Result, len(alive))
 		errs := make([]error, len(alive))
@@ -417,18 +454,22 @@ func (c *Coordinator) Construct() (*Result, error) {
 			}
 			toRun = append(toRun, k)
 		}
+		dispatchStart := time.Now()
 		run := func(k int) {
 			id := alive[k]
 			comps := make([]route.Component, len(perShard[id]))
 			for i, ci := range perShard[id] {
 				comps[i] = c.comps[ci]
 			}
+			sp := cy.ShardSpan("construct", id)
 			results[k], errs[k] = c.clients[id].Construct(ConstructRequest{
 				MatrixSig: c.sig,
 				NumLinks:  c.numLinks,
 				Comps:     comps,
 				Opt:       c.opt.PMC,
+				Cycle:     cy.ID(),
 			})
+			sp.EndErr(errs[k])
 		}
 		if c.opt.Sequential {
 			for _, k := range toRun {
@@ -445,6 +486,7 @@ func (c *Coordinator) Construct() (*Result, error) {
 			}
 			wg.Wait()
 		}
+		stageDispatch.Observe(time.Since(dispatchStart))
 
 		failed := false
 		for k, err := range errs {
@@ -456,6 +498,8 @@ func (c *Coordinator) Construct() (*Result, error) {
 			failed = true
 			lastErr = err
 			constructFailovers.Inc()
+			obs.Logger().Warn("shard quarantined after failed construct dispatch",
+				"shard", id, "cycle", cy.ID(), "err", err)
 			delete(cache, id)
 			c.mu.Lock()
 			c.quarantined[id] = true
@@ -469,6 +513,8 @@ func (c *Coordinator) Construct() (*Result, error) {
 			continue
 		}
 
+		mergeStart := time.Now()
+		mergeSpan := cy.Span("merge")
 		merged := &Result{
 			Result:  &pmc.Result{Stats: pmc.Stats{CoverageMet: true, IdentMet: c.opt.PMC.Beta >= 1}},
 			Moved:   totalMoved,
@@ -496,6 +542,10 @@ func (c *Coordinator) Construct() (*Result, error) {
 		sort.Ints(merged.Selected)
 		merged.Stats.Selected = len(merged.Selected)
 		merged.Stats.Elapsed = time.Since(start)
+		mergeSpan.End()
+		stageMerge.Observe(time.Since(mergeStart))
+		shardsAlive.Set(int64(len(alive)))
+		shardsQuarantined.Set(int64(c.opt.Shards - len(alive)))
 		return merged, nil
 	}
 	return nil, fmt.Errorf("shard: construction failed after %d dispatch rounds: %w", c.opt.Shards+1, lastErr)

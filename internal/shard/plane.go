@@ -6,10 +6,15 @@ import (
 	"time"
 
 	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/topo"
 )
+
+// stageLocalize times the plane's merged per-window localization (routing,
+// per-shard PLL dispatch, verdict merge).
+var stageLocalize = obs.Stages.With("localize")
 
 // planeLocalFallbacks counts per-shard localizations that fell back to
 // local execution after the shard's transport client failed mid-window.
@@ -185,9 +190,9 @@ func (pl *Plane) Route(obs []pll.Observation) map[int][]pll.Observation {
 // when one is attached, locally otherwise — and locally as a fallback when
 // the client fails, so one flapping shard service degrades a window to
 // local compute instead of losing it.
-func (pl *Plane) localizeShard(id int, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+func (pl *Plane) localizeShard(cycle uint64, id int, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
 	if cl := pl.clients[id]; cl != nil {
-		if res, err := cl.Localize(pl.subs[id].probes, obs, cfg); err == nil {
+		if res, err := cl.Localize(cycle, pl.subs[id].probes, obs, cfg); err == nil {
 			return res, nil
 		}
 		planeLocalFallbacks.Inc()
@@ -199,9 +204,19 @@ func (pl *Plane) localizeShard(id int, obs []pll.Observation, cfg pll.Config) (*
 // shard concurrently, and merges the verdicts: bad links are the sorted
 // union (components are link-disjoint, so no verdict can collide), and the
 // lossy/unexplained counters sum.
-func (pl *Plane) Localize(obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+func (pl *Plane) Localize(observations []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+	return pl.LocalizeCycle(nil, observations, cfg)
+}
+
+// LocalizeCycle is Localize under an observability cycle: each shard's PLL
+// pass gets a shard-tagged span on cy, the merged pass feeds the "localize"
+// stage histogram, and the cycle ID rides to remote shards in the
+// X-Detector-Cycle header so their server-side spans file under the same
+// timeline. A nil cy traces nothing and propagates cycle ID 0.
+func (pl *Plane) LocalizeCycle(cy *obs.Cycle, observations []pll.Observation, cfg pll.Config) (*pll.Result, error) {
 	start := time.Now()
-	routed := pl.Route(obs)
+	defer func() { stageLocalize.Observe(time.Since(start)) }()
+	routed := pl.Route(observations)
 	ids := make([]int, 0, len(routed))
 	for id := range routed {
 		ids = append(ids, id)
@@ -215,7 +230,9 @@ func (pl *Plane) Localize(obs []pll.Observation, cfg pll.Config) (*pll.Result, e
 		wg.Add(1)
 		go func(k, id int) {
 			defer wg.Done()
-			results[k], errs[k] = pl.localizeShard(id, routed[id], cfg)
+			sp := cy.ShardSpan("localize", id)
+			results[k], errs[k] = pl.localizeShard(cy.ID(), id, routed[id], cfg)
+			sp.EndErr(errs[k])
 		}(k, id)
 	}
 	wg.Wait()

@@ -103,8 +103,9 @@ func (s *Shard) Construct(req ConstructRequest) (*pmc.Result, error) {
 	return pmc.ConstructComponents(s.ps, s.csr, req.Comps, s.numLinks, req.Opt)
 }
 
-// Localize runs PLL over a routed sub-matrix.
-func (s *Shard) Localize(sub *route.Probes, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+// Localize runs PLL over a routed sub-matrix. The cycle ID is unused
+// in-process: the caller's own span already covers this call.
+func (s *Shard) Localize(_ uint64, sub *route.Probes, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
 	if err := s.Ping(); err != nil {
 		return nil, err
 	}

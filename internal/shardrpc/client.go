@@ -9,15 +9,34 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptrace"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/detector-net/detector/internal/httpx"
-	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/pmc"
 	"github.com/detector-net/detector/internal/route"
 	"github.com/detector-net/detector/internal/shard"
+)
+
+// maxShardSeries bounds the per-shard label cardinality of the client
+// counter families: fleets larger than this aggregate the overflow into one
+// {shard="overflow"} series instead of growing the registry without bound.
+const maxShardSeries = 128
+
+// Per-shard operational counter families, one series per shard slot. These
+// replace the old flat shardrpc_client_<id>_* counters: same values, but
+// the metric name is now fixed and the shard id is a label, so dashboards
+// aggregate across the fleet without regexp gymnastics.
+var (
+	clientRequests    = obs.NewCounterVec("shardrpc_client_requests", "RPC attempts issued to the shard (pings and posts, including retries).", "shard", maxShardSeries)
+	clientRetries     = obs.NewCounterVec("shardrpc_client_retries", "Idempotent RPC attempts that were retries after a transport failure.", "shard", maxShardSeries)
+	clientBytesIn     = obs.NewCounterVec("shardrpc_client_bytes_in", "Bytes received from the shard (wire truth with the built-in transport).", "shard", maxShardSeries)
+	clientBytesOut    = obs.NewCounterVec("shardrpc_client_bytes_out", "Bytes sent to the shard (wire truth with the built-in transport).", "shard", maxShardSeries)
+	clientConnsOpened = obs.NewCounterVec("shardrpc_client_conns_opened", "New TCP connections dialed to the shard.", "shard", maxShardSeries)
+	clientConnsReused = obs.NewCounterVec("shardrpc_client_conns_reused", "Requests served over a kept-alive connection.", "shard", maxShardSeries)
 )
 
 // Wire policies for ClientOptions.Wire.
@@ -83,12 +102,12 @@ type Client struct {
 	expectSig   uint64
 	expectLinks int
 
-	requests    *metrics.Counter
-	retries     *metrics.Counter
-	bytesIn     *metrics.Counter
-	bytesOut    *metrics.Counter
-	connsOpened *metrics.Counter
-	connsReused *metrics.Counter
+	requests    *obs.Counter
+	retries     *obs.Counter
+	bytesIn     *obs.Counter
+	bytesOut    *obs.Counter
+	connsOpened *obs.Counter
+	connsReused *obs.Counter
 }
 
 // countingConn counts every byte crossing a shard connection, so the
@@ -96,7 +115,7 @@ type Client struct {
 // of attempts that died mid-flight, ping GETs — all of it.
 type countingConn struct {
 	net.Conn
-	in, out *metrics.Counter
+	in, out *obs.Counter
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
@@ -127,17 +146,18 @@ func Dial(id int, baseURL string, opt ClientOptions) *Client {
 		panic(fmt.Sprintf("shardrpc: unknown wire policy %q (want %q, %q or %q)",
 			opt.Wire, WireAuto, WireJSON, WireBinary))
 	}
+	slot := strconv.Itoa(id)
 	c := &Client{
 		id: id, base: baseURL,
 		wire:        opt.Wire,
 		negotiated:  CodecJSON,
 		maxResp:     opt.MaxResponseBytes,
-		requests:    metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_requests", id)),
-		retries:     metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_retries", id)),
-		bytesIn:     metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_bytes_in", id)),
-		bytesOut:    metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_bytes_out", id)),
-		connsOpened: metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_conns_opened", id)),
-		connsReused: metrics.NewCounter(fmt.Sprintf("shardrpc_client_%d_conns_reused", id)),
+		requests:    clientRequests.With(slot),
+		retries:     clientRetries.With(slot),
+		bytesIn:     clientBytesIn.With(slot),
+		bytesOut:    clientBytesOut.With(slot),
+		connsOpened: clientConnsOpened.With(slot),
+		connsReused: clientConnsReused.With(slot),
 	}
 	if c.maxResp <= 0 {
 		c.maxResp = DefaultLimits().MaxBodyBytes
@@ -340,8 +360,9 @@ func decodeResponse(resp *http.Response, body []byte, respKind byte, maxPayload 
 // negotiation selected. A transport failure retries; any HTTP response —
 // success or structured error — is final, because the shard has already
 // spoken. Responses are bounded by MaxResponseBytes: an oversized one is
-// a final error, like any other corrupt response.
-func (c *Client) post(path string, reqBody any, respKind byte, out any) error {
+// a final error, like any other corrupt response. A nonzero cycle rides in
+// the X-Detector-Cycle header — observability only, never in the payload.
+func (c *Client) post(path string, cycle uint64, reqBody any, respKind byte, out any) error {
 	body, contentType, err := c.encodeRequest(reqBody)
 	if err != nil {
 		return fmt.Errorf("shardrpc %d: encode %s: %w", c.id, path, err)
@@ -358,6 +379,9 @@ func (c *Client) post(path string, reqBody any, respKind byte, out any) error {
 			return fmt.Errorf("shardrpc %d: %s: %w", c.id, path, err)
 		}
 		req.Header.Set("Content-Type", contentType)
+		if cycle != 0 {
+			req.Header.Set(obs.CycleHeader, strconv.FormatUint(cycle, 10))
+		}
 		if !c.wireCount {
 			// Payload-level fallback accounting: the attempt's request
 			// body counts whether or not the shard answers — failed
@@ -397,10 +421,11 @@ func (c *Client) post(path string, reqBody any, respKind byte, out any) error {
 	return lastErr
 }
 
-// Construct dispatches one construction work order over the wire.
+// Construct dispatches one construction work order over the wire. The
+// coordinator's cycle ID (req.Cycle) travels as a header, not payload.
 func (c *Client) Construct(req shard.ConstructRequest) (*pmc.Result, error) {
 	var resp ConstructResponse
-	if err := c.post("/v1/construct", encodeConstruct(req), kindConstructResp, &resp); err != nil {
+	if err := c.post("/v1/construct", req.Cycle, encodeConstruct(req), kindConstructResp, &resp); err != nil {
 		return nil, err
 	}
 	if resp.V != SchemaVersion {
@@ -418,10 +443,10 @@ func (c *Client) Construct(req shard.ConstructRequest) (*pmc.Result, error) {
 }
 
 // Localize ships one routed sub-matrix window to the shard and decodes the
-// verdicts.
-func (c *Client) Localize(sub *route.Probes, obs []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+// verdicts. The caller's cycle ID travels as a header, not payload.
+func (c *Client) Localize(cycle uint64, sub *route.Probes, observations []pll.Observation, cfg pll.Config) (*pll.Result, error) {
 	var resp LocalizeResponse
-	if err := c.post("/v1/localize", encodeLocalize(sub, obs, cfg), kindLocalizeResp, &resp); err != nil {
+	if err := c.post("/v1/localize", cycle, encodeLocalize(sub, observations, cfg), kindLocalizeResp, &resp); err != nil {
 		return nil, err
 	}
 	if resp.V != SchemaVersion {

@@ -3,13 +3,16 @@ package shardrpc
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/detector-net/detector/internal/httpx"
 	"github.com/detector-net/detector/internal/metrics"
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/pmc"
 	"github.com/detector-net/detector/internal/route"
@@ -19,6 +22,28 @@ var (
 	serverRequests = metrics.NewCounter("shardrpc_server_requests")
 	serverRejected = metrics.NewCounter("shardrpc_server_rejected")
 )
+
+// serverOps times each RPC handler end to end (decode through encode). A
+// shard server keeps its own op family instead of writing into obs.Stages:
+// loopback clusters run shard servers in the coordinator's process, and the
+// coordinator's stage histograms must keep meaning "coordinator time".
+var serverOps = obs.NewHistogramVec("shardrpc_server_duration_seconds",
+	"Shard RPC handler latency by operation.", "op", 8)
+
+// requestCycle reads the coordinator's cycle ID from the X-Detector-Cycle
+// header; 0 (untraced) when absent or malformed — a bad header must never
+// fail the RPC, observability is strictly best-effort here.
+func requestCycle(r *http.Request) uint64 {
+	v := r.Header.Get(obs.CycleHeader)
+	if v == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
 
 // Server is one controller shard as a network service: it owns a full
 // materialization of the candidate matrix (derived locally from the
@@ -44,6 +69,7 @@ type Server struct {
 	numLinks int
 	sig      uint64
 	lim      Limits
+	tr       *obs.Tracer
 }
 
 // NewServer builds a shard service over its own materialization of ps.
@@ -60,6 +86,7 @@ func NewServerLimits(ps route.PathSet, numLinks int, lim Limits) *Server {
 		numLinks: numLinks,
 		sig:      route.MatrixSignature(csr, numLinks),
 		lim:      lim,
+		tr:       obs.NewTracer("shard", 32),
 	}
 }
 
@@ -186,6 +213,8 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/construct", func(w http.ResponseWriter, r *http.Request) {
 		serverRequests.Inc()
+		start := time.Now()
+		defer func() { serverOps.With("construct").Observe(time.Since(start)) }()
 		if !httpx.RequireMethod(w, r, http.MethodPost) {
 			serverRejected.Inc()
 			return
@@ -211,7 +240,12 @@ func (s *Server) Handler() http.Handler {
 		for i, c := range req.Comps {
 			comps[i] = route.Component{Links: c.Links, Paths: c.Paths}
 		}
+		// File the engine run under the coordinator's cycle: the joined
+		// cycle's spans then answer "what did shard N do during cycle C"
+		// from the shard's own /statusz.
+		sp := s.tr.Join(requestCycle(r), "remote").Span("construct")
 		res, err := pmc.ConstructComponents(s.ps, s.csr, comps, s.numLinks, req.Opt.decode())
+		sp.EndErr(err)
 		if err != nil {
 			serverRejected.Inc()
 			httpx.Error(w, http.StatusUnprocessableEntity, "construction failed: %v", err)
@@ -230,6 +264,8 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/localize", func(w http.ResponseWriter, r *http.Request) {
 		serverRequests.Inc()
+		start := time.Now()
+		defer func() { serverOps.With("localize").Observe(time.Since(start)) }()
 		if !httpx.RequireMethod(w, r, http.MethodPost) {
 			serverRejected.Inc()
 			return
@@ -244,8 +280,10 @@ func (s *Server) Handler() http.Handler {
 			httpx.Error(w, http.StatusBadRequest, "invalid localize request: %v", err)
 			return
 		}
-		sub, obs, cfg := req.decode()
-		res, err := pll.Localize(sub, obs, cfg)
+		sub, observations, cfg := req.decode()
+		sp := s.tr.Join(requestCycle(r), "remote").Span("localize")
+		res, err := pll.Localize(sub, observations, cfg)
+		sp.EndErr(err)
 		if err != nil {
 			serverRejected.Inc()
 			httpx.Error(w, http.StatusUnprocessableEntity, "localization failed: %v", err)
@@ -266,8 +304,23 @@ func (s *Server) Handler() http.Handler {
 		if !httpx.RequireMethod(w, r, http.MethodGet) {
 			return
 		}
-		httpx.WriteJSON(w, metrics.Counters())
+		obs.MetricsHandler()(w, r)
 	})
+	mux.HandleFunc("/healthz", obs.HealthzHandler(func() obs.Health {
+		return obs.Health{
+			Status:  "ok",
+			Service: "shard",
+			Detail:  fmt.Sprintf("matrix %#016x, %d links, %d paths", s.sig, s.numLinks, s.ps.Len()),
+		}
+	}))
+	mux.HandleFunc("/statusz", obs.StatuszHandler("shard", s.tr, func() any {
+		return map[string]any{
+			"matrix_sig": strconv.FormatUint(s.sig, 10),
+			"num_links":  s.numLinks,
+			"paths":      s.ps.Len(),
+			"codecs":     []string{CodecJSON, CodecBinary},
+		}
+	}))
 	return mux
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/topo"
 )
 
@@ -79,7 +80,8 @@ func (s *Service) UnhealthySet() map[topo.NodeID]bool {
 	return out
 }
 
-// Handler serves POST /heartbeat?node=ID and GET /health.
+// Handler serves POST /heartbeat?node=ID and GET /health, plus the
+// standard observability surface (GET /healthz, GET /metrics).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
@@ -104,6 +106,15 @@ func (s *Service) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/healthz", obs.HealthzHandler(func() obs.Health {
+		h := obs.Health{Status: "ok", Service: "watchdog"}
+		if un := s.Unhealthy(); len(un) > 0 {
+			h.Status = "degraded"
+			h.Detail = fmt.Sprintf("%d tracked servers past TTL", len(un))
+		}
+		return h
+	}))
+	mux.HandleFunc("/metrics", obs.MetricsHandler())
 	return mux
 }
 
