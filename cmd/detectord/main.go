@@ -96,6 +96,9 @@ func main() {
 		shardServe = flag.Bool("shard-serve", false, "run as one controller shard service instead of the front-end")
 		listen     = flag.String("listen", "127.0.0.1:7117", "shard service listen address (with -shard-serve)")
 		wire       = flag.String("wire", shardrpc.WireAuto, "shard transport codec: auto (negotiate at ping time), json, or binary; 'binary' also switches pinger reports to the v2 frame")
+		repBatch   = flag.Int("report-batch", 1, "report windows each pinger pre-aggregates locally before shipping one payload")
+		repTopK    = flag.Int("report-topk", 0, "ship kind-6 summary frames keeping full signals for the K worst paths (0 = full per-path reports; needs -wire binary)")
+		repStream  = flag.Bool("report-stream", false, "ship report frames over one persistent connection per pinger instead of per-window POSTs (needs -wire binary)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
 		verbose    = flag.Bool("v", false, "log at info level instead of warn")
 	)
@@ -139,6 +142,9 @@ func main() {
 		ShardEndpoints: eps,
 		ShardWire:      *wire,
 		ReportWire:     reportWire(*wire),
+		ReportBatch:    *repBatch,
+		ReportTopK:     *repTopK,
+		StreamReports:  *repStream,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detectord:", err)

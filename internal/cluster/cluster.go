@@ -71,6 +71,20 @@ type Options struct {
 	// shardrpc.CodecJSON for JSON bodies, shardrpc.CodecBinary for the
 	// v2 binary report frame (varint-delta paths, raw-bits floats).
 	ReportWire string
+	// ReportBatch merges this many report windows at each pinger before
+	// one payload ships (pre-aggregation; default 1 = ship every window).
+	ReportBatch int
+	// ReportTopK, when > 0 and the diagnoser advertises summary ingest,
+	// ships kind-6 summary frames: the K worst paths keep full signal
+	// detail, every other observed path rides as a bare loss counter.
+	// Loss localization is unaffected (counters are complete); only RTT/
+	// ECN signals are elided on the residue.
+	ReportTopK int
+	// StreamReports ships report frames over one persistent
+	// POST /reportstream connection per pinger instead of per-window
+	// POSTs (requires ReportWire binary and a diagnoser that advertises
+	// streaming).
+	StreamReports bool
 	// PLL overrides the diagnoser's localization config. Compressed-time
 	// runs should raise LossRatioFloor/MinLoss: with windows of a few
 	// hundred milliseconds, a single scheduler stall mimics a burst of
@@ -251,9 +265,12 @@ func Start(opts Options) (*Cluster, error) {
 		c.Watchdog.Track(sv)
 		if isPinger[sv] {
 			p, err := pinger.Start(f.Topology, c.Rules, c.Fab.Registry, sv, c.ControllerURL, pinger.Options{
-				Timeout:      opts.ProbeTimeout,
-				HeartbeatURL: c.WatchdogURL,
-				ReportWire:   opts.ReportWire,
+				Timeout:       opts.ProbeTimeout,
+				HeartbeatURL:  c.WatchdogURL,
+				ReportWire:    opts.ReportWire,
+				BatchWindows:  opts.ReportBatch,
+				TopK:          opts.ReportTopK,
+				StreamReports: opts.StreamReports,
 			})
 			if err != nil {
 				return fail(fmt.Errorf("cluster: pinger %d: %w", sv, err))

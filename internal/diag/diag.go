@@ -5,12 +5,15 @@
 package diag
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/detector-net/detector/internal/control"
@@ -119,8 +122,22 @@ type Options struct {
 	// loss into counted (lossy) and silent (gray).
 	LinkCounters pll.LinkCounters
 	// HistoryWindows bounds the per-path loss-rate history kept for flap
-	// detection (default 12 windows).
+	// detection (default 12 windows). It also bounds accumulator slots: a
+	// path silent for more than this many windows is pruned entirely.
 	HistoryWindows int
+	// MaxBodyBytes caps a single report body — JSON or binary — answered
+	// with 413 past the cap (default shardrpc.DefaultLimits().MaxBodyBytes).
+	// It is also the per-frame payload budget on the stream endpoint.
+	MaxBodyBytes int64
+	// MaxAlerts bounds the retained alert log (default 1024); older alerts
+	// fall off the front. The diagnoser runs for months — an unbounded
+	// append is a slow leak.
+	MaxAlerts int
+	// DisableIncremental forces the full PLL recompute every window even on
+	// the unsharded path. The incremental engine is bit-identical (pinned
+	// by TestIncrementalMatchesFull); this switch exists for that pin and
+	// for emergencies.
+	DisableIncremental bool
 }
 
 // Diagnoser aggregates reports and localizes per window.
@@ -131,33 +148,27 @@ type Diagnoser struct {
 	clients map[int]shard.ShardClient
 	tr      *obs.Tracer
 
-	mu          sync.Mutex
-	matrix      *route.Probes
-	version     int
-	plane       *shard.Plane // lazily built per matrix when opts.Shards > 1
-	planeFor    *route.Probes
-	acc         map[uint32]*counter  // pathID -> window counters
-	slowAcc     map[uint32]*counter  // multi-window accumulation
-	slowWindows int                  // fast windows since last slow pass
-	hist        map[uint32][]float64 // per-path loss rates of past windows
-	rttBase     map[uint32]int64     // per-path healthy-baseline mean RTT
-	alerts      []Alert
-	reports     int64
-	stopped     bool
-	stopChan    chan struct{}
-	done        sync.WaitGroup
-}
+	// accum is the striped report accumulator: ingest paths touch only
+	// their stripe, never d.mu, so report frames from many streams merge
+	// concurrently. reports counts payloads atomically for the same reason.
+	accum   *accumulator
+	reports atomic.Int64
+	maxBody int64
 
-// counter accumulates one path's window: probe counters plus
-// delivered-weighted signal sums, so multiple reports for the same path
-// (several pingers, or several sub-windows) merge into honest means.
-type counter struct {
-	sent, lost int
-	// acked weights the ECN sum; rttW weights the latency sums (older
-	// pingers report no RTT — their deliveries must not drag the mean).
-	acked, rttW    float64
-	rttSum, jitSum float64
-	ecnSum         float64
+	mu           sync.Mutex
+	matrix       *route.Probes
+	version      int
+	plane        *shard.Plane // lazily built per matrix when opts.Shards > 1
+	planeFor     *route.Probes
+	inc          *pll.Incremental // standing PLL engine (unsharded path)
+	incFor       *route.Probes
+	accVersion   int  // matrix version the accumulator's slots belong to
+	accVersionOK bool // accVersion has been adopted (first window seen)
+	slowWindows  int  // fast windows since last slow pass
+	alerts       []Alert
+	stopped      bool
+	stopChan     chan struct{}
+	done         sync.WaitGroup
 }
 
 // New creates a diagnoser; call Run to start the window loop, or drive
@@ -173,14 +184,16 @@ func New(opts Options) *Diagnoser {
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Second}
 	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = shardrpc.DefaultLimits().MaxBodyBytes
+	}
 	d := &Diagnoser{
 		opts: opts, client: client,
 		shards:   opts.Shards,
 		tr:       obs.NewTracer("diag", 16),
-		acc:      make(map[uint32]*counter),
-		slowAcc:  make(map[uint32]*counter),
-		hist:     make(map[uint32][]float64),
-		rttBase:  make(map[uint32]int64),
+		accum:    newAccumulator(),
+		maxBody:  maxBody,
 		stopChan: make(chan struct{}),
 	}
 	if len(opts.ShardEndpoints) > 0 {
@@ -222,66 +235,108 @@ func (d *Diagnoser) Tracer() *obs.Tracer { return d.tr }
 // Ingest merges one pinger report (handler and tests share it).
 func (d *Diagnoser) Ingest(rep *pinger.Report) {
 	start := time.Now()
-	defer func() { stageIngest.Observe(time.Since(start)) }()
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.reports++
+	d.reports.Add(1)
 	for _, r := range rep.Results {
-		c := d.acc[r.PathID]
-		if c == nil {
-			c = &counter{}
-			d.acc[r.PathID] = c
-		}
-		c.sent += r.Sent
-		c.lost += r.Lost
-		if del := float64(r.Sent - r.Lost); del > 0 {
-			c.acked += del
-			c.ecnSum += r.ECNFrac * del
-			if r.MeanRTTNS > 0 {
-				c.rttW += del
-				c.rttSum += float64(r.MeanRTTNS) * del
-				c.jitSum += float64(r.JitterNS) * del
-			}
-		}
+		d.accum.merge(r.PathID, r.Sent, r.Lost, r.MeanRTTNS, r.JitterNS, r.ECNFrac)
 	}
+	stageIngest.Observe(time.Since(start))
 }
 
-// Reports returns how many reports arrived (monitoring/testing).
-func (d *Diagnoser) Reports() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.reports
+// ingestWire merges one decoded binary report frame, with no conversion to
+// the JSON struct: the stream path decodes into a reused shardrpc.Report
+// and merges straight into the stripes.
+func (d *Diagnoser) ingestWire(rep *shardrpc.Report) {
+	start := time.Now()
+	d.reports.Add(1)
+	for _, r := range rep.Results {
+		d.accum.merge(r.PathID, r.Sent, r.Lost, r.MeanRTTNS, r.JitterNS, r.ECNFrac)
+	}
+	stageIngest.Observe(time.Since(start))
 }
 
-// validateReport rejects counters and signals that cannot describe a real
+// ingestSummary merges one pre-aggregated summary frame: worst paths carry
+// full signals, residue paths bare counters. The loss accounting is
+// complete either way — that is the summary contract (see shardrpc) — so
+// localization over summaries matches per-report ingest exactly.
+func (d *Diagnoser) ingestSummary(s *shardrpc.SummaryReport) {
+	start := time.Now()
+	d.reports.Add(1)
+	for _, r := range s.Worst {
+		d.accum.merge(r.PathID, r.Sent, r.Lost, r.MeanRTTNS, r.JitterNS, r.ECNFrac)
+	}
+	for _, r := range s.Residue {
+		d.accum.merge(r.PathID, r.Sent, r.Lost, 0, 0, 0)
+	}
+	stageIngest.Observe(time.Since(start))
+}
+
+// Reports returns how many report payloads arrived (monitoring/testing).
+func (d *Diagnoser) Reports() int64 { return d.reports.Load() }
+
+// validateResult rejects counters and signals that cannot describe a real
 // window: negative counters, more losses than probes, negative latencies,
 // non-finite or out-of-range ECN fractions.
+func validateResult(i int, pathID uint32, sent, lost int, rttNS, jitNS int64, ecn float64) error {
+	if sent < 0 || lost < 0 {
+		return fmt.Errorf("result %d (path %d): negative counters sent=%d lost=%d",
+			i, pathID, sent, lost)
+	}
+	if lost > sent {
+		return fmt.Errorf("result %d (path %d): lost %d exceeds sent %d",
+			i, pathID, lost, sent)
+	}
+	if rttNS < 0 || jitNS < 0 {
+		return fmt.Errorf("result %d (path %d): negative latency mean_rtt_ns=%d jitter_ns=%d",
+			i, pathID, rttNS, jitNS)
+	}
+	if math.IsNaN(ecn) || math.IsInf(ecn, 0) || ecn < 0 || ecn > 1 {
+		return fmt.Errorf("result %d (path %d): ECN fraction %v outside [0,1]",
+			i, pathID, ecn)
+	}
+	return nil
+}
+
 func validateReport(rep *pinger.Report) error {
 	for i, pr := range rep.Results {
-		if pr.Sent < 0 || pr.Lost < 0 {
-			return fmt.Errorf("result %d (path %d): negative counters sent=%d lost=%d",
-				i, pr.PathID, pr.Sent, pr.Lost)
-		}
-		if pr.Lost > pr.Sent {
-			return fmt.Errorf("result %d (path %d): lost %d exceeds sent %d",
-				i, pr.PathID, pr.Lost, pr.Sent)
-		}
-		if pr.MeanRTTNS < 0 || pr.JitterNS < 0 {
-			return fmt.Errorf("result %d (path %d): negative latency mean_rtt_ns=%d jitter_ns=%d",
-				i, pr.PathID, pr.MeanRTTNS, pr.JitterNS)
-		}
-		if math.IsNaN(pr.ECNFrac) || math.IsInf(pr.ECNFrac, 0) || pr.ECNFrac < 0 || pr.ECNFrac > 1 {
-			return fmt.Errorf("result %d (path %d): ECN fraction %v outside [0,1]",
-				i, pr.PathID, pr.ECNFrac)
+		if err := validateResult(i, pr.PathID, pr.Sent, pr.Lost, pr.MeanRTTNS, pr.JitterNS, pr.ECNFrac); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// Handler serves POST /report and GET /alerts. Malformed reports answer
-// 400 with a JSON error body and bump diag_malformed_reports — a silent
-// drop would leave a sick pinger indistinguishable from a healthy quiet
-// one.
+func validateWire(rep *shardrpc.Report) error {
+	for i, pr := range rep.Results {
+		if err := validateResult(i, pr.PathID, pr.Sent, pr.Lost, pr.MeanRTTNS, pr.JitterNS, pr.ECNFrac); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateSummary(s *shardrpc.SummaryReport) error {
+	if s.Windows < 1 {
+		return fmt.Errorf("summary batches %d windows", s.Windows)
+	}
+	for i, pr := range s.Worst {
+		if err := validateResult(i, pr.PathID, pr.Sent, pr.Lost, pr.MeanRTTNS, pr.JitterNS, pr.ECNFrac); err != nil {
+			return fmt.Errorf("worst: %w", err)
+		}
+	}
+	for i, rc := range s.Residue {
+		if err := validateResult(i, rc.PathID, rc.Sent, rc.Lost, 0, 0, 0); err != nil {
+			return fmt.Errorf("residue: %w", err)
+		}
+	}
+	return nil
+}
+
+// Handler serves the report plane: POST /report (one JSON or binary body
+// per window), POST /reportstream (a persistent connection of back-to-back
+// binary frames), GET /reportcaps (capability negotiation) and GET /alerts.
+// Malformed reports answer 400 with a JSON error body and bump
+// diag_malformed_reports — a silent drop would leave a sick pinger
+// indistinguishable from a healthy quiet one; oversized bodies answer 413.
 func (d *Diagnoser) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
@@ -289,40 +344,62 @@ func (d *Diagnoser) Handler() http.Handler {
 			malformedReports.Inc()
 			return
 		}
-		var rep pinger.Report
 		if ct := r.Header.Get("Content-Type"); ct == shardrpc.ContentTypeBinary {
-			// The v2 binary report frame, same codec as the shard plane.
-			lim := shardrpc.DefaultLimits()
-			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, lim.MaxBodyBytes))
+			// A v2 report or summary frame, same codec as the shard plane.
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.maxBody))
 			if err != nil {
 				malformedReports.Inc()
 				httpx.Error(w, http.StatusRequestEntityTooLarge, "report body too large: %v", err)
 				return
 			}
-			wr, err := shardrpc.DecodeReportBinary(body, lim.MaxBodyBytes)
-			if err != nil {
+			if err := d.ingestFrame(body); err != nil {
 				malformedReports.Inc()
+				httpx.Error(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		} else {
+			var rep pinger.Report
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, d.maxBody)).Decode(&rep); err != nil {
+				malformedReports.Inc()
+				var tooBig *http.MaxBytesError
+				if errors.As(err, &tooBig) {
+					httpx.Error(w, http.StatusRequestEntityTooLarge, "report body too large: %v", err)
+					return
+				}
 				httpx.Error(w, http.StatusBadRequest, "undecodable report: %v", err)
 				return
 			}
-			rep = pinger.Report{Node: wr.Node, Version: wr.Version, EndNS: wr.EndNS,
-				Results: make([]pinger.PathReport, len(wr.Results))}
-			for i, res := range wr.Results {
-				rep.Results[i] = pinger.PathReport{PathID: res.PathID, Sent: res.Sent, Lost: res.Lost,
-					MeanRTTNS: res.MeanRTTNS, JitterNS: res.JitterNS, ECNFrac: res.ECNFrac}
+			if err := validateReport(&rep); err != nil {
+				malformedReports.Inc()
+				httpx.Error(w, http.StatusBadRequest, "invalid report: %v", err)
+				return
 			}
-		} else if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
-			malformedReports.Inc()
-			httpx.Error(w, http.StatusBadRequest, "undecodable report: %v", err)
-			return
+			d.Ingest(&rep)
 		}
-		if err := validateReport(&rep); err != nil {
-			malformedReports.Inc()
-			httpx.Error(w, http.StatusBadRequest, "invalid report: %v", err)
-			return
-		}
-		d.Ingest(&rep)
 		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/reportstream", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodPost) {
+			malformedReports.Inc()
+			return
+		}
+		frames, err := d.serveStream(r.Body)
+		if err != nil {
+			malformedReports.Inc()
+			httpx.Error(w, http.StatusBadRequest, "stream died after %d frames: %v", frames, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/reportcaps", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodGet) {
+			return
+		}
+		httpx.WriteJSON(w, shardrpc.ReportCaps{
+			Stream: true, Summary: true,
+			Codecs:       []string{shardrpc.CodecJSON, shardrpc.CodecBinary},
+			MaxBodyBytes: d.maxBody,
+		})
 	})
 	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
 		if !httpx.RequireMethod(w, r, http.MethodGet) {
@@ -348,12 +425,91 @@ func (d *Diagnoser) Handler() http.Handler {
 		defer d.mu.Unlock()
 		return map[string]any{
 			"version": d.version,
-			"reports": d.reports,
+			"reports": d.reports.Load(),
 			"alerts":  len(d.alerts),
+			"paths":   d.accum.paths(),
 			"shards":  d.shards,
 		}
 	}))
 	return mux
+}
+
+// ingestFrame validates and merges one binary frame (report or summary),
+// dispatching on the kind byte. Used by the one-shot POST path; the stream
+// path keeps reused decode structs across frames instead.
+func (d *Diagnoser) ingestFrame(frame []byte) error {
+	kind, err := shardrpc.FrameKind(frame)
+	if err != nil {
+		return fmt.Errorf("undecodable report: %w", err)
+	}
+	switch kind {
+	case shardrpc.KindReport:
+		var rep shardrpc.Report
+		if err := rep.DecodeBinary(frame, d.maxBody); err != nil {
+			return fmt.Errorf("undecodable report: %w", err)
+		}
+		if err := validateWire(&rep); err != nil {
+			return fmt.Errorf("invalid report: %w", err)
+		}
+		d.ingestWire(&rep)
+	case shardrpc.KindReportSummary:
+		var sum shardrpc.SummaryReport
+		if err := sum.DecodeBinary(frame, d.maxBody); err != nil {
+			return fmt.Errorf("undecodable summary: %w", err)
+		}
+		if err := validateSummary(&sum); err != nil {
+			return fmt.Errorf("invalid summary: %w", err)
+		}
+		d.ingestSummary(&sum)
+	default:
+		return fmt.Errorf("unsupported report frame kind %d", kind)
+	}
+	return nil
+}
+
+// serveStream drains one persistent report connection: back-to-back
+// self-delimiting frames, decoded into reused structs and merged into the
+// stripes with no per-frame allocation once warm. It returns the number of
+// frames ingested; a nil error is a clean end of stream. The first
+// malformed frame kills the connection — framing errors are not locally
+// recoverable on a byte stream.
+func (d *Diagnoser) serveStream(body io.Reader) (int, error) {
+	br := bufio.NewReaderSize(body, 64<<10)
+	var buf []byte
+	var rep shardrpc.Report
+	var sum shardrpc.SummaryReport
+	frames := 0
+	for {
+		frame, reuse, kind, err := shardrpc.ReadFrame(br, d.maxBody, buf)
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, fmt.Errorf("frame %d: %w", frames, err)
+		}
+		buf = reuse
+		switch kind {
+		case shardrpc.KindReport:
+			if err := rep.DecodeBinary(frame, d.maxBody); err != nil {
+				return frames, fmt.Errorf("frame %d: %w", frames, err)
+			}
+			if err := validateWire(&rep); err != nil {
+				return frames, fmt.Errorf("frame %d: %w", frames, err)
+			}
+			d.ingestWire(&rep)
+		case shardrpc.KindReportSummary:
+			if err := sum.DecodeBinary(frame, d.maxBody); err != nil {
+				return frames, fmt.Errorf("frame %d: %w", frames, err)
+			}
+			if err := validateSummary(&sum); err != nil {
+				return frames, fmt.Errorf("frame %d: %w", frames, err)
+			}
+			d.ingestSummary(&sum)
+		default:
+			return frames, fmt.Errorf("frame %d: unsupported kind %d", frames, kind)
+		}
+		frames++
+	}
 }
 
 // Run drives the window loop until Stop.
@@ -416,74 +572,133 @@ func (d *Diagnoser) RunWindow() *Alert {
 	d.mu.Lock()
 	matrix := d.matrix
 	version := d.version
-	observations := make([]pll.Observation, 0, len(d.acc))
-	// sig snapshots the cross-window context as it stood BEFORE this
-	// window: flap detection appends the current rate itself, and the RTT
-	// baseline must not learn from the window it is judging.
-	sig := &pll.Signals{
-		History:   make(map[int][]float64, len(d.acc)),
-		BaseRTTNS: make(map[int]int64, len(d.acc)),
-		Counters:  d.opts.LinkCounters,
+	if d.accVersionOK && version != d.accVersion {
+		// Matrix version changed: path IDs index a different probe matrix,
+		// so every standing slot (history, baseline, slow counters, and any
+		// counters merged across the transition) is stale. Prune it all and
+		// start the new construction cycle clean.
+		d.accum.reset()
+		d.inc, d.incFor = nil, nil
 	}
-	for pathID, c := range d.acc {
-		o := pll.Observation{Path: int(pathID), Sent: c.sent, Lost: c.lost}
-		if c.acked > 0 {
-			o.ECNFrac = c.ecnSum / c.acked
+	d.accVersion, d.accVersionOK = version, true
+	// The incremental engine runs the unsharded path only; the sharded
+	// plane keeps the full per-window recompute (its observations are
+	// partitioned per shard, a different execution shape).
+	var inc *pll.Incremental
+	if matrix != nil && d.shards <= 1 && len(d.clients) == 0 && !d.opts.DisableIncremental {
+		if d.inc == nil || d.incFor != matrix {
+			d.inc = pll.NewIncremental(matrix, cfg)
+			d.incFor = matrix
 		}
-		if c.rttW > 0 {
-			o.MeanRTTNS = int64(c.rttSum / c.rttW)
-			o.JitterNS = int64(c.jitSum / c.rttW)
-		}
-		observations = append(observations, o)
-		if h := d.hist[pathID]; len(h) > 0 {
-			sig.History[o.Path] = append([]float64(nil), h...)
-		}
-		if base := d.rttBase[pathID]; base > 0 {
-			sig.BaseRTTNS[o.Path] = base
-		}
-		// Roll the history and the min-tracked RTT baseline forward.
-		h := append(d.hist[pathID], float64(c.lost)/float64(max(c.sent, 1)))
-		if len(h) > histCap {
-			h = h[len(h)-histCap:]
-		}
-		d.hist[pathID] = h
-		if o.MeanRTTNS > 0 && (d.rttBase[pathID] == 0 || o.MeanRTTNS < d.rttBase[pathID]) {
-			d.rttBase[pathID] = o.MeanRTTNS
-		}
-		// Feed the long-window accumulator.
-		sc := d.slowAcc[pathID]
-		if sc == nil {
-			sc = &counter{}
-			d.slowAcc[pathID] = sc
-		}
-		sc.sent += c.sent
-		sc.lost += c.lost
+		inc = d.inc
+	} else {
+		d.inc, d.incFor = nil, nil
 	}
-	d.acc = make(map[uint32]*counter)
-	var slowObs []pll.Observation
+	slowDue := false
 	if d.opts.SlowEvery > 0 {
 		d.slowWindows++
 		if d.slowWindows >= d.opts.SlowEvery {
 			d.slowWindows = 0
-			slowObs = make([]pll.Observation, 0, len(d.slowAcc))
-			for pathID, c := range d.slowAcc {
-				slowObs = append(slowObs, pll.Observation{Path: int(pathID), Sent: c.sent, Lost: c.lost})
-			}
-			d.slowAcc = make(map[uint32]*counter)
+			slowDue = true
 		}
 	}
 	d.mu.Unlock()
+
+	// Walk the stripes: snapshot touched slots into observations, roll the
+	// cross-window state forward in place, zero the window section, and
+	// keep the incremental engine in lockstep (silent paths leave it, so a
+	// pass sees exactly this window's observation multiset). Slots idle
+	// past the history horizon are deleted — the accumulator is bounded by
+	// the live path population.
+	observations := make([]pll.Observation, 0, 1024)
+	var slowObs []pll.Observation
+	// sig snapshots the cross-window context as it stood BEFORE this
+	// window: flap detection appends the current rate itself, and the RTT
+	// baseline must not learn from the window it is judging.
+	sig := &pll.Signals{
+		History:   make(map[int][]float64),
+		BaseRTTNS: make(map[int]int64),
+		Counters:  d.opts.LinkCounters,
+	}
+	for i := range d.accum.stripes {
+		s := &d.accum.stripes[i]
+		s.mu.Lock()
+		for pathID, c := range s.slots {
+			if c.touched {
+				c.idle = 0
+				o := pll.Observation{Path: int(pathID), Sent: c.sent, Lost: c.lost}
+				if c.acked > 0 {
+					o.ECNFrac = c.ecnSum / c.acked
+				}
+				if c.rttW > 0 {
+					o.MeanRTTNS = int64(c.rttSum / c.rttW)
+					o.JitterNS = int64(c.jitSum / c.rttW)
+				}
+				if matrix == nil || o.Path < matrix.NumPaths() {
+					observations = append(observations, o)
+					if inc != nil {
+						inc.Update(o)
+						c.engineHas = true
+					}
+				}
+				if len(c.hist) > 0 {
+					sig.History[o.Path] = append([]float64(nil), c.hist...)
+				}
+				if c.rttBase > 0 {
+					sig.BaseRTTNS[o.Path] = c.rttBase
+				}
+				// Roll the history and the min-tracked RTT baseline forward.
+				c.hist = append(c.hist, float64(c.lost)/float64(max(c.sent, 1)))
+				if len(c.hist) > histCap {
+					copy(c.hist, c.hist[len(c.hist)-histCap:])
+					c.hist = c.hist[:histCap]
+				}
+				if o.MeanRTTNS > 0 && (c.rttBase == 0 || o.MeanRTTNS < c.rttBase) {
+					c.rttBase = o.MeanRTTNS
+				}
+				// Feed the long-window accumulator and zero the window
+				// section. With the slow pass disabled the counters would
+				// bank forever and pin idle slots past pruning, so only an
+				// enabled pass accumulates.
+				if d.opts.SlowEvery > 0 {
+					c.slowSent += c.sent
+					c.slowLost += c.lost
+				}
+				c.sent, c.lost = 0, 0
+				c.acked, c.rttW, c.rttSum, c.jitSum, c.ecnSum = 0, 0, 0, 0, 0
+				c.touched = false
+			} else {
+				if inc != nil && c.engineHas {
+					inc.Remove(int(pathID))
+				}
+				c.engineHas = false
+				c.idle++
+			}
+			if slowDue && c.slowSent > 0 {
+				slowObs = append(slowObs, pll.Observation{
+					Path: int(pathID), Sent: c.slowSent, Lost: c.slowLost})
+				c.slowSent, c.slowLost = 0, 0
+			}
+			// Prune slots idle past the history horizon, but never one still
+			// carrying counters for a pending slow pass.
+			if c.idle > histCap && c.slowSent == 0 {
+				delete(s.slots, pathID)
+			}
+		}
+		s.mu.Unlock()
+	}
 	closeSpan.End()
 	stageWindowClose.Observe(time.Since(closeStart))
 
 	if matrix == nil {
 		return nil
 	}
-	alert := d.localizeAlert(cy, matrix, version, observations, cfg, false, sig)
-	if slowObs != nil {
+	alert := d.localizeAlert(cy, matrix, version, observations, cfg, false, sig, inc)
+	if slowDue && len(slowObs) > 0 {
 		// The slow pass is the low-rate loss net; it pools too many windows
-		// for the time-series signals to mean anything.
-		d.localizeAlert(cy, matrix, version, slowObs, cfg, true, nil)
+		// for the time-series signals to mean anything, and it always runs
+		// the full recompute (its multiset is not the engine's window).
+		d.localizeAlert(cy, matrix, version, slowObs, cfg, true, nil, nil)
 	}
 	return alert
 }
@@ -520,15 +735,22 @@ func (d *Diagnoser) shardPlane(matrix *route.Probes) *shard.Plane {
 // every localized link in the verdict lattice: congestion and delay
 // verdicts become Soft advisories instead of Bad alerts, and the
 // signal-localization pass adds soft links whose faults lose nothing.
-func (d *Diagnoser) localizeAlert(cy *obs.Cycle, matrix *route.Probes, version int, observations []pll.Observation, cfg pll.Config, slow bool, sig *pll.Signals) *Alert {
+func (d *Diagnoser) localizeAlert(cy *obs.Cycle, matrix *route.Probes, version int, observations []pll.Observation, cfg pll.Config, slow bool, sig *pll.Signals, inc *pll.Incremental) *Alert {
 	if len(observations) == 0 {
 		return nil
 	}
 	var res *pll.Result
 	var err error
 	// The plane runs whenever localization is sharded OR remote: a single
-	// remote shard still gets its windows over the transport.
-	if d.shards > 1 || len(d.clients) > 0 {
+	// remote shard still gets its windows over the transport. The standing
+	// incremental engine (already fed by the window close) covers the
+	// unsharded fast pass; pll.Incremental pins it bit-identical to the
+	// full recompute.
+	if inc != nil {
+		sp := cy.Span("localize")
+		res, err = inc.Pass(cfg)
+		sp.EndErr(err)
+	} else if d.shards > 1 || len(d.clients) > 0 {
 		res, err = d.shardPlane(matrix).LocalizeCycle(cy, observations, cfg)
 	} else {
 		sp := cy.Span("localize")
@@ -582,8 +804,18 @@ func (d *Diagnoser) localizeAlert(cy *obs.Cycle, matrix *route.Probes, version i
 	}
 	classifySpan.End()
 	stageClassify.Observe(time.Since(classifyStart))
+	maxAlerts := d.opts.MaxAlerts
+	if maxAlerts <= 0 {
+		maxAlerts = 1024
+	}
 	d.mu.Lock()
 	d.alerts = append(d.alerts, alert)
+	if len(d.alerts) > maxAlerts {
+		// Ring semantics in place: shift down and reslice, so the backing
+		// array never grows past maxAlerts+1.
+		n := copy(d.alerts, d.alerts[len(d.alerts)-maxAlerts:])
+		d.alerts = d.alerts[:n]
+	}
 	d.mu.Unlock()
 	return &alert
 }

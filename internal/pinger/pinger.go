@@ -7,9 +7,8 @@
 package pinger
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -61,6 +60,20 @@ type Options struct {
 	// ReportWire selects the report encoding: shardrpc.CodecJSON (default)
 	// or shardrpc.CodecBinary for the v2 binary frame.
 	ReportWire string
+	// BatchWindows, when > 1, merges that many report windows locally
+	// before shipping one pre-aggregated payload (counters summed, signal
+	// means delivered-weighted). Default 1: ship every window.
+	BatchWindows int
+	// TopK, when > 0 and the diagnoser advertises summary ingest, ships
+	// the K worst paths with full signal detail and every other probed
+	// path as bare residue counters (v2 kind-6 frame). Loss localization
+	// is unaffected — the residue preserves every counter — only per-path
+	// latency/ECN detail is trimmed. Requires ReportWire binary.
+	TopK int
+	// StreamReports, when true and the diagnoser advertises the stream
+	// endpoint, ships report frames over one persistent connection instead
+	// of per-window POSTs. Requires ReportWire binary.
+	StreamReports bool
 }
 
 type pathState struct {
@@ -100,6 +113,15 @@ type Pinger struct {
 	pending map[uint64]outstanding
 	nextID  uint64
 	rr      int // round-robin cursor
+
+	// Report-shipping state (report.go), under its own lock so HTTP round
+	// trips never stall the probing path.
+	repMu       sync.Mutex
+	pend        map[uint32]*pendAgg // pending (possibly multi-window) aggregate
+	pendWindows int
+	caps        *shardrpc.ReportCaps
+	capsOK      bool
+	streamW     *io.PipeWriter // persistent report stream, nil when closed
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -142,6 +164,7 @@ func Start(t *topo.Topology, rules *fabric.RuleTable, reg *fabric.Registry,
 		topo: t, rules: rules, reg: reg, conn: conn,
 		pinglist: pl, client: client,
 		pending: make(map[uint64]outstanding),
+		pend:    make(map[uint32]*pendAgg),
 		stop:    make(chan struct{}),
 	}
 	for _, e := range pl.Entries {
@@ -154,11 +177,12 @@ func Start(t *topo.Topology, rules *fabric.RuleTable, reg *fabric.Registry,
 	return p, nil
 }
 
-// Stop halts all loops and closes the socket.
+// Stop halts all loops, closes the socket and ends the report stream.
 func (p *Pinger) Stop() {
 	close(p.stop)
 	p.conn.Close()
 	p.done.Wait()
+	p.closeStream()
 }
 
 // Pinglist returns the active work order.
@@ -168,11 +192,7 @@ func (p *Pinger) Pinglist() *control.Pinglist { return p.pinglist }
 // labels per path.
 func (p *Pinger) sendLoop() {
 	defer p.done.Done()
-	interval := time.Second / time.Duration(p.pinglist.RatePPS)
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
-	tick := time.NewTicker(interval)
+	tick := time.NewTicker(probeInterval(p.pinglist.RatePPS))
 	defer tick.Stop()
 	var buf []byte
 	for {
@@ -324,8 +344,11 @@ func (p *Pinger) expire(buf []byte) []byte {
 		delete(p.pending, id)
 		st := p.paths[o.pathIdx]
 		st.lost++
-		if !o.confirm && st.confirms < p.Opts.ConfirmProbes {
-			for i := 0; i < p.Opts.ConfirmProbes; i++ {
+		if !o.confirm {
+			// Clamp the burst to the remaining per-window budget: two
+			// losses expiring in one sweep used to fire up to
+			// 2*ConfirmProbes-1 confirms past the cap.
+			for i := 0; i < p.Opts.ConfirmProbes && st.confirms < p.Opts.ConfirmProbes; i++ {
 				st.confirms++
 				confirms = append(confirms, confirmReq{o.pathIdx})
 			}
@@ -338,54 +361,18 @@ func (p *Pinger) expire(buf []byte) []byte {
 	return buf
 }
 
-// report snapshots and resets counters, then POSTs them.
-func (p *Pinger) report() {
-	p.mu.Lock()
-	rep := Report{Node: p.Node, Version: p.pinglist.Version, EndNS: time.Now().UnixNano()}
-	for _, st := range p.paths {
-		// Probes still pending are carried into the next window.
-		counted := st.acked + st.lost
-		if counted == 0 {
-			continue
-		}
-		pr := PathReport{PathID: st.entry.PathID, Sent: counted, Lost: st.lost}
-		// All signal means divide by acked; with nothing delivered they
-		// stay zero rather than NaN/Inf.
-		if st.acked > 0 {
-			pr.MeanRTTNS = st.rttNS / int64(st.acked)
-			pr.JitterNS = int64(st.jitter)
-			pr.ECNFrac = float64(st.ecn) / float64(st.acked)
-		}
-		rep.Results = append(rep.Results, pr)
-		st.sent -= counted
-		st.acked, st.lost, st.rttNS, st.confirms = 0, 0, 0, 0
-		st.ecn, st.jitter, st.prevRTT = 0, 0, 0
+// probeInterval converts the pinglist rate into a ticker period. A missing
+// or nonsense rate (zero, negative) falls back to one probe per
+// millisecond instead of the integer divide-by-zero panic it used to be.
+func probeInterval(ratePPS int) time.Duration {
+	if ratePPS <= 0 {
+		return time.Millisecond
 	}
-	p.mu.Unlock()
-	if len(rep.Results) == 0 || p.pinglist.ReportURL == "" {
-		return
+	iv := time.Second / time.Duration(ratePPS)
+	if iv <= 0 {
+		iv = time.Millisecond
 	}
-	var body []byte
-	contentType := "application/json"
-	if p.Opts.ReportWire == shardrpc.CodecBinary {
-		wr := shardrpc.Report{Node: rep.Node, Version: rep.Version, EndNS: rep.EndNS,
-			Results: make([]shardrpc.ReportResult, len(rep.Results))}
-		for i, r := range rep.Results {
-			wr.Results[i] = shardrpc.ReportResult{PathID: r.PathID, Sent: r.Sent, Lost: r.Lost,
-				MeanRTTNS: r.MeanRTTNS, JitterNS: r.JitterNS, ECNFrac: r.ECNFrac}
-		}
-		body = wr.EncodeBinary()
-		contentType = shardrpc.ContentTypeBinary
-	} else {
-		var err error
-		if body, err = json.Marshal(rep); err != nil {
-			return
-		}
-	}
-	resp, err := p.client.Post(p.pinglist.ReportURL+"/report", contentType, bytes.NewReader(body))
-	if err == nil {
-		resp.Body.Close()
-	}
+	return iv
 }
 
 func (p *Pinger) sendHeartbeat() {

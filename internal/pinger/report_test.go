@@ -1,0 +1,244 @@
+package pinger
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/fabric"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// TestProbeInterval pins the sendLoop pacing guard: a pinglist with a
+// missing or nonsense rate must not divide by zero.
+func TestProbeInterval(t *testing.T) {
+	cases := []struct {
+		rate int
+		want time.Duration
+	}{
+		{0, time.Millisecond},             // the old panic: time.Second / 0
+		{-7, time.Millisecond},            // negative rate is equally nonsense
+		{100, 10 * time.Millisecond},      // normal pacing
+		{2_000_000_000, time.Millisecond}, // rate past 1e9 truncates to 0ns
+	}
+	for _, c := range cases {
+		if got := probeInterval(c.rate); got != c.want {
+			t.Errorf("probeInterval(%d) = %v, want %v", c.rate, got, c.want)
+		}
+	}
+}
+
+// expireRig builds a minimal pinger whose probes never leave the box: the
+// registry is empty, so confirm probes count as immediate losses without a
+// fabric, and expire()'s bookkeeping can be driven synchronously.
+func expireRig(t *testing.T, confirmProbes int) *Pinger {
+	t.Helper()
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &Pinger{
+		Node: 1,
+		Opts: Options{Timeout: time.Millisecond, ConfirmProbes: confirmProbes},
+		reg:  fabric.NewRegistry(),
+		conn: conn,
+		paths: []*pathState{{entry: control.Entry{
+			PathID: 7, Route: []topo.NodeID{1, 2}, FlowLabels: []uint32{40000},
+		}}},
+		pending: make(map[uint64]outstanding),
+		pend:    make(map[uint32]*pendAgg),
+	}
+}
+
+// TestConfirmBurstCap pins the overshoot fix: two losses expiring in one
+// sweep with one confirm already spent used to fire 2*ConfirmProbes-1
+// confirms; the budget is ConfirmProbes per path per window, full stop.
+func TestConfirmBurstCap(t *testing.T) {
+	const confirmProbes = 2
+	p := expireRig(t, confirmProbes)
+	st := p.paths[0]
+	st.confirms = confirmProbes - 1 // one already fired this window
+	old := time.Now().Add(-time.Minute)
+	p.pending[1] = outstanding{pathIdx: 0, sentAt: old}
+	p.pending[2] = outstanding{pathIdx: 0, sentAt: old}
+
+	p.expire(nil)
+
+	if st.confirms != confirmProbes {
+		t.Fatalf("confirms = %d, want exactly the budget %d", st.confirms, confirmProbes)
+	}
+	// The fired confirm went to an empty registry: immediate loss, and the
+	// pending table must not leak it.
+	if len(p.pending) != 0 {
+		t.Fatalf("pending leaked: %d entries", len(p.pending))
+	}
+}
+
+// TestConfirmBudgetSpentFiresNothing: losses expiring after the budget is
+// gone fire no confirms at all.
+func TestConfirmBudgetSpentFiresNothing(t *testing.T) {
+	const confirmProbes = 2
+	p := expireRig(t, confirmProbes)
+	st := p.paths[0]
+	st.confirms = confirmProbes
+	p.pending[1] = outstanding{pathIdx: 0, sentAt: time.Now().Add(-time.Minute)}
+	sentBefore := st.sent
+
+	p.expire(nil)
+
+	if st.confirms != confirmProbes {
+		t.Fatalf("confirms = %d, want %d", st.confirms, confirmProbes)
+	}
+	if st.sent != sentBefore {
+		t.Fatalf("confirm probes were sent past the budget")
+	}
+}
+
+// flakyDiagnoser fails the first N report POSTs with a 503, then accepts.
+type flakyDiagnoser struct {
+	mu      sync.Mutex
+	fail    int
+	reports []Report
+	srv     *httptest.Server
+}
+
+func newFlaky(t *testing.T, failFirst int) *flakyDiagnoser {
+	fd := &flakyDiagnoser{fail: failFirst}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		fd.mu.Lock()
+		defer fd.mu.Unlock()
+		if fd.fail > 0 {
+			fd.fail--
+			http.Error(w, "window closed on my foot", http.StatusServiceUnavailable)
+			return
+		}
+		var rep Report
+		if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fd.reports = append(fd.reports, rep)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	fd.srv = httptest.NewServer(mux)
+	t.Cleanup(fd.srv.Close)
+	return fd
+}
+
+// TestReportRetainsOnFailure pins the silent-data-loss fix: counters from a
+// window whose POST failed re-merge with the next window and arrive late
+// rather than never, and pinger_report_failures records the failure.
+func TestReportRetainsOnFailure(t *testing.T) {
+	fd := newFlaky(t, 1)
+	p := expireRig(t, 2)
+	p.client = fd.srv.Client()
+	p.pinglist = &control.Pinglist{Version: 3, ReportURL: fd.srv.URL, Entries: p.paths[0].entryList()}
+
+	failuresBefore := reportFailures.Value()
+
+	// Window 1: 10 sent, 4 lost — POST dies with a 503.
+	p.paths[0].acked, p.paths[0].lost = 6, 4
+	p.report()
+	if got := len(fd.reports); got != 0 {
+		t.Fatalf("failed POST delivered %d reports", got)
+	}
+	if reportFailures.Value() != failuresBefore+1 {
+		t.Fatalf("report failure not counted: %d", reportFailures.Value()-failuresBefore)
+	}
+
+	// Window 2: 5 sent, 1 lost — ships the merged 15/5.
+	p.paths[0].acked, p.paths[0].lost = 4, 1
+	p.report()
+
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if len(fd.reports) != 1 {
+		t.Fatalf("got %d reports, want 1 merged", len(fd.reports))
+	}
+	res := fd.reports[0].Results
+	if len(res) != 1 || res[0].PathID != 7 {
+		t.Fatalf("results: %+v", res)
+	}
+	if res[0].Sent != 15 || res[0].Lost != 5 {
+		t.Fatalf("merged counters sent=%d lost=%d, want 15/5", res[0].Sent, res[0].Lost)
+	}
+	// And the pending aggregate is gone: a third quiet window ships nothing.
+	p.report()
+	if len(fd.reports) != 1 {
+		t.Fatalf("empty window shipped: %d reports", len(fd.reports))
+	}
+}
+
+// TestRejectedReportNotRetried: a 400 means the server calls the body
+// malformed — retrying it forever would wedge the report plane, so the
+// aggregate drops (counted as a failure).
+func TestRejectedReportNotRetried(t *testing.T) {
+	var posts int
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		posts++
+		mu.Unlock()
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	t.Cleanup(srv.Close)
+
+	p := expireRig(t, 2)
+	p.client = srv.Client()
+	p.pinglist = &control.Pinglist{Version: 1, ReportURL: srv.URL}
+	failuresBefore := reportFailures.Value()
+
+	p.paths[0].acked = 10
+	p.report()
+	p.report() // nothing pending: must not re-POST the rejected body
+
+	mu.Lock()
+	defer mu.Unlock()
+	if posts != 1 {
+		t.Fatalf("rejected body POSTed %d times, want 1", posts)
+	}
+	if reportFailures.Value() != failuresBefore+1 {
+		t.Fatalf("rejection not counted")
+	}
+}
+
+// TestBatchWindows: with BatchWindows=3, two windows accumulate locally and
+// the third ships one merged report.
+func TestBatchWindows(t *testing.T) {
+	fd := newFlaky(t, 0)
+	p := expireRig(t, 2)
+	p.client = fd.srv.Client()
+	p.Opts.BatchWindows = 3
+	p.pinglist = &control.Pinglist{Version: 1, ReportURL: fd.srv.URL}
+
+	for w := 0; w < 3; w++ {
+		p.paths[0].acked, p.paths[0].lost = 9, 1
+		p.report()
+		fd.mu.Lock()
+		got := len(fd.reports)
+		fd.mu.Unlock()
+		want := 0
+		if w == 2 {
+			want = 1
+		}
+		if got != want {
+			t.Fatalf("window %d: %d reports, want %d", w, got, want)
+		}
+	}
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	res := fd.reports[0].Results
+	if len(res) != 1 || res[0].Sent != 30 || res[0].Lost != 3 {
+		t.Fatalf("batched report: %+v", res)
+	}
+}
+
+// entryList adapts one pathState's entry for pinglist stubs.
+func (st *pathState) entryList() []control.Entry { return []control.Entry{st.entry} }

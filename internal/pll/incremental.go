@@ -1,0 +1,222 @@
+package pll
+
+// Incremental PLL: the same localization algorithm, run as a standing
+// engine instead of a per-window batch job. The diagnoser's windows slide
+// continuously and, in a healthy fleet, almost nothing changes between
+// them — the expensive parts of Localize (re-scanning every observation,
+// rebuilding the per-link observed-path counts) are recomputed from
+// scratch every window for answers that are identical to the last ones.
+//
+// The engine keeps the preprocessed window state resident: per-path
+// current observation, per-path lossy/clean classification under the
+// configured thresholds, and the per-link observed-path counts that feed
+// the hit-ratio denominators. Report merges update only the paths whose
+// counters actually changed; a localization pass then runs localizeCore —
+// the exact code path the one-shot Localize uses — over the standing
+// lossy set. Verdicts are bit-identical to a full recompute over the
+// equivalent observation multiset (one observation per path, which is
+// what the diagnoser's accumulator produces), pinned by the differential
+// test in incremental_test.go.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Incremental is a standing PLL engine over one probe matrix. It is not
+// safe for concurrent use; the diagnoser drives it from the window-close
+// path under its own lock.
+type Incremental struct {
+	p   *route.Probes
+	cfg Config
+	// unhealthy is the filter set of the last pass (copied, never aliased
+	// to the caller's map); a changed set reclassifies every present path.
+	unhealthy map[topo.NodeID]bool
+
+	present      []bool
+	lossyFlag    []bool
+	obs          []Observation // current observation per path, valid when present
+	pathsThrough []int32       // per-link observed-path counts (hit-ratio denominators)
+	nLossy       int
+}
+
+// NewIncremental builds an empty engine for the matrix. cfg supplies the
+// classification thresholds; the per-pass Config given to Pass may change
+// them (and the Unhealthy set), at the cost of reclassifying every present
+// path once.
+func NewIncremental(p *route.Probes, cfg Config) *Incremental {
+	return &Incremental{
+		p:            p,
+		cfg:          cfg,
+		unhealthy:    copyNodeSet(cfg.Unhealthy),
+		present:      make([]bool, p.NumPaths()),
+		lossyFlag:    make([]bool, p.NumPaths()),
+		obs:          make([]Observation, p.NumPaths()),
+		pathsThrough: make([]int32, p.NumLinks),
+	}
+}
+
+// Matrix returns the probe matrix the engine is bound to.
+func (inc *Incremental) Matrix() *route.Probes { return inc.p }
+
+// Present reports how many paths currently carry an observation.
+func (inc *Incremental) Present() int {
+	n := 0
+	for _, p := range inc.present {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// Lossy reports the size of the standing lossy set.
+func (inc *Incremental) Lossy() int { return inc.nLossy }
+
+// Update replaces one path's window observation. An observation with
+// Sent <= 0 is equivalent to the path being absent this window, exactly
+// as preprocess and observedPathsThrough skip it in the one-shot path.
+func (inc *Incremental) Update(o Observation) {
+	if o.Path < 0 || o.Path >= inc.p.NumPaths() {
+		return
+	}
+	if o.Sent <= 0 {
+		inc.Remove(o.Path)
+		return
+	}
+	if !inc.present[o.Path] {
+		inc.present[o.Path] = true
+		for _, l := range inc.p.PathLinks[o.Path] {
+			inc.pathsThrough[l]++
+		}
+	}
+	inc.obs[o.Path] = o
+	inc.setLossy(o.Path, inc.classify(o))
+}
+
+// Remove marks a path as unobserved this window (no pinger reported it).
+func (inc *Incremental) Remove(path int) {
+	if path < 0 || path >= inc.p.NumPaths() || !inc.present[path] {
+		return
+	}
+	inc.present[path] = false
+	for _, l := range inc.p.PathLinks[path] {
+		inc.pathsThrough[l]--
+	}
+	inc.setLossy(path, false)
+	inc.obs[path] = Observation{}
+}
+
+func (inc *Incremental) setLossy(path int, lossy bool) {
+	if inc.lossyFlag[path] == lossy {
+		return
+	}
+	inc.lossyFlag[path] = lossy
+	if lossy {
+		inc.nLossy++
+	} else {
+		inc.nLossy--
+	}
+}
+
+// classify mirrors preprocess: the unhealthy filter drops a path from the
+// lossy set (it still counts in pathsThrough, exactly as in the one-shot
+// path, where observedPathsThrough does not consult the filter), then the
+// loss floor and optional binomial significance test decide lossiness.
+func (inc *Incremental) classify(o Observation) bool {
+	if inc.cfg.Unhealthy != nil &&
+		(inc.cfg.Unhealthy[inc.p.Src[o.Path]] || inc.cfg.Unhealthy[inc.p.Dst[o.Path]]) {
+		return false
+	}
+	ratio := float64(o.Lost) / float64(o.Sent)
+	isLossy := o.Lost >= inc.cfg.MinLoss && ratio >= inc.cfg.LossRatioFloor
+	if isLossy && inc.cfg.BaselineRate > 0 {
+		sig := inc.cfg.Significance
+		if sig <= 0 {
+			sig = 1e-3
+		}
+		isLossy = SignificantLoss(o.Sent, o.Lost, inc.cfg.BaselineRate, sig)
+	}
+	return isLossy
+}
+
+// Pass runs one localization pass over the standing window state. cfg may
+// differ from the engine's current configuration — changed classification
+// thresholds or a changed unhealthy set trigger one full reclassification
+// (O(present paths), no index rebuild) before the pass.
+func (inc *Incremental) Pass(cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.HitRatio <= 0 || cfg.HitRatio > 1 {
+		return nil, fmt.Errorf("pll: hit ratio must be in (0,1], got %v", cfg.HitRatio)
+	}
+	reclassify := inc.classifierChanged(cfg)
+	inc.cfg = cfg
+	if reclassify {
+		inc.unhealthy = copyNodeSet(cfg.Unhealthy)
+	}
+	// The engine classifies against its own copy of the unhealthy set —
+	// never the caller's map, which may mutate between windows.
+	inc.cfg.Unhealthy = mapOrNil(inc.unhealthy)
+	if reclassify {
+		for path, present := range inc.present {
+			if present {
+				inc.setLossy(path, inc.classify(inc.obs[path]))
+			}
+		}
+	}
+
+	res := &Result{LossyPaths: inc.nLossy}
+	if inc.nLossy == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+	lossy := make([]Observation, 0, inc.nLossy)
+	for path, isLossy := range inc.lossyFlag {
+		if isLossy {
+			lossy = append(lossy, inc.obs[path])
+		}
+	}
+	res.Bad, res.UnexplainedPaths = localizeCore(inc.p, lossy, inc.pathsThrough, cfg)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// classifierChanged reports whether cfg alters which paths count as lossy.
+func (inc *Incremental) classifierChanged(cfg Config) bool {
+	if cfg.LossRatioFloor != inc.cfg.LossRatioFloor ||
+		cfg.MinLoss != inc.cfg.MinLoss ||
+		cfg.BaselineRate != inc.cfg.BaselineRate ||
+		cfg.Significance != inc.cfg.Significance {
+		return true
+	}
+	if len(cfg.Unhealthy) != len(inc.unhealthy) {
+		return true
+	}
+	for n, bad := range cfg.Unhealthy {
+		if inc.unhealthy[n] != bad {
+			return true
+		}
+	}
+	return false
+}
+
+func copyNodeSet(m map[topo.NodeID]bool) map[topo.NodeID]bool {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[topo.NodeID]bool, len(m))
+	for n, v := range m {
+		out[n] = v
+	}
+	return out
+}
+
+func mapOrNil(m map[topo.NodeID]bool) map[topo.NodeID]bool {
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}

@@ -1,0 +1,196 @@
+package pll_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// resultsEqual compares everything the diagnoser consumes: the verdict list
+// bit-for-bit (link, float rate, explained count) plus both path counters.
+// Elapsed is wall-clock and excluded.
+func resultsEqual(a, b *pll.Result) bool {
+	if a.LossyPaths != b.LossyPaths || a.UnexplainedPaths != b.UnexplainedPaths ||
+		len(a.Bad) != len(b.Bad) {
+		return false
+	}
+	for i := range a.Bad {
+		if a.Bad[i] != b.Bad[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// driveDifferential feeds the same randomized window sequence to a standing
+// Incremental engine and to one-shot Localize, requiring bit-identical
+// results every window. The sequence churns hard: paths appear, change
+// counters, and vanish; classification thresholds and the unhealthy set
+// shift mid-run; observation slices are built in Go map order so the
+// one-shot side sees a different permutation every window.
+func driveDifferential(t *testing.T, p *route.Probes, seed int64, windows int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inc := pll.NewIncremental(p, pll.DefaultConfig())
+	cur := make(map[int]pll.Observation)
+
+	for w := 0; w < windows; w++ {
+		// Mutate a random slice of the fleet this window.
+		muts := 1 + rng.Intn(p.NumPaths()/2+1)
+		for i := 0; i < muts; i++ {
+			path := rng.Intn(p.NumPaths())
+			switch rng.Intn(8) {
+			case 0: // pinger went quiet
+				delete(cur, path)
+				inc.Remove(path)
+			case 1: // degenerate report: Sent == 0 must equal absence
+				delete(cur, path)
+				inc.Update(pll.Observation{Path: path})
+			default:
+				o := pll.Observation{Path: path, Sent: 20 + rng.Intn(200)}
+				switch rng.Intn(3) {
+				case 0: // clean
+				case 1: // marginal: a few losses, may sit under MinLoss
+					o.Lost = rng.Intn(3)
+				default: // clearly lossy
+					o.Lost = 1 + rng.Intn(o.Sent)
+				}
+				cur[path] = o
+				inc.Update(o)
+			}
+		}
+
+		cfg := pll.DefaultConfig()
+		if w%5 == 3 {
+			cfg.MinLoss = 2 + rng.Intn(3)
+		}
+		if w%7 == 4 {
+			cfg.BaselineRate = 1e-3
+		}
+		if w%3 == 1 { // unhealthy endpoints churn between windows
+			cfg.Unhealthy = map[topo.NodeID]bool{}
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				path := rng.Intn(p.NumPaths())
+				if rng.Intn(2) == 0 {
+					cfg.Unhealthy[p.Src[path]] = true
+				} else {
+					cfg.Unhealthy[p.Dst[path]] = true
+				}
+			}
+		}
+
+		obs := make([]pll.Observation, 0, len(cur))
+		for _, o := range cur { // map order: a fresh permutation per window
+			obs = append(obs, o)
+		}
+		want, err := pll.Localize(p, obs, cfg)
+		if err != nil {
+			t.Fatalf("window %d: Localize: %v", w, err)
+		}
+		got, err := inc.Pass(cfg)
+		if err != nil {
+			t.Fatalf("window %d: Pass: %v", w, err)
+		}
+		if !resultsEqual(got, want) {
+			t.Fatalf("window %d: incremental diverged from full recompute\n got %+v (bad %+v)\nwant %+v (bad %+v)",
+				w, got, got.Bad, want, want.Bad)
+		}
+		if got.LossyPaths != inc.Lossy() {
+			t.Fatalf("window %d: Lossy() = %d, result says %d", w, inc.Lossy(), got.LossyPaths)
+		}
+		// The caller's unhealthy map must not be aliased by the engine:
+		// poisoning it after the pass must not bend the next window.
+		for n := range cfg.Unhealthy {
+			delete(cfg.Unhealthy, n)
+		}
+	}
+	if present := inc.Present(); present != len(cur) {
+		t.Fatalf("Present() = %d, mirror has %d", present, len(cur))
+	}
+}
+
+// TestIncrementalDifferentialSmall runs the window churn on a hand matrix
+// small enough that every structural corner (shared links, disjoint
+// components, single-link paths) is hit many times over.
+func TestIncrementalDifferentialSmall(t *testing.T) {
+	p := route.NewProbesFromLinks([][]topo.LinkID{
+		{0, 1}, {1, 2}, {0, 2}, {3}, {3, 4}, {4}, {5, 6, 7}, {7},
+	}, 8)
+	for seed := int64(1); seed <= 6; seed++ {
+		driveDifferential(t, p, seed, 60)
+	}
+}
+
+// TestIncrementalDifferentialServed runs the churn on real served matrices —
+// the pmc-selected probe sets for Fattree(8) and BCube(4,1), the acceptance
+// topologies — so the pin covers production-shaped link sharing.
+func TestIncrementalDifferentialServed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("served-matrix differential is not -short")
+	}
+	f8 := topo.MustFattree(8)
+	b41 := topo.MustBCube(4, 1)
+	cases := []struct {
+		name     string
+		ps       route.PathSet
+		numLinks int
+	}{
+		{"Fattree8", route.NewFattreePaths(f8), f8.NumLinks()},
+		{"BCube41", route.NewBCubePaths(b41), b41.NumLinks()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := pmc.Construct(c.ps, c.numLinks, pmc.Options{
+				Alpha: 1, Beta: 1, Decompose: true, Lazy: true, Symmetry: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := route.NewProbes(c.ps, res.Selected, c.numLinks)
+			driveDifferential(t, p, 42, 25)
+		})
+	}
+}
+
+// TestIncrementalRemoveIdempotent pins the bookkeeping corners: removing an
+// absent path, out-of-range updates, and update-remove-update cycles must
+// leave pathsThrough and the lossy count consistent.
+func TestIncrementalRemoveIdempotent(t *testing.T) {
+	p := route.NewProbesFromLinks([][]topo.LinkID{{0, 1}, {1}}, 2)
+	inc := pll.NewIncremental(p, pll.DefaultConfig())
+	inc.Remove(0)
+	inc.Remove(-1)
+	inc.Remove(99)
+	inc.Update(pll.Observation{Path: 42, Sent: 10}) // out of range: ignored
+	if inc.Present() != 0 || inc.Lossy() != 0 {
+		t.Fatalf("phantom state after no-ops: present=%d lossy=%d", inc.Present(), inc.Lossy())
+	}
+	inc.Update(pll.Observation{Path: 0, Sent: 100, Lost: 50})
+	inc.Update(pll.Observation{Path: 1, Sent: 100, Lost: 0})
+	if inc.Present() != 2 || inc.Lossy() != 1 {
+		t.Fatalf("after updates: present=%d lossy=%d", inc.Present(), inc.Lossy())
+	}
+	res, err := inc.Pass(pll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bad) != 1 || res.Bad[0].Link != 0 {
+		t.Fatalf("verdicts = %+v, want link 0", res.Bad)
+	}
+	inc.Remove(0)
+	inc.Remove(0)
+	if inc.Present() != 1 || inc.Lossy() != 0 {
+		t.Fatalf("after removes: present=%d lossy=%d", inc.Present(), inc.Lossy())
+	}
+	res, err = inc.Pass(pll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossyPaths != 0 || len(res.Bad) != 0 {
+		t.Fatalf("clean window localized %+v", res)
+	}
+}

@@ -142,10 +142,26 @@ func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	// pathsThrough counts observed paths per link; the lossy inverted
-	// index collects the lossy ones as a flat CSR slab. Hit ratios are
-	// computed once, before the greedy (Step 2).
+	// pathsThrough counts observed paths per link (Step 2's hit-ratio
+	// denominators); the core does the rest.
 	pathsThrough := observedPathsThrough(p, obs)
+	res.Bad, res.UnexplainedPaths = localizeCore(p, lossy, pathsThrough, cfg)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// localizeCore runs Steps 2-5 of PLL over an already-preprocessed lossy
+// set: candidate links by hit ratio, decomposition into components, the
+// per-component greedy in parallel, and the final link-ID sort. It is
+// shared by the one-shot Localize and the Incremental engine — the
+// bit-identical-verdicts guarantee between them rests on this being the
+// same code path. The verdicts depend only on the lossy SET (and
+// pathsThrough), not its order: candidates are walked in link-ID order,
+// component verdicts concatenate and re-sort by link, and greedy ties
+// break on (explained losses, hit ratio, candidate order).
+func localizeCore(p *route.Probes, lossy []Observation, pathsThrough []int32, cfg Config) ([]Verdict, int) {
+	// The lossy inverted index collects lossy observations per link as a
+	// flat CSR slab. Hit ratios are computed once, before the greedy.
 	lossyOff, lossyArena := lossyIndex(p, lossy)
 
 	// Candidate links pass the hit-ratio threshold. Walking links in ID
@@ -201,13 +217,14 @@ func Localize(p *route.Probes, obs []Observation, cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 
+	var bad []Verdict
+	totalUnexplained := 0
 	for ci := range comps {
-		res.Bad = append(res.Bad, verdicts[ci]...)
-		res.UnexplainedPaths += unexplained[ci]
+		bad = append(bad, verdicts[ci]...)
+		totalUnexplained += unexplained[ci]
 	}
-	sort.Slice(res.Bad, func(i, j int) bool { return res.Bad[i].Link < res.Bad[j].Link })
-	res.Elapsed = time.Since(start)
-	return res, nil
+	sort.Slice(bad, func(i, j int) bool { return bad[i].Link < bad[j].Link })
+	return bad, totalUnexplained
 }
 
 // observedPathsThrough counts, per link, the observed paths crossing it —

@@ -444,8 +444,11 @@ func FuzzBinaryFrame(f *testing.F) {
 	f.Add(lresp.encodeBinary())
 	rep := randReport(r)
 	f.Add(rep.EncodeBinary())
+	sum := randSummary(r)
+	f.Add(sum.EncodeBinary())
 	f.Add([]byte{frameMagic[0], frameMagic[1], BinaryVersion, kindConstructReq, 0})
 	f.Add([]byte{frameMagic[0], frameMagic[1], BinaryVersion, kindReport, 0})
+	f.Add([]byte{frameMagic[0], frameMagic[1], BinaryVersion, kindReportSummary, 0})
 	f.Add([]byte{0xD7})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -486,6 +489,13 @@ func FuzzBinaryFrame(f *testing.F) {
 			again, err := DecodeReportBinary(enc, 0)
 			if err != nil || !bytes.Equal(enc, again.EncodeBinary()) {
 				t.Fatalf("report re-encode not a fixed point: %v", err)
+			}
+		}
+		if sum, err := DecodeSummaryBinary(data, maxPayload); err == nil {
+			enc := sum.EncodeBinary()
+			again, err := DecodeSummaryBinary(enc, 0)
+			if err != nil || !bytes.Equal(enc, again.EncodeBinary()) {
+				t.Fatalf("summary re-encode not a fixed point: %v", err)
 			}
 		}
 	})

@@ -1,0 +1,18 @@
+package shardrpc
+
+// ReportCaps is the diagnoser's report-plane capability advertisement,
+// served on GET /reportcaps. Pingers fetch it once before their first
+// report and pick the richest path the server speaks: the persistent
+// stream endpoint with summary frames when available, per-report binary
+// frames otherwise, JSON as the floor. A 404 (pre-caps diagnoser) means
+// JSON POST — the same downgrade ladder as the shard codec negotiation.
+type ReportCaps struct {
+	// Stream advertises POST /reportstream, the persistent frame stream.
+	Stream bool `json:"stream"`
+	// Summary advertises kind-6 summary-frame ingest.
+	Summary bool `json:"summary"`
+	// Codecs lists accepted report encodings ("json", "binary").
+	Codecs []string `json:"codecs"`
+	// MaxBodyBytes is the per-body (and per-frame) payload budget.
+	MaxBodyBytes int64 `json:"max_body_bytes"`
+}

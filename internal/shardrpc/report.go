@@ -69,59 +69,71 @@ func (r *Report) EncodeBinary() []byte {
 	return sealFrame(kindReport, b)
 }
 
-// DecodeReportBinary unpacks a v2 report frame under the payload budget.
+// DecodeBinary unpacks a v2 report frame into rep, reusing the Results
+// slice's capacity — the streaming ingest path decodes frame after frame
+// into one reused struct with no per-frame allocation once warm.
 // Field-level validation (counter sanity, float ranges) is the consumer's
 // job, exactly as for a JSON body; the decode only enforces structure.
-func DecodeReportBinary(data []byte, maxPayload int64) (*Report, error) {
+func (rep *Report) DecodeBinary(data []byte, maxPayload int64) error {
 	payload, err := openFrame(data, kindReport, maxPayload)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r := &breader{buf: payload}
-	var rep Report
 	node, err := r.uint31()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	rep.Node = topo.NodeID(node)
 	if rep.Version, err = r.uint31(); err != nil {
-		return nil, err
+		return err
 	}
 	if rep.EndNS, err = r.varint(); err != nil {
-		return nil, err
+		return err
 	}
 	n, err := r.seqLen()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if n > 0 {
-		rep.Results = make([]ReportResult, n)
-		var pathDec zigzagDec
-		for i := range rep.Results {
-			p, err := pathDec.next(r)
-			if err != nil {
-				return nil, fmt.Errorf("result %d path: %w", i, err)
-			}
-			rep.Results[i].PathID = uint32(p)
-			if rep.Results[i].Sent, err = r.uint31(); err != nil {
-				return nil, err
-			}
-			if rep.Results[i].Lost, err = r.uint31(); err != nil {
-				return nil, err
-			}
-			if rep.Results[i].MeanRTTNS, err = r.varint(); err != nil {
-				return nil, err
-			}
-			if rep.Results[i].JitterNS, err = r.varint(); err != nil {
-				return nil, err
-			}
-			if rep.Results[i].ECNFrac, err = r.f64(); err != nil {
-				return nil, err
-			}
+	rep.Results = rep.Results[:0]
+	var pathDec zigzagDec
+	for i := 0; i < n; i++ {
+		var res ReportResult
+		p, err := pathDec.next(r)
+		if err != nil {
+			return fmt.Errorf("result %d path: %w", i, err)
 		}
+		res.PathID = uint32(p)
+		if res.Sent, err = r.uint31(); err != nil {
+			return err
+		}
+		if res.Lost, err = r.uint31(); err != nil {
+			return err
+		}
+		if res.MeanRTTNS, err = r.varint(); err != nil {
+			return err
+		}
+		if res.JitterNS, err = r.varint(); err != nil {
+			return err
+		}
+		if res.ECNFrac, err = r.f64(); err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, res)
 	}
 	if r.remaining() != 0 {
-		return nil, fmt.Errorf("%d trailing payload bytes", r.remaining())
+		return fmt.Errorf("%d trailing payload bytes", r.remaining())
+	}
+	return nil
+}
+
+// DecodeReportBinary unpacks a v2 report frame under the payload budget
+// (fresh allocation; the ingest hot path uses (*Report).DecodeBinary with
+// a reused struct).
+func DecodeReportBinary(data []byte, maxPayload int64) (*Report, error) {
+	var rep Report
+	if err := rep.DecodeBinary(data, maxPayload); err != nil {
+		return nil, err
 	}
 	return &rep, nil
 }

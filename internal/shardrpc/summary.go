@@ -1,0 +1,314 @@
+package shardrpc
+
+// The pre-aggregated pinger→diagnoser summary, as the sixth kind of the v2
+// binary frame. A summary is what a pinger ships after batching several
+// report windows locally: the K worst paths keep full per-path detail
+// (counters plus latency/ECN signals), while every other path it probed
+// rides in a residue section as bare counters. The residue is what keeps
+// summary-mode localization bit-identical to per-report ingest: PLL's
+// hit-ratio denominators need every observed path's presence and counters,
+// not just the lossy ones — only the per-path float signals are elided.
+//
+// Old decoders reject kind 6 by its kind byte, the same mixed-fleet
+// behaviour as the kind-5 report: pingers learn whether a diagnoser speaks
+// summary from GET /reportcaps and fall back to per-report frames (or JSON)
+// when it does not.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// kindReportSummary extends the payload-kind space past the per-window
+// report (5): a batched, optionally top-K-trimmed window aggregate.
+const kindReportSummary byte = 6
+
+// KindReport and KindReportSummary name the report-plane frame kinds for
+// callers dispatching on FrameKind outside the package (the diagnoser's
+// ingest endpoints).
+const (
+	KindReport        = kindReport
+	KindReportSummary = kindReportSummary
+)
+
+// ResidueCounter is one non-worst path's bare counters in a summary frame:
+// presence and loss accounting without the per-path signal floats.
+type ResidueCounter struct {
+	PathID uint32 `json:"path_id"`
+	Sent   int    `json:"sent"`
+	Lost   int    `json:"lost"`
+}
+
+// SummaryReport is one pinger's pre-aggregated report: Windows consecutive
+// report windows merged at the edge, split into the Worst paths (highest
+// loss, full signal detail) and the Residue (everything else it probed,
+// counters only). Both sections are strictly ascending by path ID on the
+// wire, which the delta−1 encoding makes structural.
+type SummaryReport struct {
+	Node    topo.NodeID `json:"node"`
+	Version int         `json:"version"`
+	EndNS   int64       `json:"end_ns"`
+	// Windows counts the report windows merged into this frame (>= 1).
+	Windows int `json:"windows"`
+	// TopK echoes the pinger's configured worst-path budget (0 = every
+	// path carries full detail and Residue is empty).
+	TopK    int              `json:"top_k,omitempty"`
+	Worst   []ReportResult   `json:"worst,omitempty"`
+	Residue []ResidueCounter `json:"residue,omitempty"`
+}
+
+// EncodeBinary packs the summary into a v2 frame. Both path-ID sequences
+// are strictly ascending, so they encode as first value plus
+// uvarint(delta−1) per element — the cheapest encoding the codec has.
+func (s *SummaryReport) EncodeBinary() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(s.Node))
+	b = binary.AppendUvarint(b, uint64(s.Version))
+	b = binary.AppendVarint(b, s.EndNS)
+	b = binary.AppendUvarint(b, uint64(s.Windows))
+	b = binary.AppendUvarint(b, uint64(s.TopK))
+	b = binary.AppendUvarint(b, uint64(len(s.Worst)))
+	prev := int64(-1)
+	for _, pr := range s.Worst {
+		b = binary.AppendUvarint(b, uint64(int64(pr.PathID)-prev-1))
+		prev = int64(pr.PathID)
+		b = binary.AppendUvarint(b, uint64(pr.Sent))
+		b = binary.AppendUvarint(b, uint64(pr.Lost))
+		b = binary.AppendVarint(b, pr.MeanRTTNS)
+		b = binary.AppendVarint(b, pr.JitterNS)
+		b = appendF64(b, pr.ECNFrac)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Residue)))
+	prev = -1
+	for _, rc := range s.Residue {
+		b = binary.AppendUvarint(b, uint64(int64(rc.PathID)-prev-1))
+		prev = int64(rc.PathID)
+		b = binary.AppendUvarint(b, uint64(rc.Sent))
+		b = binary.AppendUvarint(b, uint64(rc.Lost))
+	}
+	return sealFrame(kindReportSummary, b)
+}
+
+// DecodeBinary unpacks a v2 summary frame into s, reusing the Worst and
+// Residue slices' capacity — the ingest path decodes one frame after
+// another into the same struct without per-frame allocation once warm.
+// Field-level validation (counter sanity, float ranges) is the consumer's
+// job; the decode enforces structure, including strictly ascending path
+// IDs in both sections.
+func (s *SummaryReport) DecodeBinary(data []byte, maxPayload int64) error {
+	payload, err := openFrame(data, kindReportSummary, maxPayload)
+	if err != nil {
+		return err
+	}
+	r := &breader{buf: payload}
+	node, err := r.uint31()
+	if err != nil {
+		return err
+	}
+	s.Node = topo.NodeID(node)
+	if s.Version, err = r.uint31(); err != nil {
+		return err
+	}
+	if s.EndNS, err = r.varint(); err != nil {
+		return err
+	}
+	if s.Windows, err = r.uint31(); err != nil {
+		return err
+	}
+	if s.TopK, err = r.uint31(); err != nil {
+		return err
+	}
+	nWorst, err := r.seqLen()
+	if err != nil {
+		return err
+	}
+	s.Worst = s.Worst[:0]
+	prev := int64(-1)
+	for i := 0; i < nWorst; i++ {
+		var pr ReportResult
+		d, err := r.uvarint()
+		if err != nil {
+			return fmt.Errorf("worst %d path: %w", i, err)
+		}
+		p := prev + 1 + int64(d)
+		if p > maxPathID {
+			return fmt.Errorf("worst %d path %d exceeds uint32 range", i, p)
+		}
+		prev = p
+		pr.PathID = uint32(p)
+		if pr.Sent, err = r.uint31(); err != nil {
+			return err
+		}
+		if pr.Lost, err = r.uint31(); err != nil {
+			return err
+		}
+		if pr.MeanRTTNS, err = r.varint(); err != nil {
+			return err
+		}
+		if pr.JitterNS, err = r.varint(); err != nil {
+			return err
+		}
+		if pr.ECNFrac, err = r.f64(); err != nil {
+			return err
+		}
+		s.Worst = append(s.Worst, pr)
+	}
+	nRes, err := r.seqLen()
+	if err != nil {
+		return err
+	}
+	s.Residue = s.Residue[:0]
+	prev = -1
+	for i := 0; i < nRes; i++ {
+		var rc ResidueCounter
+		d, err := r.uvarint()
+		if err != nil {
+			return fmt.Errorf("residue %d path: %w", i, err)
+		}
+		p := prev + 1 + int64(d)
+		if p > maxPathID {
+			return fmt.Errorf("residue %d path %d exceeds uint32 range", i, p)
+		}
+		prev = p
+		rc.PathID = uint32(p)
+		if rc.Sent, err = r.uint31(); err != nil {
+			return err
+		}
+		if rc.Lost, err = r.uint31(); err != nil {
+			return err
+		}
+		s.Residue = append(s.Residue, rc)
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("%d trailing payload bytes", r.remaining())
+	}
+	return nil
+}
+
+// maxPathID bounds decoded path IDs to the uint32 space the matrix indexes.
+const maxPathID = int64(1)<<32 - 1
+
+// DecodeSummaryBinary unpacks a v2 summary frame (fresh allocation; the
+// ingest hot path uses (*SummaryReport).DecodeBinary with a reused struct).
+func DecodeSummaryBinary(data []byte, maxPayload int64) (*SummaryReport, error) {
+	var s SummaryReport
+	if err := s.DecodeBinary(data, maxPayload); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing: a persistent report connection carries frames back to
+// back, each self-delimiting (magic, version, kind, uvarint length,
+// payload), so the reader needs no extra record separator.
+
+// FrameKind returns the payload kind of an encoded frame without decoding
+// it — the ingest path's dispatch between report (5) and summary (6).
+func FrameKind(data []byte) (byte, error) {
+	if len(data) < 4 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if data[0] != frameMagic[0] || data[1] != frameMagic[1] {
+		return 0, fmt.Errorf("bad frame magic %#02x%02x", data[0], data[1])
+	}
+	if data[2] != BinaryVersion {
+		return 0, fmt.Errorf("unsupported binary codec version %d (want %d)", data[2], BinaryVersion)
+	}
+	return data[3], nil
+}
+
+// ReadFrame reads one complete frame from a byte stream into buf (grown as
+// needed) and returns the frame bytes, the possibly-grown buffer for
+// reuse, and the frame's kind. A clean end of stream before the first
+// header byte returns io.EOF; a stream that dies mid-frame returns
+// io.ErrUnexpectedEOF. The declared payload length is capped by maxPayload
+// before any read, so a hostile length costs nothing.
+func ReadFrame(br io.ByteReader, maxPayload int64, buf []byte) (frame, reuse []byte, kind byte, err error) {
+	hdr := buf[:0]
+	b0, err := br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return nil, buf, 0, io.EOF
+		}
+		return nil, buf, 0, err
+	}
+	b1, err := readByteFull(br)
+	if err != nil {
+		return nil, buf, 0, err
+	}
+	if b0 != frameMagic[0] || b1 != frameMagic[1] {
+		return nil, buf, 0, fmt.Errorf("bad frame magic %#02x%02x", b0, b1)
+	}
+	ver, err := readByteFull(br)
+	if err != nil {
+		return nil, buf, 0, err
+	}
+	if ver != BinaryVersion {
+		return nil, buf, 0, fmt.Errorf("unsupported binary codec version %d (want %d)", ver, BinaryVersion)
+	}
+	kind, err = readByteFull(br)
+	if err != nil {
+		return nil, buf, 0, err
+	}
+	hdr = append(hdr, b0, b1, ver, kind)
+	// The uvarint length, byte by byte (it must also land in the frame).
+	var plen uint64
+	var shift uint
+	for {
+		vb, err := readByteFull(br)
+		if err != nil {
+			return nil, buf, 0, err
+		}
+		hdr = append(hdr, vb)
+		if shift >= 64 || (shift == 63 && vb > 1) {
+			return nil, buf, 0, fmt.Errorf("frame length varint overflows")
+		}
+		plen |= uint64(vb&0x7f) << shift
+		if vb&0x80 == 0 {
+			break
+		}
+		shift += 7
+	}
+	if maxPayload > 0 && plen > uint64(maxPayload) {
+		return nil, buf, 0, fmt.Errorf("%w: %d > %d", errFrameTooLarge, plen, maxPayload)
+	}
+	need := len(hdr) + int(plen)
+	if cap(hdr) < need {
+		grown := make([]byte, len(hdr), need)
+		copy(grown, hdr)
+		hdr = grown
+	}
+	frame = hdr[:need]
+	if r, ok := br.(io.Reader); ok {
+		if _, err := io.ReadFull(r, frame[len(hdr):]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, frame[:0], 0, err
+		}
+	} else {
+		for i := len(hdr); i < need; i++ {
+			b, err := readByteFull(br)
+			if err != nil {
+				return nil, frame[:0], 0, err
+			}
+			frame[i] = b
+		}
+	}
+	return frame, frame[:0], kind, nil
+}
+
+// readByteFull reads one byte, mapping a clean EOF mid-frame to
+// io.ErrUnexpectedEOF: once a frame has started, the stream ending is
+// truncation, not a graceful close.
+func readByteFull(br io.ByteReader) (byte, error) {
+	b, err := br.ReadByte()
+	if err == io.EOF {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return b, err
+}

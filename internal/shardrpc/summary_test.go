@@ -1,0 +1,239 @@
+package shardrpc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+func randSummary(r *rand.Rand) SummaryReport {
+	s := SummaryReport{
+		Node:    topo.NodeID(r.Intn(1 << 20)),
+		Version: r.Intn(1 << 16),
+		EndNS:   int64(r.Uint64() >> 1),
+		Windows: 1 + r.Intn(20),
+		TopK:    r.Intn(64),
+	}
+	// Disjoint ascending path IDs split between worst and residue.
+	ids := randAscending(r, r.Intn(20), 1<<20)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		sent := 1 + r.Intn(5000)
+		if r.Intn(3) == 0 {
+			res := ReportResult{PathID: uint32(id), Sent: sent, Lost: r.Intn(sent + 1)}
+			if r.Intn(4) > 0 {
+				res.MeanRTTNS = int64(r.Intn(1 << 30))
+				res.JitterNS = int64(r.Intn(1 << 20))
+				res.ECNFrac = r.Float64()
+			}
+			s.Worst = append(s.Worst, res)
+		} else {
+			s.Residue = append(s.Residue, ResidueCounter{PathID: uint32(id), Sent: sent, Lost: r.Intn(sent + 1)})
+		}
+	}
+	return s
+}
+
+// TestSummaryRoundTrip: decode(encode(x)) == x for randomized summaries,
+// and the reuse decode leaves no stale state behind.
+func TestSummaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var reused SummaryReport
+	for i := 0; i < 200; i++ {
+		want := randSummary(r)
+		enc := want.EncodeBinary()
+		got, err := DecodeSummaryBinary(enc, 0)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !summariesEqual(*got, want) {
+			t.Fatalf("case %d: decode mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+		// The reuse path must land on the same value even when the struct
+		// previously held a larger frame.
+		if err := reused.DecodeBinary(enc, 0); err != nil {
+			t.Fatalf("case %d: reuse decode: %v", i, err)
+		}
+		if !summariesEqual(reused, want) {
+			t.Fatalf("case %d: reuse decode mismatch:\n got %+v\nwant %+v", i, reused, want)
+		}
+	}
+}
+
+// summariesEqual compares field-by-field, treating nil and empty sections
+// as equal (the reuse decoder keeps capacity, so it yields empty slices
+// where a fresh decode yields nil).
+func summariesEqual(a, b SummaryReport) bool {
+	if a.Node != b.Node || a.Version != b.Version || a.EndNS != b.EndNS ||
+		a.Windows != b.Windows || a.TopK != b.TopK ||
+		len(a.Worst) != len(b.Worst) || len(a.Residue) != len(b.Residue) {
+		return false
+	}
+	for i := range a.Worst {
+		if a.Worst[i] != b.Worst[i] {
+			return false
+		}
+	}
+	for i := range a.Residue {
+		if a.Residue[i] != b.Residue[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSummaryGoldenEdgeCases pins the corners: empty frame, worst-only,
+// residue-only, and structural rejections (wrong kind, truncation,
+// trailing bytes, oversized declared length).
+func TestSummaryGoldenEdgeCases(t *testing.T) {
+	empty := SummaryReport{Node: 3, Version: 1, EndNS: 99, Windows: 1}
+	enc := empty.EncodeBinary()
+	got, err := DecodeSummaryBinary(enc, 0)
+	if err != nil || got.Node != 3 || len(got.Worst) != 0 || len(got.Residue) != 0 {
+		t.Fatalf("empty summary: %+v, %v", got, err)
+	}
+
+	worstOnly := SummaryReport{Node: 1, Windows: 4, TopK: 2, Worst: []ReportResult{
+		{PathID: 0, Sent: 10, Lost: 10}, {PathID: 7, Sent: 10, Lost: 9}}}
+	if got, err = DecodeSummaryBinary(worstOnly.EncodeBinary(), 0); err != nil || len(got.Worst) != 2 || got.Worst[1].PathID != 7 {
+		t.Fatalf("worst-only summary: %+v, %v", got, err)
+	}
+
+	resOnly := SummaryReport{Node: 1, Windows: 2, Residue: []ResidueCounter{
+		{PathID: 5, Sent: 60, Lost: 0}, {PathID: 6, Sent: 60, Lost: 1}}}
+	if got, err = DecodeSummaryBinary(resOnly.EncodeBinary(), 0); err != nil || len(got.Residue) != 2 || got.Residue[1].Lost != 1 {
+		t.Fatalf("residue-only summary: %+v, %v", got, err)
+	}
+
+	if _, err := DecodeSummaryBinary((&Report{Node: 1}).EncodeBinary(), 0); err == nil {
+		t.Fatal("kind-5 frame decoded as a summary")
+	}
+	full := resOnly.EncodeBinary()
+	if _, err := DecodeSummaryBinary(full[:len(full)-1], 0); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+	if _, err := DecodeSummaryBinary(append(full, 0), 0); err == nil {
+		t.Fatal("trailing garbage decoded")
+	}
+	if _, err := DecodeSummaryBinary(full, 4); err == nil {
+		t.Fatal("oversized declared payload decoded under a 4-byte budget")
+	}
+}
+
+// TestReadFrameStream pins the persistent-connection framing: back-to-back
+// frames of mixed kinds decode in order from one stream, a clean close is
+// io.EOF, a mid-frame close is io.ErrUnexpectedEOF, and a declared length
+// past the budget is rejected before any payload read.
+func TestReadFrameStream(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	reports := []Report{randReport(r), randReport(r)}
+	summaries := []SummaryReport{randSummary(r), randSummary(r)}
+	var stream bytes.Buffer
+	stream.Write(reports[0].EncodeBinary())
+	stream.Write(summaries[0].EncodeBinary())
+	stream.Write(reports[1].EncodeBinary())
+	stream.Write(summaries[1].EncodeBinary())
+
+	br := bufio.NewReader(bytes.NewReader(stream.Bytes()))
+	var buf []byte
+	var gotReports, gotSummaries int
+	for {
+		frame, reuse, kind, err := ReadFrame(br, 1<<20, buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", gotReports+gotSummaries, err)
+		}
+		buf = reuse
+		switch kind {
+		case kindReport:
+			var rep Report
+			if err := rep.DecodeBinary(frame, 0); err != nil {
+				t.Fatalf("report decode: %v", err)
+			}
+			if rep.Node != reports[gotReports].Node || len(rep.Results) != len(reports[gotReports].Results) {
+				t.Fatalf("report %d mismatch: %+v", gotReports, rep)
+			}
+			gotReports++
+		case kindReportSummary:
+			var s SummaryReport
+			if err := s.DecodeBinary(frame, 0); err != nil {
+				t.Fatalf("summary decode: %v", err)
+			}
+			if !summariesEqual(s, summaries[gotSummaries]) {
+				t.Fatalf("summary %d mismatch: %+v", gotSummaries, s)
+			}
+			gotSummaries++
+		default:
+			t.Fatalf("unexpected kind %d", kind)
+		}
+	}
+	if gotReports != 2 || gotSummaries != 2 {
+		t.Fatalf("stream yielded %d reports, %d summaries", gotReports, gotSummaries)
+	}
+
+	// Mid-frame truncation.
+	cut := stream.Bytes()[:stream.Len()-3]
+	br = bufio.NewReader(bytes.NewReader(cut))
+	var err error
+	for err == nil {
+		_, _, _, err = ReadFrame(br, 1<<20, nil)
+	}
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated stream: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// A declared length past the budget fails without reading the payload.
+	big := SummaryReport{Node: 1, Windows: 1, Residue: make([]ResidueCounter, 4096)}
+	for i := range big.Residue {
+		big.Residue[i] = ResidueCounter{PathID: uint32(i), Sent: 1}
+	}
+	br = bufio.NewReader(bytes.NewReader(big.EncodeBinary()))
+	if _, _, _, err := ReadFrame(br, 16, nil); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+
+	// Garbage at stream start is a magic error, not EOF.
+	br = bufio.NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5}))
+	if _, _, _, err := ReadFrame(br, 16, nil); err == nil || err == io.EOF {
+		t.Fatalf("garbage stream: err = %v", err)
+	}
+}
+
+// TestSummaryJSONBinaryDifferential: the two encodings of the same summary
+// decode to the same value (the JSON side goes through encoding/json with
+// the struct's own tags, as a hand-rolled client would produce).
+func TestSummaryJSONBinaryDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		want := randSummary(r)
+		got, err := DecodeSummaryBinary(want.EncodeBinary(), 0)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		viaJSON := roundTripJSON(t, want)
+		if !summariesEqual(*got, viaJSON) {
+			t.Fatalf("case %d: binary %+v != json %+v", i, got, viaJSON)
+		}
+	}
+}
+
+func roundTripJSON(t *testing.T, s SummaryReport) SummaryReport {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SummaryReport
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
