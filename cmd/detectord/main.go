@@ -99,6 +99,7 @@ func main() {
 		repBatch   = flag.Int("report-batch", 1, "report windows each pinger pre-aggregates locally before shipping one payload")
 		repTopK    = flag.Int("report-topk", 0, "ship kind-6 summary frames keeping full signals for the K worst paths (0 = full per-path reports; needs -wire binary)")
 		repStream  = flag.Bool("report-stream", false, "ship report frames over one persistent connection per pinger instead of per-window POSTs (needs -wire binary)")
+		downLinks  = flag.String("down-links", "", "comma-separated link IDs masked out of service at boot (candidate routes avoid them; bring back with 'churn up')")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
 		verbose    = flag.Bool("v", false, "log at info level instead of warn")
 	)
@@ -131,6 +132,17 @@ func main() {
 		if ep = strings.TrimSpace(ep); ep != "" {
 			eps = append(eps, ep)
 		}
+	}
+	for _, ds := range strings.Split(*downLinks, ",") {
+		if ds = strings.TrimSpace(ds); ds == "" {
+			continue
+		}
+		id, err := strconv.Atoi(ds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detectord: -down-links: bad link id %q\n", ds)
+			os.Exit(2)
+		}
+		cfg.DownLinks = append(cfg.DownLinks, topo.LinkID(id))
 	}
 	c, err := cluster.Start(cluster.Options{
 		K:              *k,
@@ -167,7 +179,7 @@ func main() {
 	}
 	fmt.Printf("controller %s | diagnoser %s | watchdog %s\n", c.ControllerURL, c.DiagnoserURL, c.WatchdogURL)
 	fmt.Println("observability: GET /metrics (Prometheus text; ?format=json for JSON) · GET /healthz · GET /statusz on every service")
-	fmt.Println("commands: fail <link> full|gray|blackhole|rate <p> · repair <link> · links · alerts · quit")
+	fmt.Println("commands: fail <link> full|gray|blackhole|rate <p> · repair <link> · churn down|up <link>... · links · alerts · quit")
 
 	// Stream alerts as they appear.
 	go func() {
@@ -209,6 +221,39 @@ func main() {
 			for _, a := range c.Diagnoser.Alerts() {
 				fmt.Printf("  %s: %d lossy, bad=%v\n", a.Time.Format("15:04:05"), a.LossyPaths, a.Bad)
 			}
+		case "churn":
+			if len(fields) < 3 || (fields[1] != "down" && fields[1] != "up") {
+				fmt.Println("usage: churn down|up <linkID>...")
+				continue
+			}
+			var ids []topo.LinkID
+			bad := false
+			for _, fs := range fields[2:] {
+				id, err := strconv.Atoi(fs)
+				if err != nil || id < 0 || id >= c.F.NumLinks() {
+					fmt.Println("bad link id", fs)
+					bad = true
+					break
+				}
+				ids = append(ids, topo.LinkID(id))
+			}
+			if bad {
+				continue
+			}
+			var down, up []topo.LinkID
+			if fields[1] == "down" {
+				down = ids
+			} else {
+				up = ids
+			}
+			diff, err := c.Churn(down, up)
+			if err != nil {
+				fmt.Println("churn:", err)
+				continue
+			}
+			fmt.Printf("churn applied: %d paths deactivated, %d activated, %d components recomputed, cycle version %d\n",
+				len(diff.DeactivatedRows), len(diff.ActivatedRows),
+				len(diff.Removed)+len(diff.Added), c.Controller.Version())
 		case "repair":
 			if len(fields) < 2 {
 				fmt.Println("usage: repair <linkID>")

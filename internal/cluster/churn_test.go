@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/control"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// TestClusterChurnLoopbackDifferential drives random link churn through
+// Cluster.Churn with the shard plane behind real loopback HTTP services and
+// checks after every step that the incrementally recomputed served state —
+// matrix and every pinglist — is identical to a controller built from
+// scratch for the churned topology. This is the end-to-end correctness
+// gate for the diff → dirty-dispatch → warm-start → serve pipeline over
+// the wire.
+func TestClusterChurnLoopbackDifferential(t *testing.T) {
+	opts := fastOptions()
+	opts.Shards = 2
+	opts.RemoteShards = true
+	opts.ShardTTL = 30 * time.Second
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	rng := rand.New(rand.NewSource(11))
+	links := c.F.SwitchLinks()
+	downSet := make(map[topo.LinkID]bool)
+	for step := 0; step < 4; step++ {
+		l := links[rng.Intn(len(links))]
+		var derr error
+		if downSet[l] {
+			_, derr = c.Churn(nil, []topo.LinkID{l})
+			downSet[l] = false
+		} else {
+			_, derr = c.Churn([]topo.LinkID{l}, nil)
+			downSet[l] = true
+		}
+		if derr != nil {
+			t.Fatalf("step %d: %v", step, derr)
+		}
+
+		// Ground truth: an unsharded controller built fresh for the churned
+		// topology (transport and incrementality must both be invisible).
+		cfg := fastOptions().Control
+		cfg.ReportURL = c.DiagnoserURL
+		for dl, isDown := range downSet {
+			if isDown {
+				cfg.DownLinks = append(cfg.DownLinks, dl)
+			}
+		}
+		want := control.New(c.F, cfg)
+		if err := want.RunCycle(nil); err != nil {
+			t.Fatalf("step %d: fresh controller: %v", step, err)
+		}
+		if !reflect.DeepEqual(c.Controller.ProbeMatrix().PathLinks, want.ProbeMatrix().PathLinks) {
+			t.Fatalf("step %d: churned matrix diverges from from-scratch recompute", step)
+		}
+		gotNodes, wantNodes := c.Controller.PingerNodes(), want.PingerNodes()
+		sort.Slice(gotNodes, func(i, j int) bool { return gotNodes[i] < gotNodes[j] })
+		sort.Slice(wantNodes, func(i, j int) bool { return wantNodes[i] < wantNodes[j] })
+		if !reflect.DeepEqual(gotNodes, wantNodes) {
+			t.Fatalf("step %d: pinger sets diverge (%d vs %d)", step, len(gotNodes), len(wantNodes))
+		}
+		for _, n := range wantNodes {
+			g, w := c.Controller.PinglistFor(n), want.PinglistFor(n)
+			if !reflect.DeepEqual(g.Entries, w.Entries) {
+				t.Fatalf("step %d: pinglist for node %d diverges (%d vs %d entries)",
+					step, n, len(g.Entries), len(w.Entries))
+			}
+		}
+		want.Close()
+
+		// The diagnoser swapped to the churned matrix in the same call.
+		if got, want := c.Diagnoser.MatrixVersion(), c.Controller.Version(); got != want {
+			t.Fatalf("step %d: diagnoser matrix version %d, controller at %d", step, got, want)
+		}
+	}
+}
+
+// TestClusterChurnPingerConvergence is the fleet half of the churn
+// pipeline: after Cluster.Churn, every pinger converges onto its new work
+// order through the window-boundary delta refresh — no restart, no
+// re-fetch of unchanged lists — and no probe flows over the downed link.
+func TestClusterChurnPingerConvergence(t *testing.T) {
+	c := startCluster(t)
+
+	// Down an aggregation-core link: several ToR-level routes traverse it,
+	// so at least one pinger's work order must change.
+	bad := c.F.MustLink(c.F.AggID[1][0], c.F.CoreID[0])
+	diff, err := c.Churn([]topo.LinkID{bad}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Empty() {
+		t.Fatal("downing an agg-core link produced an empty diff")
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	converged := false
+	for time.Now().Before(deadline) && !converged {
+		converged = true
+		for _, p := range c.Pingers {
+			served := c.Controller.PinglistFor(p.Node)
+			if served == nil || p.PinglistVersion() != served.Version {
+				converged = false
+				break
+			}
+		}
+		if !converged {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if !converged {
+		t.Fatal("pinger fleet never converged on the churned work order")
+	}
+	changed := 0
+	for _, p := range c.Pingers {
+		served := c.Controller.PinglistFor(p.Node)
+		got := p.Pinglist()
+		if !reflect.DeepEqual(got.Entries, served.Entries) {
+			t.Fatalf("pinger %d entries diverge from served pinglist", p.Node)
+		}
+		if served.Version > 1 {
+			changed++
+		}
+		for _, e := range got.Entries {
+			for i := 1; i < len(e.Route); i++ {
+				if l, ok := c.F.LinkBetween(e.Route[i-1], e.Route[i]); ok && l == bad {
+					t.Fatalf("pinger %d still probing over downed link %d", p.Node, bad)
+				}
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no pinger's work order changed — churn delta never propagated")
+	}
+}

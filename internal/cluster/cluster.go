@@ -297,6 +297,24 @@ func Start(opts Options) (*Cluster, error) {
 // losing power. Only meaningful after a RemoteShards boot.
 func (c *Cluster) KillShardServer(i int) { c.shardSrvs[i].Close() }
 
+// Churn applies a topology change — links leaving and rejoining service —
+// and runs one incremental controller cycle: only the candidate components
+// the diff marks dirty recompute (clean selections are reused verbatim),
+// the diagnoser swaps to the refreshed matrix, and every pinger converges
+// on its new work order through the window-boundary delta refresh — no
+// agent restart, no full fleet re-fetch.
+func (c *Cluster) Churn(down, up []topo.LinkID) (route.Diff, error) {
+	d, err := c.Controller.ApplyChurn(down, up)
+	if err != nil {
+		return d, err
+	}
+	if err := c.Controller.RunCycle(c.Watchdog.UnhealthySet()); err != nil {
+		return d, err
+	}
+	c.Diagnoser.SetMatrix(c.Controller.ProbeMatrix(), c.Controller.Version())
+	return d, nil
+}
+
 // InjectFailure installs a loss model on a link (the OpenFlow-rule analog).
 func (c *Cluster) InjectFailure(l topo.LinkID, m sim.LossModel) { c.Rules.Install(l, m) }
 

@@ -115,14 +115,14 @@ func TestClusterObservabilitySurface(t *testing.T) {
 	}
 	t.Cleanup(c.Stop)
 
-	// One synthetic report covering every probe path, then one hand-closed
+	// One synthetic report covering every probe path (by its served wire
+	// id — ids are sparse, not dense row indices), then one hand-closed
 	// window: routing sends each shard its slice, so both shard services
 	// see a localization request carrying the window's cycle ID.
-	numPaths := c.Controller.ProbeMatrix().NumPaths()
 	rep := &pinger.Report{Version: c.Controller.Version()}
-	for p := 0; p < numPaths; p++ {
-		pr := pinger.PathReport{PathID: uint32(p), Sent: 20}
-		if p == 0 {
+	for i, id := range c.Controller.ProbeMatrix().IDs() {
+		pr := pinger.PathReport{PathID: id, Sent: 20}
+		if i == 0 {
 			pr.Lost = 10
 		}
 		rep.Results = append(rep.Results, pr)

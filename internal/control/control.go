@@ -27,6 +27,12 @@ import (
 // log scraping.
 var badRequests = metrics.NewCounter("control_bad_requests")
 
+// pinglistNotModified counts GET /pinglist requests answered 304: the
+// pinger's If-None-Match matched the current version, so nothing shipped.
+// In steady state (no churn, no unhealthy-set change) this should be
+// nearly every pinglist poll.
+var pinglistNotModified = metrics.NewCounter("control_pinglist_not_modified")
+
 // stageServe times the serve phase of a cycle: pinger selection, route
 // expansion and matrix assembly, after construction has returned.
 var stageServe = obs.Stages.With("serve")
@@ -73,6 +79,10 @@ type Config struct {
 	// WireJSON, or WireBinary. GET /shards reports the codec each shard
 	// actually negotiated.
 	ShardWire string
+	// DownLinks marks links failed at boot: candidate paths traversing
+	// them are masked out of construction from the first cycle. Further
+	// topology churn arrives at runtime via ApplyChurn / POST /churn.
+	DownLinks []topo.LinkID
 }
 
 // DefaultConfig mirrors the paper's operating point, with the aggregation
@@ -135,16 +145,25 @@ type Controller struct {
 	mu        sync.RWMutex
 	version   int
 	pinglists map[topo.NodeID]*Pinglist
-	matrix    *Matrix
-	pmcStats  pmc.Stats
-	coord     *shard.Coordinator
+	// history keeps, per node, the last deltaHistory distinct published
+	// pinglists (newest last) — the bases the delta endpoint can diff
+	// against. A since= version that has aged out falls back to a full
+	// snapshot.
+	history  map[topo.NodeID][]*Pinglist
+	matrix   *Matrix
+	pmcStats pmc.Stats
+	coord    *shard.Coordinator
 }
+
+// deltaHistory bounds the per-node pinglist history ring.
+const deltaHistory = 8
 
 // New creates a controller; call RunCycle before serving.
 func New(f *topo.Fattree, cfg Config) *Controller {
 	return &Controller{
 		F: f, Cfg: cfg,
 		pinglists: make(map[topo.NodeID]*Pinglist),
+		history:   make(map[topo.NodeID][]*Pinglist),
 		tr:        obs.NewTracer("control", 16),
 	}
 }
@@ -171,45 +190,83 @@ func (c *Controller) Close() {
 	}
 }
 
-// construct runs one PMC cycle, through the sharded plane when configured
-// — in-process shards for Cfg.Shards, remote shard services for
-// Cfg.ShardEndpoints. Either way the selection is the same: the
-// coordinator's merge guarantee means pinglists and the served matrix do
-// not depend on the shard count or the transport.
-func (c *Controller) construct(ps *route.FattreePaths, cy *obs.Cycle) (*pmc.Result, error) {
-	if c.Cfg.Shards <= 1 && len(c.Cfg.ShardEndpoints) == 0 {
-		return pmc.Construct(ps, c.F.NumLinks(), pmc.Options{
-			Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta,
-			Decompose: true, Lazy: true,
-		})
-	}
+// coordinator returns the construction coordinator, creating it on first
+// use. Construction always runs through the coordinator — one in-process
+// shard when unsharded, Cfg.Shards in-process shards, or the remote fleet
+// of Cfg.ShardEndpoints — with selection reuse on: a cycle recomputes only
+// components the topology diff dirtied since the last one, so an
+// unhealthy-set change (which only affects the serve phase) costs no
+// construction at all. The merge guarantee means the selection is
+// bit-identical in every configuration.
+func (c *Controller) coordinator(ps route.PathSet) (*shard.Coordinator, error) {
 	c.mu.Lock()
-	if c.coord == nil {
-		opt := shard.Options{
-			Shards: c.Cfg.Shards,
-			TTL:    c.Cfg.ShardTTL,
-			PMC:    pmc.Options{Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta, Lazy: true},
-		}
-		if len(c.Cfg.ShardEndpoints) > 0 {
-			opt.Shards = 0
-			for i, ep := range c.Cfg.ShardEndpoints {
-				opt.Clients = append(opt.Clients, shardrpc.Dial(i, ep, shardrpc.ClientOptions{Wire: c.Cfg.ShardWire}))
-			}
-		}
-		coord, err := shard.New(ps, c.F.NumLinks(), opt)
-		if err != nil {
-			c.mu.Unlock()
-			return nil, err
-		}
-		c.coord = coord
+	defer c.mu.Unlock()
+	if c.coord != nil {
+		return c.coord, nil
 	}
-	coord := c.coord
-	c.mu.Unlock()
+	if ps == nil {
+		ps = route.NewFattreePaths(c.F)
+	}
+	opt := shard.Options{
+		Shards:          c.Cfg.Shards,
+		TTL:             c.Cfg.ShardTTL,
+		PMC:             pmc.Options{Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta, Lazy: true},
+		DownLinks:       c.Cfg.DownLinks,
+		ReuseSelections: true,
+	}
+	if opt.Shards < 1 {
+		opt.Shards = 1
+	}
+	if len(c.Cfg.ShardEndpoints) > 0 {
+		opt.Shards = 0
+		for i, ep := range c.Cfg.ShardEndpoints {
+			opt.Clients = append(opt.Clients, shardrpc.Dial(i, ep, shardrpc.ClientOptions{Wire: c.Cfg.ShardWire}))
+		}
+	}
+	coord, err := shard.New(ps, c.F.NumLinks(), opt)
+	if err != nil {
+		return nil, err
+	}
+	c.coord = coord
+	return coord, nil
+}
+
+// construct runs one PMC cycle through the coordinator.
+func (c *Controller) construct(ps *route.FattreePaths, cy *obs.Cycle) (*pmc.Result, error) {
+	coord, err := c.coordinator(ps)
+	if err != nil {
+		return nil, err
+	}
 	res, err := coord.ConstructCycle(cy)
 	if err != nil {
 		return nil, err
 	}
 	return res.Result, nil
+}
+
+// ApplyChurn feeds a topology change (links going down, links coming back)
+// into the construction plane. The diff is computed incrementally: only
+// components touching a changed link are marked dirty, and the next
+// RunCycle recomputes exactly those — every clean component's selection is
+// reused verbatim. Safe before the first cycle (the coordinator is created
+// on demand).
+func (c *Controller) ApplyChurn(down, up []topo.LinkID) (route.Diff, error) {
+	coord, err := c.coordinator(nil)
+	if err != nil {
+		return route.Diff{}, err
+	}
+	return coord.ApplyChurn(down, up)
+}
+
+// DownLinks returns the links currently masked out of construction.
+func (c *Controller) DownLinks() []topo.LinkID {
+	c.mu.RLock()
+	coord := c.coord
+	c.mu.RUnlock()
+	if coord == nil {
+		return append([]topo.LinkID(nil), c.Cfg.DownLinks...)
+	}
+	return coord.DownLinks()
 }
 
 // RunCycle recomputes the probe matrix and pinglists (paper: every 10
@@ -268,16 +325,26 @@ func (c *Controller) RunCycle(unhealthy map[topo.NodeID]bool) error {
 	}
 
 	matrix := &Matrix{Version: version, NumLinks: c.F.NumLinks()}
-	var pathID uint32
 
-	addRoute := func(pinger topo.NodeID, hops []topo.NodeID, links []topo.LinkID, dst topo.NodeID) {
-		mp := MatrixPath{PathID: pathID, Links: links, Src: pinger, Dst: dst}
+	addRoute := func(id uint32, pinger topo.NodeID, hops []topo.NodeID, links []topo.LinkID, dst topo.NodeID) {
+		mp := MatrixPath{PathID: id, Links: links, Src: pinger, Dst: dst}
 		matrix.Paths = append(matrix.Paths, mp)
 		getList(pinger).Entries = append(getList(pinger).Entries, Entry{
-			PathID: pathID, Route: hops, FlowLabels: labels, DSCP: c.Cfg.DSCP,
+			PathID: id, Route: hops, FlowLabels: labels, DSCP: c.Cfg.DSCP,
 		})
-		pathID++
 	}
+
+	// Path IDs are stable across cycles, not dense row indices: a ToR-level
+	// route's ID is derived from its candidate index and replica slot, an
+	// intra-rack route's from its rack and destination server slot. A route
+	// that survives churn keeps its ID, which is what makes pinglist deltas
+	// (and the pinger's cross-cycle counters) possible. The diagnoser maps
+	// IDs to matrix rows through route.Probes.RowOf.
+	stride := c.Cfg.Redundancy
+	if stride < 1 {
+		stride = 1
+	}
+	intraBase := uint32(ps.Len() * stride)
 
 	// ToR-level matrix paths expanded to server routes: each selected path
 	// is probed by Redundancy pingers under its source ToR, each toward a
@@ -311,32 +378,88 @@ func (c *Controller) RunCycle(unhealthy map[topo.NodeID]bool) error {
 			links = append(links, c.F.MustLink(pinger, srcToR))
 			links = c.F.PathLinks(srcToR, dstToR, core, links)
 			links = append(links, c.F.MustLink(dstToR, responder))
-			addRoute(pinger, append([]topo.NodeID(nil), hopBuf...), links, responder)
+			addRoute(uint32(idx*stride+r), pinger, append([]topo.NodeID(nil), hopBuf...), links, responder)
 		}
 	}
 
 	// Intra-rack probing covers server-ToR links (§3.1): each rack's first
-	// pinger probes every other server under the same ToR.
-	for _, tor := range c.F.ToRs() {
+	// healthy pinger probes every other healthy server under the same ToR.
+	// The ID slot is the destination's position in the rack's full server
+	// list, so a server going unhealthy does not renumber its rackmates.
+	spr := c.F.Half()
+	for torIdx, tor := range c.F.ToRs() {
 		servers := healthyServers(tor)
 		if len(servers) < 2 {
 			continue
+		}
+		all := c.F.ServersUnder(tor)
+		slot := make(map[topo.NodeID]int, len(all))
+		for i, sv := range all {
+			slot[sv] = i
 		}
 		pinger := servers[0]
 		for _, dst := range servers[1:] {
 			hops := []topo.NodeID{pinger, tor, dst}
 			links := []topo.LinkID{c.F.MustLink(pinger, tor), c.F.MustLink(tor, dst)}
-			addRoute(pinger, hops, links, dst)
+			addRoute(intraBase+uint32(torIdx*spr+slot[dst]), pinger, hops, links, dst)
 		}
 	}
 
 	c.mu.Lock()
+	// A node whose work order did not change keeps its published pinglist
+	// (same Version pointer): its ETag stays valid, so steady-state polls
+	// answer 304 and deltas stay empty even as the cycle counter advances.
+	// Changed pinglists enter the node's delta history ring.
+	for n, pl := range lists {
+		if prev := c.pinglists[n]; prev != nil && pinglistEqual(prev, pl) {
+			lists[n] = prev
+			continue
+		}
+		h := append(c.history[n], pl)
+		if len(h) > deltaHistory {
+			h = h[len(h)-deltaHistory:]
+		}
+		c.history[n] = h
+	}
 	c.version = version
 	c.pinglists = lists
 	c.matrix = matrix
 	c.pmcStats = res.Stats
 	c.mu.Unlock()
 	return nil
+}
+
+// pinglistEqual reports whether two pinglists describe the same work order
+// (everything but the version).
+func pinglistEqual(a, b *Pinglist) bool {
+	if a.Node != b.Node || a.RatePPS != b.RatePPS || a.WindowMS != b.WindowMS ||
+		a.ReportURL != b.ReportURL || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if !entryEqual(&a.Entries[i], &b.Entries[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func entryEqual(a, b *Entry) bool {
+	if a.PathID != b.PathID || a.DSCP != b.DSCP ||
+		len(a.Route) != len(b.Route) || len(a.FlowLabels) != len(b.FlowLabels) {
+		return false
+	}
+	for i := range a.Route {
+		if a.Route[i] != b.Route[i] {
+			return false
+		}
+	}
+	for i := range a.FlowLabels {
+		if a.FlowLabels[i] != b.FlowLabels[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Version returns the current cycle version (0 before the first cycle).
@@ -385,13 +508,18 @@ func matrixToProbes(m *Matrix) *route.Probes {
 		return nil
 	}
 	links := make([][]topo.LinkID, len(m.Paths))
+	ids := make([]uint32, len(m.Paths))
 	for i, mp := range m.Paths {
 		links[i] = mp.Links
+		ids[i] = mp.PathID
 	}
 	p := route.NewProbesFromLinks(links, m.NumLinks)
 	for i, mp := range m.Paths {
 		p.Src[i], p.Dst[i] = mp.Src, mp.Dst
 	}
+	// Path IDs are sparse and stable across churn; consumers translate
+	// them to rows through RowOf.
+	p.SetIDs(ids)
 	return p
 }
 
@@ -417,7 +545,67 @@ func (c *Controller) Handler() http.Handler {
 			httpx.Error(w, http.StatusNotFound, "node %d is not a pinger this cycle", id)
 			return
 		}
+		// The ETag is the pinglist's version (stable across cycles that do
+		// not change this node's work order), so steady-state polls answer
+		// 304 with no body — independent of whether the client asked for
+		// the delta form.
+		etag := pinglistETag(pl.Version)
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			pinglistNotModified.Inc()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		since := 0
+		if s := r.URL.Query().Get("since"); s != "" {
+			since, err = strconv.Atoi(s)
+			if err != nil || since < 0 {
+				badRequests.Inc()
+				httpx.Error(w, http.StatusBadRequest, "bad since version %q", s)
+				return
+			}
+			if since >= pl.Version {
+				// The client is current (or from the future — a controller
+				// restart); nothing to ship.
+				pinglistNotModified.Inc()
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			d := c.DeltaFor(topo.NodeID(id), since)
+			if r.Header.Get("Accept") == shardrpc.ContentTypeBinary {
+				w.Header().Set("Content-Type", shardrpc.ContentTypeBinary)
+				w.Write(d.EncodeBinary())
+				return
+			}
+			httpx.WriteJSON(w, d)
+			return
+		}
 		httpx.WriteJSON(w, pl)
+	})
+	mux.HandleFunc("/churn", func(w http.ResponseWriter, r *http.Request) {
+		if !httpx.RequireMethod(w, r, http.MethodPost) {
+			badRequests.Inc()
+			return
+		}
+		var req ChurnRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			badRequests.Inc()
+			httpx.Error(w, http.StatusBadRequest, "bad churn body: %v", err)
+			return
+		}
+		diff, err := c.ApplyChurn(req.Down, req.Up)
+		if err != nil {
+			badRequests.Inc()
+			httpx.Error(w, http.StatusBadRequest, "churn rejected: %v", err)
+			return
+		}
+		httpx.WriteJSON(w, ChurnResponse{
+			RemovedComponents: len(diff.Removed),
+			AddedComponents:   len(diff.Added),
+			DeactivatedPaths:  len(diff.DeactivatedRows),
+			ActivatedPaths:    len(diff.ActivatedRows),
+			Down:              c.DownLinks(),
+		})
 	})
 	mux.HandleFunc("/matrix", func(w http.ResponseWriter, r *http.Request) {
 		if !httpx.RequireMethod(w, r, http.MethodGet) {
@@ -470,6 +658,23 @@ func (c *Controller) Handler() http.Handler {
 	return mux
 }
 
+// ChurnRequest is the POST /churn admin body: links that went down and
+// links that came back, by ID.
+type ChurnRequest struct {
+	Down []topo.LinkID `json:"down,omitempty"`
+	Up   []topo.LinkID `json:"up,omitempty"`
+}
+
+// ChurnResponse summarizes what a churn step dirtied: the component diff
+// and the path activation flips, plus the full down set after the step.
+type ChurnResponse struct {
+	RemovedComponents int           `json:"removed_components"`
+	AddedComponents   int           `json:"added_components"`
+	DeactivatedPaths  int           `json:"deactivated_paths"`
+	ActivatedPaths    int           `json:"activated_paths"`
+	Down              []topo.LinkID `json:"down,omitempty"`
+}
+
 // ShardsView is the operator-facing placement snapshot served at
 // GET /shards: whether the plane is sharded, and when it is, shard
 // liveness plus the live component → shard assignment — placement without
@@ -480,8 +685,15 @@ type ShardsView struct {
 	Status *shard.Status `json:"status,omitempty"`
 }
 
-// Shards snapshots the sharded plane for the /shards endpoint.
+// Shards snapshots the sharded plane for the /shards endpoint. The view is
+// configuration-driven: a single-controller boot reports sharded=false
+// even though construction runs through a one-shard coordinator under the
+// hood (the coordinator is an implementation detail there, not a
+// deployment shape).
 func (c *Controller) Shards() ShardsView {
+	if c.Cfg.Shards <= 1 && len(c.Cfg.ShardEndpoints) == 0 {
+		return ShardsView{}
+	}
 	coord := c.Coordinator()
 	if coord == nil {
 		return ShardsView{}

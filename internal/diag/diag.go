@@ -229,6 +229,14 @@ func (d *Diagnoser) SetMatrix(m *route.Probes, version int) {
 	d.version = version
 }
 
+// MatrixVersion reports the controller cycle version of the matrix the
+// diagnoser currently localizes against.
+func (d *Diagnoser) MatrixVersion() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.version
+}
+
 // Tracer exposes the diagnoser's window tracer (the /statusz source).
 func (d *Diagnoser) Tracer() *obs.Tracer { return d.tr }
 
@@ -626,7 +634,19 @@ func (d *Diagnoser) RunWindow() *Alert {
 		for pathID, c := range s.slots {
 			if c.touched {
 				c.idle = 0
+				// Wire path IDs are sparse and stable across churn; the
+				// localizer works in matrix rows, so translate here (the
+				// identity for dense matrices). An ID the matrix does not
+				// carry — a path retired by churn, or a stale pinger — is
+				// dropped exactly as an out-of-range ID was before.
 				o := pll.Observation{Path: int(pathID), Sent: c.sent, Lost: c.lost}
+				inMatrix := matrix == nil
+				if matrix != nil {
+					if row, ok := matrix.RowOf(pathID); ok {
+						o.Path = row
+						inMatrix = true
+					}
+				}
 				if c.acked > 0 {
 					o.ECNFrac = c.ecnSum / c.acked
 				}
@@ -634,17 +654,17 @@ func (d *Diagnoser) RunWindow() *Alert {
 					o.MeanRTTNS = int64(c.rttSum / c.rttW)
 					o.JitterNS = int64(c.jitSum / c.rttW)
 				}
-				if matrix == nil || o.Path < matrix.NumPaths() {
+				if inMatrix {
 					observations = append(observations, o)
 					if inc != nil {
 						inc.Update(o)
 						c.engineHas = true
 					}
 				}
-				if len(c.hist) > 0 {
+				if inMatrix && len(c.hist) > 0 {
 					sig.History[o.Path] = append([]float64(nil), c.hist...)
 				}
-				if c.rttBase > 0 {
+				if inMatrix && c.rttBase > 0 {
 					sig.BaseRTTNS[o.Path] = c.rttBase
 				}
 				// Roll the history and the min-tracked RTT baseline forward.
@@ -669,14 +689,22 @@ func (d *Diagnoser) RunWindow() *Alert {
 				c.touched = false
 			} else {
 				if inc != nil && c.engineHas {
-					inc.Remove(int(pathID))
+					if row, ok := matrix.RowOf(pathID); ok {
+						inc.Remove(row)
+					}
 				}
 				c.engineHas = false
 				c.idle++
 			}
 			if slowDue && c.slowSent > 0 {
-				slowObs = append(slowObs, pll.Observation{
-					Path: int(pathID), Sent: c.slowSent, Lost: c.slowLost})
+				row, ok := int(pathID), matrix == nil
+				if matrix != nil {
+					row, ok = matrix.RowOf(pathID)
+				}
+				if ok {
+					slowObs = append(slowObs, pll.Observation{
+						Path: row, Sent: c.slowSent, Lost: c.slowLost})
+				}
 				c.slowSent, c.slowLost = 0, 0
 			}
 			// Prune slots idle past the history horizon, but never one still

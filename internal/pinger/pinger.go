@@ -105,8 +105,9 @@ type Pinger struct {
 	reg   *fabric.Registry
 	conn  *net.UDPConn
 
-	pinglist *control.Pinglist
-	client   *http.Client
+	pinglist      *control.Pinglist
+	controllerURL string
+	client        *http.Client
 
 	mu      sync.Mutex
 	paths   []*pathState
@@ -162,7 +163,7 @@ func Start(t *topo.Topology, rules *fabric.RuleTable, reg *fabric.Registry,
 	p := &Pinger{
 		Node: node, Opts: opts,
 		topo: t, rules: rules, reg: reg, conn: conn,
-		pinglist: pl, client: client,
+		pinglist: pl, controllerURL: controllerURL, client: client,
 		pending: make(map[uint64]outstanding),
 		pend:    make(map[uint32]*pendAgg),
 		stop:    make(chan struct{}),
@@ -209,6 +210,12 @@ func (p *Pinger) sendLoop() {
 // given path (loss confirmation burst).
 func (p *Pinger) sendNext(buf []byte, confirm bool, pathIdx int) []byte {
 	p.mu.Lock()
+	if len(p.paths) == 0 {
+		// Churn emptied the work order; keep the loops alive, a later
+		// refresh may re-list this node.
+		p.mu.Unlock()
+		return buf
+	}
 	if !confirm {
 		pathIdx = p.rr % len(p.paths)
 		p.rr++
@@ -324,6 +331,7 @@ func (p *Pinger) sweepAndReportLoop() {
 		case <-report.C:
 			p.report()
 			p.sendHeartbeat()
+			p.refreshPinglist()
 			report.Reset(window)
 		}
 	}

@@ -134,7 +134,10 @@ func ConstructComponents(ps route.PathSet, csr *route.CSR, comps []route.Compone
 	return constructComponents(ps, csr, comps, numLinks, opt, time.Now())
 }
 
-func constructComponents(ps route.PathSet, csr *route.CSR, comps []route.Component, numLinks int, opt Options, start time.Time) (*Result, error) {
+// prepareComponents validates options against the component set and
+// resolves the symmetry provider. Shared by the cold and warm-start
+// construction entry points so they reject identical inputs identically.
+func prepareComponents(ps route.PathSet, comps []route.Component, opt Options) (route.Symmetric, error) {
 	if opt.Alpha < 0 || opt.Beta < 0 || opt.Beta > refine.MaxBeta {
 		return nil, fmt.Errorf("pmc: invalid (alpha,beta) = (%d,%d)", opt.Alpha, opt.Beta)
 	}
@@ -166,6 +169,14 @@ func constructComponents(ps route.PathSet, csr *route.CSR, comps []route.Compone
 			return nil, fmt.Errorf("pmc: component with %d links exceeds the %d-link limit of beta=%d refinement; decompose the matrix or lower beta",
 				len(c.Links), 32767, opt.Beta)
 		}
+	}
+	return sym, nil
+}
+
+func constructComponents(ps route.PathSet, csr *route.CSR, comps []route.Component, numLinks int, opt Options, start time.Time) (*Result, error) {
+	sym, err := prepareComponents(ps, comps, opt)
+	if err != nil {
+		return nil, err
 	}
 
 	workers := opt.Workers

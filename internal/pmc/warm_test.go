@@ -1,0 +1,152 @@
+package pmc
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// TestMemoExactHitBitIdentical: a second warm construction over identical
+// components must return the identical selection without solving anything,
+// and both must match the cold path bit for bit.
+func TestMemoExactHitBitIdentical(t *testing.T) {
+	f := topo.MustFattree(8)
+	ps := route.NewFattreePaths(f)
+	csr := route.MaterializeCSR(ps)
+	comps := route.DecomposeCSR(csr, f.NumLinks())
+	opt := Options{Alpha: 1, Beta: 1, Lazy: true}
+
+	cold, err := ConstructComponents(ps, csr, comps, f.NumLinks(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo := NewMemo(0)
+	warm1, err := ConstructComponentsWarm(ps, csr, comps, f.NumLinks(), opt, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := ConstructComponentsWarm(ps, csr, comps, f.NumLinks(), opt, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Selected, warm1.Selected) {
+		t.Fatal("first warm construction diverges from cold")
+	}
+	if !reflect.DeepEqual(cold.Selected, warm2.Selected) {
+		t.Fatal("memo-hit construction diverges from cold")
+	}
+	st := memo.Stats()
+	if st.Misses != int64(len(comps)) || st.Hits != int64(len(comps)) {
+		t.Fatalf("memo stats hits=%d misses=%d, want %d/%d", st.Hits, st.Misses, len(comps), len(comps))
+	}
+	if warm2.Stats.ScoreEvals != 0 {
+		t.Fatalf("memo-hit construction scored %d rows, want 0", warm2.Stats.ScoreEvals)
+	}
+}
+
+// TestMemoFlapBack: down a link, bring it back — the restored components hit
+// the memo entries from before the flap (the churn case the memo exists for).
+func TestMemoFlapBack(t *testing.T) {
+	f := topo.MustFattree(8)
+	ps := route.NewFattreePaths(f)
+	csr := route.MaterializeCSR(ps)
+	opt := Options{Alpha: 1, Beta: 1, Lazy: true}
+	memo := NewMemo(0)
+
+	inc := route.NewIncremental(csr, f.NumLinks(), nil)
+	base := append([]route.Component(nil), inc.Components()...)
+	res0, err := ConstructComponentsWarm(ps, csr, base, f.NumLinks(), opt, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flap the first link of the first component down and back up.
+	l := base[0].Links[0]
+	if _, err := inc.Apply([]topo.LinkID{l}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConstructComponentsWarm(ps, csr, inc.Components(), f.NumLinks(), opt, memo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Apply(nil, []topo.LinkID{l}); err != nil {
+		t.Fatal(err)
+	}
+	preHits := memo.Stats().Hits
+	res2, err := ConstructComponentsWarm(ps, csr, inc.Components(), f.NumLinks(), opt, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := memo.Stats().Hits - preHits; got != int64(len(base)) {
+		t.Fatalf("flap-back hit %d components, want all %d", got, len(base))
+	}
+	if !reflect.DeepEqual(res0.Selected, res2.Selected) {
+		t.Fatal("flap-back selection diverges from the original")
+	}
+}
+
+// TestMemoSeededMeetsTargets: the approximate seeded mode must still produce
+// a matrix meeting the α/β targets after a link is removed (link set becomes
+// a subset of the cached component's).
+func TestMemoSeededMeetsTargets(t *testing.T) {
+	b := topo.MustBCube(4, 1)
+	ps := route.NewBCubePaths(b)
+	csr := route.MaterializeCSR(ps)
+	opt := Options{Alpha: 1, Beta: 1, Lazy: true}
+	memo := NewMemo(0)
+	memo.EnableSeeding()
+
+	full := route.DecomposeCSR(csr, b.NumLinks())
+	if _, err := ConstructComponentsWarm(ps, csr, full, b.NumLinks(), opt, memo); err != nil {
+		t.Fatal(err)
+	}
+	down := []topo.LinkID{full[0].Links[0]}
+	masked := route.DecomposeMasked(csr, b.NumLinks(), down)
+	res, err := ConstructComponentsWarm(ps, csr, masked, b.NumLinks(), opt, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := memo.Stats(); st.Seeded == 0 {
+		t.Fatal("expected at least one seeded construction")
+	}
+	if !res.Stats.CoverageMet || !res.Stats.IdentMet {
+		t.Fatalf("seeded construction missed targets: %+v", res.Stats)
+	}
+	probes := route.NewProbes(ps, res.Selected, b.NumLinks())
+	var links []topo.LinkID
+	for _, c := range masked {
+		links = append(links, c.Links...)
+	}
+	v := Verify(probes, links, true)
+	if v.MinCoverage < opt.Alpha || !v.Identifiable(opt.Beta) {
+		t.Fatalf("seeded matrix fails verification: %+v", v)
+	}
+}
+
+// TestMemoEviction: the memo drops oldest entries beyond its capacity.
+func TestMemoEviction(t *testing.T) {
+	csrRows := [][]topo.LinkID{{0}, {1}, {2}, {0, 1}, {1, 2}}
+	csr := &route.CSR{Offsets: []int32{0}, Links: nil}
+	for _, row := range csrRows {
+		csr.Links = append(csr.Links, row...)
+		csr.Offsets = append(csr.Offsets, int32(len(csr.Links)))
+	}
+	key := optKeyOf(Options{Alpha: 1, Lazy: true})
+	m := NewMemo(2)
+	comps := route.DecomposeCSR(csr, 3)
+	if len(comps) != 1 {
+		t.Fatalf("want a single component, got %d", len(comps))
+	}
+	// Store three distinct contents by varying the paths slice.
+	for i := 0; i < 3; i++ {
+		c := route.Component{Links: comps[0].Links, Paths: comps[0].Paths[:len(comps[0].Paths)-i]}
+		m.store(&c, key, contentHash(&c, key), &componentResult{selected: []int{i}})
+	}
+	if st := m.Stats(); st.Entries != 2 {
+		t.Fatalf("memo holds %d entries, want 2", st.Entries)
+	}
+	first := route.Component{Links: comps[0].Links, Paths: comps[0].Paths}
+	if e := m.get(&first, key, contentHash(&first, key)); e != nil {
+		t.Fatal("oldest entry should have been evicted")
+	}
+}

@@ -1,0 +1,422 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Topology churn is modeled as a *down-link mask* over the pristine candidate
+// matrix: the PathSet and its CSR never change (they describe the wiring the
+// fabric was designed with), and a link going away simply deactivates every
+// candidate path that traverses it. A path is active iff it traverses no down
+// link. This keeps MatrixSignature — which hashes the pristine CSR — stable
+// across churn, so shard handshakes and report routing survive link flaps.
+
+// DecomposeMasked is DecomposeCSR restricted to active rows: paths that
+// traverse any link in down are skipped, and links covered only by skipped
+// paths are omitted. It is the from-scratch ground truth the incremental
+// differ must reproduce bit-identically.
+func DecomposeMasked(csr *CSR, numLinks int, down []topo.LinkID) []Component {
+	mask := make([]bool, numLinks)
+	for _, l := range down {
+		mask[l] = true
+	}
+	uf := newUnionFind(numLinks)
+	touched := make([]bool, numLinks)
+	n := csr.Len()
+	active := func(row []topo.LinkID) bool {
+		for _, l := range row {
+			if mask[l] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < n; i++ {
+		row := csr.Row(i)
+		if len(row) == 0 || !active(row) {
+			continue
+		}
+		first := int32(row[0])
+		touched[first] = true
+		for _, l := range row[1:] {
+			touched[l] = true
+			uf.union(first, int32(l))
+		}
+	}
+	rootIdx := make(map[int32]int)
+	compOf := make([]int32, numLinks)
+	var comps []Component
+	for l := 0; l < numLinks; l++ {
+		if !touched[l] {
+			continue
+		}
+		r := uf.find(int32(l))
+		ci, ok := rootIdx[r]
+		if !ok {
+			ci = len(comps)
+			rootIdx[r] = ci
+			comps = append(comps, Component{})
+		}
+		compOf[l] = int32(ci)
+		comps[ci].Links = append(comps[ci].Links, topo.LinkID(l))
+	}
+	for i := 0; i < n; i++ {
+		row := csr.Row(i)
+		if len(row) == 0 || !active(row) {
+			continue
+		}
+		ci := compOf[row[0]]
+		comps[ci].Paths = append(comps[ci].Paths, int32(i))
+	}
+	sort.Slice(comps, func(a, b int) bool { return comps[a].Links[0] < comps[b].Links[0] })
+	return comps
+}
+
+// Diff is the exact consequence of one churn step: the components that no
+// longer exist in their prior form and the components that replace them. A
+// removed link that splits a component yields one Removed and two Added; an
+// added link that merges two yields two Removed and one Added. Clean
+// components appear in neither list.
+type Diff struct {
+	// Removed holds the prior form of every component invalidated by the
+	// churn, ordered by smallest link.
+	Removed []Component
+	// Added holds the new form of every dirty component, ordered by
+	// smallest link.
+	Added []Component
+	// DeactivatedRows and ActivatedRows are the candidate paths whose
+	// active state flipped, ascending.
+	DeactivatedRows []int32
+	ActivatedRows   []int32
+}
+
+// Empty reports whether the churn step changed nothing (e.g. a link with no
+// active candidate paths went down).
+func (d *Diff) Empty() bool {
+	return len(d.Removed) == 0 && len(d.Added) == 0 &&
+		len(d.DeactivatedRows) == 0 && len(d.ActivatedRows) == 0
+}
+
+// Incremental maintains the masked decomposition of a pristine CSR under a
+// stream of link down/up events, recomputing only the components a change
+// actually touches. The inverted link→rows index is built once; each Apply
+// costs O(flipped rows + dirty component size), independent of fabric size.
+type Incremental struct {
+	csr      *CSR
+	numLinks int
+
+	down    []bool  // current down mask, by link
+	downCnt []int32 // per-row count of down links on the row
+
+	invOff  []int32 // link -> start into invRows
+	invRows []int32 // rows through each link, ascending within a link
+
+	comps  []Component
+	compOf []int32 // link -> index into comps, -1 when in no component
+}
+
+// NewIncremental builds the differ over a pristine matrix with an initial
+// down set. Components() starts bit-identical to DecomposeMasked(csr,
+// numLinks, initialDown).
+func NewIncremental(csr *CSR, numLinks int, initialDown []topo.LinkID) *Incremental {
+	inc := &Incremental{
+		csr:      csr,
+		numLinks: numLinks,
+		down:     make([]bool, numLinks),
+		downCnt:  make([]int32, csr.Len()),
+		invOff:   make([]int32, numLinks+1),
+		compOf:   make([]int32, numLinks),
+	}
+	// Counting sort for the inverted index: size, prefix-sum, fill.
+	for _, l := range csr.Links {
+		inc.invOff[int(l)+1]++
+	}
+	for l := 0; l < numLinks; l++ {
+		inc.invOff[l+1] += inc.invOff[l]
+	}
+	inc.invRows = make([]int32, len(csr.Links))
+	fill := make([]int32, numLinks)
+	copy(fill, inc.invOff[:numLinks])
+	n := csr.Len()
+	for i := 0; i < n; i++ {
+		for _, l := range csr.Row(i) {
+			inc.invRows[fill[l]] = int32(i)
+			fill[l]++
+		}
+	}
+	for _, l := range initialDown {
+		if inc.down[l] {
+			continue
+		}
+		inc.down[l] = true
+		for _, r := range inc.rowsThrough(int32(l)) {
+			inc.downCnt[r]++
+		}
+	}
+	inc.comps = DecomposeMasked(csr, numLinks, initialDown)
+	for i := range inc.compOf {
+		inc.compOf[i] = -1
+	}
+	for ci := range inc.comps {
+		for _, l := range inc.comps[ci].Links {
+			inc.compOf[l] = int32(ci)
+		}
+	}
+	return inc
+}
+
+func (inc *Incremental) rowsThrough(l int32) []int32 {
+	return inc.invRows[inc.invOff[l]:inc.invOff[l+1]]
+}
+
+// Components returns the current masked decomposition, ordered by smallest
+// link. The slice and its contents must not be modified.
+func (inc *Incremental) Components() []Component { return inc.comps }
+
+// Down returns the current down links, ascending.
+func (inc *Incremental) Down() []topo.LinkID {
+	var out []topo.LinkID
+	for l, d := range inc.down {
+		if d {
+			out = append(out, topo.LinkID(l))
+		}
+	}
+	return out
+}
+
+// CompIndexOf returns the index of the component containing link, or -1.
+func (inc *Incremental) CompIndexOf(l topo.LinkID) int {
+	if int(l) >= inc.numLinks {
+		return -1
+	}
+	return int(inc.compOf[l])
+}
+
+// Apply transitions links in down from up→down and links in up from down→up,
+// and returns the exact set of dirty components. It is strict: a link
+// already in the requested state is an error (state drift between caller and
+// differ is a bug worth surfacing). A link listed in both down and up flaps
+// within the step and nets out. On error the differ is unchanged.
+func (inc *Incremental) Apply(down, up []topo.LinkID) (Diff, error) {
+	for _, l := range down {
+		if int(l) >= inc.numLinks {
+			return Diff{}, fmt.Errorf("route: down link %d out of range (numLinks=%d)", l, inc.numLinks)
+		}
+		if inc.down[l] {
+			return Diff{}, fmt.Errorf("route: link %d is already down", l)
+		}
+	}
+	seenUp := make(map[topo.LinkID]bool, len(up))
+	for _, l := range up {
+		if int(l) >= inc.numLinks {
+			return Diff{}, fmt.Errorf("route: up link %d out of range (numLinks=%d)", l, inc.numLinks)
+		}
+		if seenUp[l] {
+			return Diff{}, fmt.Errorf("route: link %d listed twice in up set", l)
+		}
+		seenUp[l] = true
+		if !inc.down[l] {
+			wasDowned := false
+			for _, d := range down {
+				if d == l {
+					wasDowned = true
+					break
+				}
+			}
+			if !wasDowned {
+				return Diff{}, fmt.Errorf("route: link %d is not down", l)
+			}
+		}
+	}
+	seenDown := make(map[topo.LinkID]bool, len(down))
+	for _, l := range down {
+		if seenDown[l] {
+			return Diff{}, fmt.Errorf("route: link %d listed twice in down set", l)
+		}
+		seenDown[l] = true
+	}
+
+	// Update counts, remembering each touched row's pre-step count so that
+	// intra-step flaps (same link in down and up) net out correctly.
+	before := make(map[int32]int32)
+	touchRow := func(r int32, delta int32) {
+		if _, ok := before[r]; !ok {
+			before[r] = inc.downCnt[r]
+		}
+		inc.downCnt[r] += delta
+	}
+	for _, l := range down {
+		inc.down[l] = true
+		for _, r := range inc.rowsThrough(int32(l)) {
+			touchRow(r, 1)
+		}
+	}
+	for _, l := range up {
+		inc.down[l] = false
+		for _, r := range inc.rowsThrough(int32(l)) {
+			touchRow(r, -1)
+		}
+	}
+
+	var deactivated, activated []int32
+	for r, old := range before {
+		now := inc.downCnt[r]
+		switch {
+		case old == 0 && now > 0:
+			deactivated = append(deactivated, r)
+		case old > 0 && now == 0:
+			activated = append(activated, r)
+		}
+	}
+	sort.Slice(deactivated, func(a, b int) bool { return deactivated[a] < deactivated[b] })
+	sort.Slice(activated, func(a, b int) bool { return activated[a] < activated[b] })
+	diff := Diff{DeactivatedRows: deactivated, ActivatedRows: activated}
+	if len(deactivated) == 0 && len(activated) == 0 {
+		return diff, nil
+	}
+
+	// Dirty components: every component holding a link of a flipped row.
+	// Deactivated rows' links are necessarily in a component (the row was
+	// active); activated rows' links may be new to the decomposition.
+	dirtySet := make(map[int32]bool)
+	markRow := func(r int32) {
+		for _, l := range inc.csr.Row(int(r)) {
+			if ci := inc.compOf[l]; ci >= 0 {
+				dirtySet[ci] = true
+			}
+		}
+	}
+	for _, r := range deactivated {
+		markRow(r)
+	}
+	for _, r := range activated {
+		markRow(r)
+	}
+	dirty := make([]int32, 0, len(dirtySet))
+	for ci := range dirtySet {
+		dirty = append(dirty, ci)
+	}
+	sort.Slice(dirty, func(a, b int) bool { return dirty[a] < dirty[b] })
+
+	// Candidate rows for the local rebuild: surviving paths of dirty
+	// components plus newly activated rows, ascending and deduplicated.
+	deadRow := make(map[int32]bool, len(deactivated))
+	for _, r := range deactivated {
+		deadRow[r] = true
+	}
+	var candRows []int32
+	for _, ci := range dirty {
+		for _, p := range inc.comps[ci].Paths {
+			if !deadRow[p] {
+				candRows = append(candRows, p)
+			}
+		}
+	}
+	candRows = append(candRows, activated...)
+	sort.Slice(candRows, func(a, b int) bool { return candRows[a] < candRows[b] })
+	candRows = dedupInt32(candRows)
+
+	added := rebuildLocal(inc.csr, candRows)
+
+	// Record the prior form of every dirty component, then splice.
+	for _, ci := range dirty {
+		diff.Removed = append(diff.Removed, inc.comps[ci])
+	}
+	diff.Added = added
+
+	kept := inc.comps[:0:0]
+	for ci := range inc.comps {
+		if !dirtySet[int32(ci)] {
+			kept = append(kept, inc.comps[ci])
+		}
+	}
+	kept = append(kept, added...)
+	sort.Slice(kept, func(a, b int) bool { return kept[a].Links[0] < kept[b].Links[0] })
+	inc.comps = kept
+	for i := range inc.compOf {
+		inc.compOf[i] = -1
+	}
+	for ci := range inc.comps {
+		for _, l := range inc.comps[ci].Links {
+			inc.compOf[l] = int32(ci)
+		}
+	}
+	return diff, nil
+}
+
+// rebuildLocal decomposes just the given active rows, using a local
+// link-index space so the cost is proportional to the dirty region, not the
+// fabric. Rows must be ascending. Output matches DecomposeMasked ordering:
+// components by smallest link, Links ascending, Paths ascending.
+func rebuildLocal(csr *CSR, rows []int32) []Component {
+	if len(rows) == 0 {
+		return nil
+	}
+	// Local link universe: distinct links of the rows, ascending.
+	var locals []int32
+	localOf := make(map[int32]int32)
+	for _, r := range rows {
+		for _, gl := range csr.Row(int(r)) {
+			if _, ok := localOf[int32(gl)]; !ok {
+				localOf[int32(gl)] = 0 // placeholder; assigned after sort
+				locals = append(locals, int32(gl))
+			}
+		}
+	}
+	sort.Slice(locals, func(a, b int) bool { return locals[a] < locals[b] })
+	for i, gl := range locals {
+		localOf[gl] = int32(i)
+	}
+
+	uf := newUnionFind(len(locals))
+	for _, r := range rows {
+		row := csr.Row(int(r))
+		if len(row) == 0 {
+			continue
+		}
+		first := localOf[int32(row[0])]
+		for _, gl := range row[1:] {
+			uf.union(first, localOf[int32(gl)])
+		}
+	}
+	rootIdx := make(map[int32]int)
+	compOf := make([]int32, len(locals))
+	var comps []Component
+	for li, gl := range locals {
+		r := uf.find(int32(li))
+		ci, ok := rootIdx[r]
+		if !ok {
+			ci = len(comps)
+			rootIdx[r] = ci
+			comps = append(comps, Component{})
+		}
+		compOf[li] = int32(ci)
+		comps[ci].Links = append(comps[ci].Links, topo.LinkID(gl))
+	}
+	for _, r := range rows {
+		row := csr.Row(int(r))
+		if len(row) == 0 {
+			continue
+		}
+		ci := compOf[localOf[int32(row[0])]]
+		comps[ci].Paths = append(comps[ci].Paths, r)
+	}
+	sort.Slice(comps, func(a, b int) bool { return comps[a].Links[0] < comps[b].Links[0] })
+	return comps
+}
+
+func dedupInt32(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

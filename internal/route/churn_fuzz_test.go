@@ -1,0 +1,60 @@
+package route
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// FuzzIncrementalDecompose drives an arbitrary link toggle sequence against
+// the incremental differ and checks after every step that diff-then-splice
+// equals a from-scratch masked decomposition. Each input byte toggles one
+// link of a Fattree(4) candidate matrix: currently-up links go down,
+// currently-down links come back up.
+func FuzzIncrementalDecompose(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{3, 3})
+	f.Add([]byte{1, 2, 1, 2, 1})
+	f.Add([]byte{7, 11, 7, 0, 11, 5})
+
+	ft := topo.MustFattree(4)
+	csr := MaterializeCSR(NewFattreePaths(ft))
+	numLinks := ft.NumLinks()
+
+	f.Fuzz(func(t *testing.T, toggles []byte) {
+		if len(toggles) > 64 {
+			toggles = toggles[:64]
+		}
+		inc := NewIncremental(csr, numLinks, nil)
+		down := make(map[topo.LinkID]bool)
+		for _, b := range toggles {
+			l := topo.LinkID(int(b) % numLinks)
+			var err error
+			if down[l] {
+				_, err = inc.Apply(nil, []topo.LinkID{l})
+				down[l] = false
+			} else {
+				_, err = inc.Apply([]topo.LinkID{l}, nil)
+				down[l] = true
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cur []topo.LinkID
+			for dl, d := range down {
+				if d {
+					cur = append(cur, dl)
+				}
+			}
+			want := DecomposeMasked(csr, numLinks, cur)
+			got := inc.Components()
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("after toggling %d: incremental %d components diverge from full recompute %d", l, len(got), len(want))
+			}
+		}
+	})
+}

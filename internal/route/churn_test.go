@@ -1,0 +1,235 @@
+package route
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// buildCSR assembles a CSR directly from explicit rows, for synthetic
+// churn topologies where the interesting structure is the link graph.
+func buildCSR(rows [][]topo.LinkID) *CSR {
+	csr := &CSR{Offsets: make([]int32, 1, len(rows)+1)}
+	for _, row := range rows {
+		csr.Links = append(csr.Links, row...)
+		csr.Offsets = append(csr.Offsets, int32(len(csr.Links)))
+	}
+	return csr
+}
+
+func TestDecomposeMaskedNoDownMatchesDecompose(t *testing.T) {
+	f := topo.MustFattree(8)
+	ps := NewFattreePaths(f)
+	csr := MaterializeCSR(ps)
+	full := DecomposeCSR(csr, f.NumLinks())
+	masked := DecomposeMasked(csr, f.NumLinks(), nil)
+	if !reflect.DeepEqual(full, masked) {
+		t.Fatal("DecomposeMasked with empty down set diverges from DecomposeCSR")
+	}
+}
+
+// TestIncrementalSplit: removing a link that is the only connection between
+// two halves of a component must split it in two.
+func TestIncrementalSplit(t *testing.T) {
+	// Rows: {0}, {1}, {0,1,2}. Link 2's row bridges links 0 and 1.
+	csr := buildCSR([][]topo.LinkID{{0}, {1}, {0, 1, 2}})
+	inc := NewIncremental(csr, 3, nil)
+	if got := len(inc.Components()); got != 1 {
+		t.Fatalf("pre-split: %d components, want 1", got)
+	}
+	diff, err := inc.Apply([]topo.LinkID{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Removed) != 1 || len(diff.Added) != 2 {
+		t.Fatalf("split diff: %d removed, %d added, want 1/2", len(diff.Removed), len(diff.Added))
+	}
+	want := DecomposeMasked(csr, 3, []topo.LinkID{2})
+	if !reflect.DeepEqual(inc.Components(), want) {
+		t.Fatalf("post-split components %+v, want %+v", inc.Components(), want)
+	}
+	if len(want) != 2 {
+		t.Fatalf("ground truth has %d components, want 2", len(want))
+	}
+}
+
+// TestIncrementalMerge: restoring that same link must merge the two
+// components back into one, bit-identical to a fresh decomposition.
+func TestIncrementalMerge(t *testing.T) {
+	csr := buildCSR([][]topo.LinkID{{0}, {1}, {0, 1, 2}})
+	inc := NewIncremental(csr, 3, []topo.LinkID{2})
+	if got := len(inc.Components()); got != 2 {
+		t.Fatalf("pre-merge: %d components, want 2", got)
+	}
+	diff, err := inc.Apply(nil, []topo.LinkID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Removed) != 2 || len(diff.Added) != 1 {
+		t.Fatalf("merge diff: %d removed, %d added, want 2/1", len(diff.Removed), len(diff.Added))
+	}
+	want := DecomposeMasked(csr, 3, nil)
+	if !reflect.DeepEqual(inc.Components(), want) {
+		t.Fatalf("post-merge components %+v, want %+v", inc.Components(), want)
+	}
+	fresh := DecomposeCSR(csr, 3)
+	if !reflect.DeepEqual(inc.Components(), fresh) {
+		t.Fatal("merged decomposition diverges from pristine decomposition")
+	}
+}
+
+// TestIncrementalFlapNetsOut: a link listed in both down and up within one
+// Apply flaps and must net to no change.
+func TestIncrementalFlapNetsOut(t *testing.T) {
+	csr := buildCSR([][]topo.LinkID{{0}, {1}, {0, 1, 2}})
+	inc := NewIncremental(csr, 3, nil)
+	before := append([]Component(nil), inc.Components()...)
+	diff, err := inc.Apply([]topo.LinkID{2}, []topo.LinkID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Empty() {
+		t.Fatalf("flap diff not empty: %+v", diff)
+	}
+	if !reflect.DeepEqual(inc.Components(), before) {
+		t.Fatal("flap changed the decomposition")
+	}
+}
+
+// TestIncrementalDownNoActiveRows: downing a link whose rows are all already
+// inactive changes nothing.
+func TestIncrementalDownNoActiveRows(t *testing.T) {
+	// Row {1,2} is the only row through 2; once 1 is down it is inactive.
+	csr := buildCSR([][]topo.LinkID{{0}, {1, 2}})
+	inc := NewIncremental(csr, 3, []topo.LinkID{1})
+	diff, err := inc.Apply([]topo.LinkID{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Empty() {
+		t.Fatalf("expected empty diff, got %+v", diff)
+	}
+	// And bringing 2 back up while 1 stays down is equally a no-op.
+	diff, err = inc.Apply(nil, []topo.LinkID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Empty() {
+		t.Fatalf("expected empty up diff, got %+v", diff)
+	}
+}
+
+func TestIncrementalStrictErrors(t *testing.T) {
+	csr := buildCSR([][]topo.LinkID{{0, 1}})
+	inc := NewIncremental(csr, 2, nil)
+	if _, err := inc.Apply(nil, []topo.LinkID{0}); err == nil {
+		t.Error("up of an up link: want error")
+	}
+	if _, err := inc.Apply([]topo.LinkID{5}, nil); err == nil {
+		t.Error("out-of-range link: want error")
+	}
+	if _, err := inc.Apply([]topo.LinkID{0, 0}, nil); err == nil {
+		t.Error("duplicate down link: want error")
+	}
+	if _, err := inc.Apply([]topo.LinkID{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Apply([]topo.LinkID{0}, nil); err == nil {
+		t.Error("down of a down link: want error")
+	}
+	// Errors must leave the differ usable.
+	if _, err := inc.Apply(nil, []topo.LinkID{0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// applyDiff replays a Diff against a prior decomposition by key, verifying
+// the diff alone carries enough information to update a mirror.
+func applyDiff(prev []Component, d Diff, t *testing.T) []Component {
+	t.Helper()
+	removed := make(map[uint64]bool, len(d.Removed))
+	for _, c := range d.Removed {
+		removed[c.Key()] = true
+	}
+	var next []Component
+	for _, c := range prev {
+		if !removed[c.Key()] {
+			next = append(next, c)
+		}
+	}
+	if len(prev)-len(next) != len(d.Removed) {
+		t.Fatalf("diff removed %d components, matched %d", len(d.Removed), len(prev)-len(next))
+	}
+	next = append(next, d.Added...)
+	for i := 1; i < len(next); i++ {
+		for j := i; j > 0 && next[j].Links[0] < next[j-1].Links[0]; j-- {
+			next[j], next[j-1] = next[j-1], next[j]
+		}
+	}
+	return next
+}
+
+func churnDifferential(t *testing.T, csr *CSR, numLinks int, steps int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inc := NewIncremental(csr, numLinks, nil)
+	downSet := make(map[topo.LinkID]bool)
+	mirror := append([]Component(nil), inc.Components()...)
+	for step := 0; step < steps; step++ {
+		var down, up []topo.LinkID
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			l := topo.LinkID(rng.Intn(numLinks))
+			if downSet[l] {
+				downSet[l] = false
+				up = append(up, l)
+			} else if !contains(up, l) && !contains(down, l) {
+				downSet[l] = true
+				down = append(down, l)
+			}
+		}
+		diff, err := inc.Apply(down, up)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		var cur []topo.LinkID
+		for l, d := range downSet {
+			if d {
+				cur = append(cur, l)
+			}
+		}
+		want := DecomposeMasked(csr, numLinks, cur)
+		if !reflect.DeepEqual(inc.Components(), want) {
+			t.Fatalf("step %d (down=%v up=%v): incremental decomposition diverges from full recompute", step, down, up)
+		}
+		mirror = applyDiff(mirror, diff, t)
+		if !reflect.DeepEqual(mirror, want) {
+			t.Fatalf("step %d: diff replay diverges from full recompute", step)
+		}
+	}
+}
+
+func contains(s []topo.LinkID, l topo.LinkID) bool {
+	for _, v := range s {
+		if v == l {
+			return true
+		}
+	}
+	return false
+}
+
+// TestIncrementalRandomDifferential drives random link add/remove sequences
+// on Fattree(8) and BCube(4,1) and checks after every step that the
+// incremental decomposition is bit-identical to a from-scratch masked
+// decomposition, and that the emitted Diff replays to the same state.
+func TestIncrementalRandomDifferential(t *testing.T) {
+	f := topo.MustFattree(8)
+	fcsr := MaterializeCSR(NewFattreePaths(f))
+	churnDifferential(t, fcsr, f.NumLinks(), 30, 1)
+
+	b := topo.MustBCube(4, 1)
+	bcsr := MaterializeCSR(NewBCubePaths(b))
+	churnDifferential(t, bcsr, b.NumLinks(), 30, 2)
+}

@@ -18,7 +18,40 @@ type Probes struct {
 	// NumLinks is the link-ID space size of the topology.
 	NumLinks int
 
+	// ids maps row index → wire path ID when the matrix uses sparse IDs
+	// (set via SetIDs); nil means IDs are dense row indices.
+	ids   []uint32
+	rowOf map[uint32]int
+
 	linkPaths [][]int32
+}
+
+// SetIDs declares the wire path ID of each row, for matrices whose IDs are
+// stable across churn rather than dense row indices. len(ids) must equal
+// NumPaths.
+func (p *Probes) SetIDs(ids []uint32) {
+	p.ids = ids
+	p.rowOf = make(map[uint32]int, len(ids))
+	for i, id := range ids {
+		p.rowOf[id] = i
+	}
+}
+
+// IDs returns the wire path ID of each row (nil when IDs are dense).
+func (p *Probes) IDs() []uint32 { return p.ids }
+
+// RowOf translates a wire path ID into the matrix row index. Matrices
+// without sparse IDs fall back to the identity mapping, so consumers built
+// on dense IDs keep working unchanged.
+func (p *Probes) RowOf(id uint32) (int, bool) {
+	if p.ids == nil {
+		if int(id) < len(p.PathLinks) {
+			return int(id), true
+		}
+		return 0, false
+	}
+	row, ok := p.rowOf[id]
+	return row, ok
 }
 
 // NewProbes materializes the selected paths of ps into a probe matrix.

@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/detector-net/detector/internal/pmc"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// benchChurnSingleLink measures the incremental recompute path: one full
+// construction up front, then per iteration a single-link down-churn, the
+// dirty-only reconstruction (the measured cycle), and a restore. A
+// different link churns each iteration so the dirty component is solved
+// cold — the engine memo's flap-back shortcut is deliberately kept out of
+// the measured number. Three metrics come out:
+//
+//   - full-critical-path-ms: the cold full cycle's critical path;
+//   - churn-critical-path-ms: the single-link cycle's critical path
+//     (slowest dispatched shard; clean components cost nothing);
+//   - churn-vs-full-ratio: the quotient — the ISSUE 9 target is ≤ 0.1 on
+//     Fattree(24), where a single link dirties 1 of 12 components.
+func benchChurnSingleLink(b *testing.B, k, shards int) {
+	f := topo.MustFattree(k)
+	ps := route.NewFattreePaths(f)
+	c, err := New(ps, f.NumLinks(), Options{
+		Shards:          shards,
+		Sequential:      true,
+		PMC:             pmc.Options{Alpha: 2, Beta: 1, Lazy: true, Workers: 1},
+		TTL:             time.Hour,
+		ReuseSelections: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	full, err := c.Construct()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullCrit := full.CriticalPath
+	links := f.SwitchLinks()
+	b.ResetTimer()
+	var churnCrit time.Duration
+	for i := 0; i < b.N; i++ {
+		l := links[i%len(links)]
+		if _, err := c.ApplyChurn([]topo.LinkID{l}, nil); err != nil {
+			b.Fatal(err)
+		}
+		res, err := c.Construct()
+		if err != nil {
+			b.Fatal(err)
+		}
+		churnCrit = res.CriticalPath
+		if _, err := c.ApplyChurn(nil, []topo.LinkID{l}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Construct(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fullCrit.Microseconds())/1000.0, "full-critical-path-ms")
+	b.ReportMetric(float64(churnCrit.Microseconds())/1000.0, "churn-critical-path-ms")
+	if fullCrit > 0 {
+		b.ReportMetric(float64(churnCrit)/float64(fullCrit), "churn-vs-full-ratio")
+	}
+}
+
+// BenchmarkChurnSingleLinkFattree16 is the CI churn smoke: single-link
+// churn against a full recompute on Fattree(16) (8 components, so the
+// ratio lands near 1/8 minus the masked rows' savings).
+func BenchmarkChurnSingleLinkFattree16(b *testing.B) {
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) { benchChurnSingleLink(b, 16, n) })
+	}
+}
+
+// BenchmarkChurnSingleLinkFattree24 is the ISSUE 9 scale target: a
+// single-link change on Fattree(24) (11.9M candidates, 12 components) must
+// complete in ≤ 1/10 of the full-cycle critical path. Not part of the CI
+// smoke; run with -benchtime=1x like the Fattree(24) construction bench.
+func BenchmarkChurnSingleLinkFattree24(b *testing.B) {
+	benchChurnSingleLink(b, 24, 1)
+}

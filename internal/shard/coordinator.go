@@ -66,6 +66,25 @@ type Options struct {
 	// (max over shards) models the wall clock of a real N-machine
 	// deployment run on one box.
 	Sequential bool
+	// DownLinks is the initial set of links masked out of the candidate
+	// matrix (topology churn state at boot). Paths traversing a down link
+	// are excluded from decomposition and construction; ApplyChurn moves
+	// links in and out of this set at runtime.
+	DownLinks []topo.LinkID
+	// ReuseSelections keeps per-component selections across Construct
+	// cycles and dispatches only components invalidated by churn
+	// (ApplyChurn) since the last cycle. Clean components' prior
+	// selections are reused verbatim, so the merge stays bit-identical to
+	// a full recompute while dispatch cost and wire bytes scale with the
+	// dirty set. Off by default: benchmarks and tests that measure full
+	// cycles rely on every Construct doing the full work.
+	ReuseSelections bool
+	// ApproxWarmSeed enables the approximate PMC warm start on in-process
+	// shards: a changed component seeds its greedy from a related cached
+	// selection (subset/superset link set). Results still meet the α/β
+	// targets but are no longer guaranteed bit-identical to a cold
+	// construction — leave off on any path that promises that.
+	ApproxWarmSeed bool
 }
 
 // ShardStats describes one shard's share of a construction cycle.
@@ -96,6 +115,21 @@ type Result struct {
 	// because a shard failed after passing liveness (transport error or
 	// construction error). 0 on a clean cycle.
 	Retries int
+	// DirtyComponents is how many components were actually dispatched this
+	// cycle; ReusedComponents is how many were served from the selection
+	// cache (always 0 unless Options.ReuseSelections).
+	DirtyComponents, ReusedComponents int
+}
+
+// compSel is one component's cached construction outcome, keyed by
+// Component.Key() in the selection cache. The flags are the owning shard's
+// merged flags at solve time (conservative when a shard solved several
+// components at once — exactly as conservative as the full merge they came
+// from).
+type compSel struct {
+	selected    []int
+	coverageMet bool
+	identMet    bool
 }
 
 // Coordinator is the front-end of the sharded controller plane. It owns the
@@ -107,14 +141,18 @@ type Coordinator struct {
 	numLinks int
 	opt      Options
 	csr      *route.CSR
-	comps    []route.Component
 	sig      uint64
 	wd       *watchdog.Service
 	clients  []ShardClient // immutable after New
 
 	mu          sync.Mutex
-	quarantined []bool  // construct failed while pings still pass
-	assign      []int32 // component index -> owning shard id
+	inc         *route.Incremental // owns the masked decomposition
+	comps       []route.Component  // current snapshot of inc.Components()
+	churnEpoch  uint64             // bumped by every effective ApplyChurn
+	selCache    map[uint64]compSel // Component.Key() -> last selection
+	assignKey   map[uint64]int32   // Component.Key() -> owning shard id
+	quarantined []bool             // construct failed while pings still pass
+	assign      []int32            // component index -> owning shard id
 	stopped     bool
 	stop        chan struct{}
 	probers     sync.WaitGroup
@@ -148,25 +186,37 @@ func New(ps route.PathSet, numLinks int, opt Options) (*Coordinator, error) {
 	csr := route.MaterializeCSR(ps)
 	stageMaterialize.Observe(time.Since(matStart))
 	decStart := time.Now()
-	comps := route.DecomposeCSR(csr, numLinks)
+	inc := route.NewIncremental(csr, numLinks, opt.DownLinks)
 	stageDecompose.Observe(time.Since(decStart))
 	c := &Coordinator{
 		ps:       ps,
 		numLinks: numLinks,
 		opt:      opt,
 		csr:      csr,
-		comps:    comps,
+		inc:      inc,
+		comps:    inc.Components(),
 		sig:      route.MatrixSignature(csr, numLinks),
 		wd:       watchdog.New(opt.TTL),
 		stop:     make(chan struct{}),
 	}
 	c.assign = make([]int32, len(c.comps))
+	c.selCache = make(map[uint64]compSel)
+	c.assignKey = make(map[uint64]int32)
 	c.quarantined = make([]bool, opt.Shards)
 	if opt.Clients != nil {
 		c.clients = opt.Clients
 	} else {
+		// In-process shards share one engine memo: components that move
+		// between shards (failover, churn-driven reassignment) still hit
+		// their cached selections.
+		memo := pmc.NewMemo(0)
+		if opt.ApproxWarmSeed {
+			memo.EnableSeeding()
+		}
 		for i := 0; i < opt.Shards; i++ {
-			c.clients = append(c.clients, newInProcess(i, ps, csr, numLinks, c.sig))
+			sh := newInProcess(i, ps, csr, numLinks, c.sig)
+			sh.memo = memo
+			c.clients = append(c.clients, sh)
 		}
 	}
 	alive := make([]int, opt.Shards)
@@ -242,7 +292,11 @@ func (c *Coordinator) MatrixSig() uint64 { return c.sig }
 func (c *Coordinator) NumShards() int { return c.opt.Shards }
 
 // Components returns the number of independent components being sharded.
-func (c *Coordinator) Components() int { return len(c.comps) }
+func (c *Coordinator) Components() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.comps)
+}
 
 // Client returns shard i's transport client (test and operator access).
 func (c *Coordinator) Client(i int) ShardClient { return c.clients[i] }
@@ -360,8 +414,10 @@ func (c *Coordinator) reprobeQuarantined() {
 }
 
 // reassignLocked recomputes the capacity-capped rendezvous assignment over
-// the alive set and returns how many components moved. Requires c.mu (or
-// single-threaded init).
+// the alive set and returns how many components moved. Movement is tracked
+// by component *key*, not index: churn shifts component indices around, but
+// a clean component that stays on its shard has not moved. Requires c.mu
+// (or single-threaded init).
 func (c *Coordinator) reassignLocked(alive []int) int {
 	keys := make([]uint64, len(c.comps))
 	for ci := range c.comps {
@@ -369,13 +425,65 @@ func (c *Coordinator) reassignLocked(alive []int) int {
 	}
 	next := assignBalanced(keys, alive)
 	moved := 0
+	nextByKey := make(map[uint64]int32, len(keys))
 	for ci := range c.comps {
-		if c.assign[ci] != next[ci] {
-			c.assign[ci] = next[ci]
+		c.assign[ci] = next[ci]
+		nextByKey[keys[ci]] = next[ci]
+		if prev, ok := c.assignKey[keys[ci]]; !ok || prev != next[ci] {
 			moved++
 		}
 	}
+	c.assignKey = nextByKey
 	return moved
+}
+
+// ApplyChurn transitions links down/up in the masked candidate matrix and
+// invalidates exactly the components the change touches. The next Construct
+// recomputes only those (under Options.ReuseSelections; without it the next
+// cycle is a full recompute over the new decomposition either way — still
+// bit-identical, just not incremental). Returns the component diff.
+//
+// ApplyChurn must not race a Construct in flight: the coordinator detects
+// the overlap and the Construct returns an error asking to be re-run. The
+// control plane serializes the two.
+func (c *Coordinator) ApplyChurn(down, up []topo.LinkID) (route.Diff, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return route.Diff{}, fmt.Errorf("shard: coordinator stopped")
+	}
+	diff, err := c.inc.Apply(down, up)
+	if err != nil {
+		return route.Diff{}, err
+	}
+	if diff.Empty() {
+		return diff, nil
+	}
+	c.churnEpoch++
+	c.comps = c.inc.Components()
+	for i := range diff.Removed {
+		delete(c.selCache, diff.Removed[i].Key())
+		delete(c.assignKey, diff.Removed[i].Key())
+	}
+	// An added component sharing a removed key (splits keep the smallest
+	// link) must not inherit the stale selection either.
+	for i := range diff.Added {
+		delete(c.selCache, diff.Added[i].Key())
+	}
+	c.assign = make([]int32, len(c.comps))
+	for ci := range c.comps {
+		if id, ok := c.assignKey[c.comps[ci].Key()]; ok {
+			c.assign[ci] = id
+		}
+	}
+	return diff, nil
+}
+
+// DownLinks returns the current down-link set, ascending.
+func (c *Coordinator) DownLinks() []topo.LinkID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inc.Down()
 }
 
 // Assignment returns a copy of the component → shard mapping.
@@ -434,20 +542,42 @@ func (c *Coordinator) ConstructCycle(cy *obs.Cycle) (*Result, error) {
 		assignSpan := cy.Span("assign")
 		totalMoved += c.reassignLocked(alive)
 		assign := append([]int32(nil), c.assign...)
+		comps := c.comps // replaced wholesale by ApplyChurn; safe to hold
+		epoch := c.churnEpoch
+		reuse := c.opt.ReuseSelections
+		// Dirty components: not yet in the selection cache. Without reuse,
+		// everything is dirty every cycle.
+		dirty := make([]int32, 0, len(comps))
+		for ci := range comps {
+			if reuse {
+				if _, ok := c.selCache[comps[ci].Key()]; ok {
+					continue
+				}
+			}
+			dirty = append(dirty, int32(ci))
+		}
 		c.mu.Unlock()
 
 		perShard := make([][]int32, c.opt.Shards)
-		for ci := range c.comps {
+		for _, ci := range dirty {
 			id := assign[ci]
-			perShard[id] = append(perShard[id], int32(ci))
+			perShard[id] = append(perShard[id], ci)
 		}
 		assignSpan.End()
 		stageAssign.Observe(time.Since(assignStart))
 
 		results := make([]*pmc.Result, len(alive))
 		errs := make([]error, len(alive))
-		var toRun []int
+		var toRun, idle []int
 		for k, id := range alive {
+			if reuse && len(perShard[id]) == 0 {
+				// Nothing dirty here — but dispatch is also how the
+				// coordinator discovers a dead shard before the watchdog TTL
+				// fires, so an undispatched shard gets a synchronous ping
+				// below instead of a free pass.
+				idle = append(idle, k)
+				continue
+			}
 			if d, ok := cache[id]; ok && slices.Equal(d.compIdx, perShard[id]) {
 				results[k] = d.res
 				continue
@@ -457,23 +587,31 @@ func (c *Coordinator) ConstructCycle(cy *obs.Cycle) (*Result, error) {
 		dispatchStart := time.Now()
 		run := func(k int) {
 			id := alive[k]
-			comps := make([]route.Component, len(perShard[id]))
+			sub := make([]route.Component, len(perShard[id]))
 			for i, ci := range perShard[id] {
-				comps[i] = c.comps[ci]
+				sub[i] = comps[ci]
 			}
 			sp := cy.ShardSpan("construct", id)
 			results[k], errs[k] = c.clients[id].Construct(ConstructRequest{
 				MatrixSig: c.sig,
 				NumLinks:  c.numLinks,
-				Comps:     comps,
+				Comps:     sub,
 				Opt:       c.opt.PMC,
 				Cycle:     cy.ID(),
 			})
 			sp.EndErr(errs[k])
 		}
+		ping := func(k int) {
+			if err := c.clients[alive[k]].Ping(); err != nil {
+				errs[k] = fmt.Errorf("shard: idle liveness ping: %w", err)
+			}
+		}
 		if c.opt.Sequential {
 			for _, k := range toRun {
 				run(k)
+			}
+			for _, k := range idle {
+				ping(k)
 			}
 		} else {
 			var wg sync.WaitGroup
@@ -484,6 +622,13 @@ func (c *Coordinator) ConstructCycle(cy *obs.Cycle) (*Result, error) {
 					run(k)
 				}(k)
 			}
+			for _, k := range idle {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					ping(k)
+				}(k)
+			}
 			wg.Wait()
 		}
 		stageDispatch.Observe(time.Since(dispatchStart))
@@ -492,7 +637,9 @@ func (c *Coordinator) ConstructCycle(cy *obs.Cycle) (*Result, error) {
 		for k, err := range errs {
 			id := alive[k]
 			if err == nil {
-				cache[id] = doneRun{compIdx: perShard[id], res: results[k]}
+				if results[k] != nil {
+					cache[id] = doneRun{compIdx: perShard[id], res: results[k]}
+				}
 				continue
 			}
 			failed = true
@@ -516,13 +663,16 @@ func (c *Coordinator) ConstructCycle(cy *obs.Cycle) (*Result, error) {
 		mergeStart := time.Now()
 		mergeSpan := cy.Span("merge")
 		merged := &Result{
-			Result:  &pmc.Result{Stats: pmc.Stats{CoverageMet: true, IdentMet: c.opt.PMC.Beta >= 1}},
-			Moved:   totalMoved,
-			Alive:   len(alive),
-			Retries: attempt,
+			Result:          &pmc.Result{Stats: pmc.Stats{CoverageMet: true, IdentMet: c.opt.PMC.Beta >= 1}},
+			Moved:           totalMoved,
+			Alive:           len(alive),
+			Retries:         attempt,
+			DirtyComponents: len(dirty),
 		}
 		for k, r := range results {
-			merged.Selected = append(merged.Selected, r.Selected...)
+			if r == nil {
+				continue // reuse mode: shard had no dirty components
+			}
 			merged.Stats.Components += r.Stats.Components
 			merged.Stats.Candidates += r.Stats.Candidates
 			merged.Stats.ScoreEvals += r.Stats.ScoreEvals
@@ -535,9 +685,62 @@ func (c *Coordinator) ConstructCycle(cy *obs.Cycle) (*Result, error) {
 				Selected:   len(r.Selected),
 				Elapsed:    r.Stats.Elapsed,
 			})
+			if !reuse {
+				merged.Selected = append(merged.Selected, r.Selected...)
+			}
 			if r.Stats.Elapsed > merged.CriticalPath {
 				merged.CriticalPath = r.Stats.Elapsed
 			}
+		}
+		if reuse {
+			// Store the fresh per-component selections, then serve the full
+			// merge from the cache: clean components verbatim, dirty ones
+			// from this cycle's results. The split attributes each selected
+			// path to its component through its first link.
+			c.mu.Lock()
+			if c.churnEpoch != epoch {
+				c.mu.Unlock()
+				return nil, fmt.Errorf("shard: topology churned during construction; re-run Construct")
+			}
+			for k, r := range results {
+				if r == nil {
+					continue
+				}
+				idxs := perShard[alive[k]]
+				if len(idxs) == 1 {
+					c.selCache[comps[idxs[0]].Key()] = compSel{
+						selected:    r.Selected,
+						coverageMet: r.Stats.CoverageMet,
+						identMet:    r.Stats.IdentMet,
+					}
+					continue
+				}
+				parts := make(map[int32][]int, len(idxs))
+				for _, pid := range r.Selected {
+					ci := int32(c.inc.CompIndexOf(c.csr.Row(pid)[0]))
+					parts[ci] = append(parts[ci], pid)
+				}
+				for _, ci := range idxs {
+					c.selCache[comps[ci].Key()] = compSel{
+						selected:    parts[ci],
+						coverageMet: r.Stats.CoverageMet,
+						identMet:    r.Stats.IdentMet,
+					}
+				}
+			}
+			merged.Stats.Components = len(comps)
+			for ci := range comps {
+				sel, ok := c.selCache[comps[ci].Key()]
+				if !ok {
+					c.mu.Unlock()
+					return nil, fmt.Errorf("shard: component %d missing from selection cache after merge", ci)
+				}
+				merged.Selected = append(merged.Selected, sel.selected...)
+				merged.Stats.CoverageMet = merged.Stats.CoverageMet && sel.coverageMet
+				merged.Stats.IdentMet = merged.Stats.IdentMet && sel.identMet
+			}
+			c.mu.Unlock()
+			merged.ReusedComponents = len(comps) - len(dirty)
 		}
 		sort.Ints(merged.Selected)
 		merged.Stats.Selected = len(merged.Selected)
@@ -597,6 +800,8 @@ type Status struct {
 	MatrixSig  uint64          `json:"matrix_sig,string"`
 	Shards     []ShardInfo     `json:"shards"`
 	Components []ComponentInfo `json:"components"`
+	// Down lists the currently masked (churned-out) links, ascending.
+	Down []topo.LinkID `json:"down,omitempty"`
 }
 
 // Status snapshots shard liveness and the component → shard assignment.
@@ -604,7 +809,7 @@ func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	unhealthy := c.wd.UnhealthySet()
-	st := Status{MatrixSig: c.sig}
+	st := Status{MatrixSig: c.sig, Down: c.inc.Down()}
 	owned := make(map[int][]int, c.opt.Shards)
 	for ci := range c.comps {
 		id := int(c.assign[ci])

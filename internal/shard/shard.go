@@ -53,6 +53,11 @@ type Shard struct {
 	csr      *route.CSR
 	numLinks int
 	sig      uint64
+	// memo is the engine-local PMC warm-start cache: components whose
+	// exact content was constructed before (topology flap-back, component
+	// reassignment) reuse the cached selection verbatim. Selections are
+	// deterministic per content, so the memo never changes an answer.
+	memo *pmc.Memo
 
 	mu     sync.Mutex
 	killed bool
@@ -68,7 +73,7 @@ func NewInProcess(id int, ps route.PathSet, numLinks int) *Shard {
 }
 
 func newInProcess(id int, ps route.PathSet, csr *route.CSR, numLinks int, sig uint64) *Shard {
-	return &Shard{id: id, ps: ps, csr: csr, numLinks: numLinks, sig: sig}
+	return &Shard{id: id, ps: ps, csr: csr, numLinks: numLinks, sig: sig, memo: pmc.NewMemo(0)}
 }
 
 // ID returns the shard's coordinator slot.
@@ -100,8 +105,11 @@ func (s *Shard) Construct(req ConstructRequest) (*pmc.Result, error) {
 		return nil, fmt.Errorf("shard %d: numLinks %d does not match engine %d",
 			s.id, req.NumLinks, s.numLinks)
 	}
-	return pmc.ConstructComponents(s.ps, s.csr, req.Comps, s.numLinks, req.Opt)
+	return pmc.ConstructComponentsWarm(s.ps, s.csr, req.Comps, s.numLinks, req.Opt, s.memo)
 }
+
+// MemoStats exposes the shard's warm-start cache counters.
+func (s *Shard) MemoStats() pmc.MemoStats { return s.memo.Stats() }
 
 // Localize runs PLL over a routed sub-matrix. The cycle ID is unused
 // in-process: the caller's own span already covers this call.

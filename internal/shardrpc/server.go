@@ -70,6 +70,12 @@ type Server struct {
 	sig      uint64
 	lim      Limits
 	tr       *obs.Tracer
+	// memo is the engine-local PMC warm-start cache: a component whose
+	// exact content was constructed before (topology flap-back, component
+	// reassignment back to this shard) reuses the cached selection
+	// verbatim. Selections are deterministic per content, so the memo
+	// never changes a response.
+	memo *pmc.Memo
 }
 
 // NewServer builds a shard service over its own materialization of ps.
@@ -87,6 +93,7 @@ func NewServerLimits(ps route.PathSet, numLinks int, lim Limits) *Server {
 		sig:      route.MatrixSignature(csr, numLinks),
 		lim:      lim,
 		tr:       obs.NewTracer("shard", 32),
+		memo:     pmc.NewMemo(0),
 	}
 }
 
@@ -244,7 +251,7 @@ func (s *Server) Handler() http.Handler {
 		// cycle's spans then answer "what did shard N do during cycle C"
 		// from the shard's own /statusz.
 		sp := s.tr.Join(requestCycle(r), "remote").Span("construct")
-		res, err := pmc.ConstructComponents(s.ps, s.csr, comps, s.numLinks, req.Opt.decode())
+		res, err := pmc.ConstructComponentsWarm(s.ps, s.csr, comps, s.numLinks, req.Opt.decode(), s.memo)
 		sp.EndErr(err)
 		if err != nil {
 			serverRejected.Inc()
