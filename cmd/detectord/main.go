@@ -41,6 +41,7 @@ import (
 	"github.com/detector-net/detector/internal/control"
 	"github.com/detector-net/detector/internal/obs"
 	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shard"
 	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/sim"
 	"github.com/detector-net/detector/internal/topo"
@@ -96,6 +97,8 @@ func main() {
 		shardServe = flag.Bool("shard-serve", false, "run as one controller shard service instead of the front-end")
 		listen     = flag.String("listen", "127.0.0.1:7117", "shard service listen address (with -shard-serve)")
 		wire       = flag.String("wire", shardrpc.WireAuto, "shard transport codec: auto (negotiate at ping time), json, or binary; 'binary' also switches pinger reports to the v2 frame")
+		compress   = flag.String("shard-compress", shardrpc.CompressAuto, "localize-path compression: auto (negotiate at ping time), off, or gzip")
+		partition  = flag.String("partition", string(shard.PartitionExact), "diagnosis plane partition policy: exact (bit-identical merge) or approx (cut server-edge links for real server-level sharding)")
 		repBatch   = flag.Int("report-batch", 1, "report windows each pinger pre-aggregates locally before shipping one payload")
 		repTopK    = flag.Int("report-topk", 0, "ship kind-6 summary frames keeping full signals for the K worst paths (0 = full per-path reports; needs -wire binary)")
 		repStream  = flag.Bool("report-stream", false, "ship report frames over one persistent connection per pinger instead of per-window POSTs (needs -wire binary)")
@@ -113,6 +116,16 @@ func main() {
 	case shardrpc.WireAuto, shardrpc.WireJSON, shardrpc.WireBinary:
 	default:
 		fmt.Fprintf(os.Stderr, "detectord: -wire %q must be auto, json or binary\n", *wire)
+		os.Exit(2)
+	}
+	switch *compress {
+	case shardrpc.CompressAuto, shardrpc.CompressOff, shardrpc.CompressGzip:
+	default:
+		fmt.Fprintf(os.Stderr, "detectord: -shard-compress %q must be auto, off or gzip\n", *compress)
+		os.Exit(2)
+	}
+	if _, err := shard.ParsePartitionPolicy(*partition); err != nil {
+		fmt.Fprintf(os.Stderr, "detectord: -partition %q must be exact or approx\n", *partition)
 		os.Exit(2)
 	}
 
@@ -145,18 +158,20 @@ func main() {
 		cfg.DownLinks = append(cfg.DownLinks, topo.LinkID(id))
 	}
 	c, err := cluster.Start(cluster.Options{
-		K:              *k,
-		Control:        cfg,
-		Window:         *window,
-		ProbeTimeout:   400 * time.Millisecond,
-		Shards:         *shards,
-		RemoteShards:   *remote,
-		ShardEndpoints: eps,
-		ShardWire:      *wire,
-		ReportWire:     reportWire(*wire),
-		ReportBatch:    *repBatch,
-		ReportTopK:     *repTopK,
-		StreamReports:  *repStream,
+		K:                *k,
+		Control:          cfg,
+		Window:           *window,
+		ProbeTimeout:     400 * time.Millisecond,
+		Shards:           *shards,
+		RemoteShards:     *remote,
+		ShardEndpoints:   eps,
+		ShardWire:        *wire,
+		ShardCompression: *compress,
+		Partition:        *partition,
+		ReportWire:       reportWire(*wire),
+		ReportBatch:      *repBatch,
+		ReportTopK:       *repTopK,
+		StreamReports:    *repStream,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "detectord:", err)
@@ -167,11 +182,17 @@ func main() {
 	fmt.Printf("detectord: Fattree(%d) up — %d switches, %d servers, %d pingers, %d probe routes\n",
 		*k, c.F.Stats().Switches, c.F.Stats().Servers, len(c.Pingers), c.Controller.ProbeMatrix().NumPaths())
 	if coord := c.Controller.Coordinator(); coord != nil {
-		fmt.Printf("sharded controller plane: %d shards over %d components\n",
-			coord.NumShards(), coord.Components())
-		for _, si := range coord.Status().Shards {
+		st := coord.Status()
+		fmt.Printf("sharded controller plane: %d shards over %d components, %s partition\n",
+			coord.NumShards(), coord.Components(), st.Partition)
+		for _, si := range st.Shards {
 			if si.Codec != "" {
-				fmt.Printf("  shard %d @ %s (%d components, %s wire)\n", si.ID, si.Addr, len(si.Components), si.Codec)
+				comp := si.Compression
+				if comp == "" {
+					comp = shardrpc.CompressionIdentity
+				}
+				fmt.Printf("  shard %d @ %s (%d components, %s wire, %s localize)\n",
+					si.ID, si.Addr, len(si.Components), si.Codec, comp)
 				continue
 			}
 			fmt.Printf("  shard %d @ %s (%d components)\n", si.ID, si.Addr, len(si.Components))

@@ -19,6 +19,7 @@ import (
 	"github.com/detector-net/detector/internal/pll"
 	"github.com/detector-net/detector/internal/responder"
 	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/shard"
 	"github.com/detector-net/detector/internal/shardrpc"
 	"github.com/detector-net/detector/internal/sim"
 	"github.com/detector-net/detector/internal/topo"
@@ -67,6 +68,14 @@ type Options struct {
 	// ping time). Applies to RemoteShards boots and ShardEndpoints
 	// fleets alike, for the controller and the diagnoser both.
 	ShardWire string
+	// ShardCompression selects localize-path compression for remote
+	// shards (shardrpc.CompressAuto/CompressOff/CompressGzip; default
+	// auto-negotiate at ping time). Same scope as ShardWire.
+	ShardCompression string
+	// Partition selects the diagnosis plane's ownership policy ("exact"
+	// default, or "approx" to cut server-edge links — see shard.Plane).
+	// Applies to the controller's coordinator and the diagnoser both.
+	Partition string
 	// ReportWire selects the pinger→diagnoser report codec: empty or
 	// shardrpc.CodecJSON for JSON bodies, shardrpc.CodecBinary for the
 	// v2 binary report frame (varint-delta paths, raw-bits floats).
@@ -186,7 +195,9 @@ func Start(opts Options) (*Cluster, error) {
 	if len(c.ShardURLs) > 0 {
 		opts.Control.ShardEndpoints = c.ShardURLs
 		opts.Control.ShardWire = opts.ShardWire
+		opts.Control.ShardCompression = opts.ShardCompression
 	}
+	opts.Control.Partition = opts.Partition
 
 	c.Fab, err = fabric.Start(f.Topology, c.Rules)
 	if err != nil {
@@ -221,14 +232,20 @@ func Start(opts Options) (*Cluster, error) {
 		lastRead[l] = cur
 		return delta, true
 	})
+	partition, err := shard.ParsePartitionPolicy(opts.Partition)
+	if err != nil {
+		return fail(fmt.Errorf("cluster: %w", err))
+	}
 	c.Diagnoser = diag.New(diag.Options{
-		Window:         opts.Window,
-		PLL:            pllCfg,
-		Topo:           f.Topology,
-		Shards:         opts.Shards,
-		ShardEndpoints: c.ShardURLs,
-		ShardWire:      opts.ShardWire,
-		LinkCounters:   counters,
+		Window:           opts.Window,
+		PLL:              pllCfg,
+		Topo:             f.Topology,
+		Shards:           opts.Shards,
+		ShardEndpoints:   c.ShardURLs,
+		ShardWire:        opts.ShardWire,
+		ShardCompression: opts.ShardCompression,
+		Partition:        partition,
+		LinkCounters:     counters,
 	})
 	srv, url, err = serveHTTP(c.Diagnoser.Handler())
 	if err != nil {

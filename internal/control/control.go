@@ -79,6 +79,19 @@ type Config struct {
 	// WireJSON, or WireBinary. GET /shards reports the codec each shard
 	// actually negotiated.
 	ShardWire string
+	// ShardCompression selects localize-path compression for
+	// ShardEndpoints clients: shardrpc.CompressAuto (default — negotiate
+	// per shard at ping time), CompressOff, or CompressGzip. GET /shards
+	// reports the scheme each shard actually negotiated.
+	ShardCompression string
+	// Partition selects the diagnosis plane's ownership derivation:
+	// "exact" (default — connected components over every link) or
+	// "approx" (components over interior links only, cutting server-edge
+	// links so server-level matrices split into per-subtree partitions;
+	// cut links carry a measured accuracy bound instead of forcing one
+	// global partition). Parsed by shard.ParsePartitionPolicy; an unknown
+	// value fails the first construction cycle loudly.
+	Partition string
 	// DownLinks marks links failed at boot: candidate paths traversing
 	// them are masked out of construction from the first cycle. Further
 	// topology churn arrives at runtime via ApplyChurn / POST /churn.
@@ -207,12 +220,17 @@ func (c *Controller) coordinator(ps route.PathSet) (*shard.Coordinator, error) {
 	if ps == nil {
 		ps = route.NewFattreePaths(c.F)
 	}
+	partition, err := shard.ParsePartitionPolicy(c.Cfg.Partition)
+	if err != nil {
+		return nil, err
+	}
 	opt := shard.Options{
 		Shards:          c.Cfg.Shards,
 		TTL:             c.Cfg.ShardTTL,
 		PMC:             pmc.Options{Alpha: c.Cfg.Alpha, Beta: c.Cfg.Beta, Lazy: true},
 		DownLinks:       c.Cfg.DownLinks,
 		ReuseSelections: true,
+		Partition:       partition,
 	}
 	if opt.Shards < 1 {
 		opt.Shards = 1
@@ -220,7 +238,8 @@ func (c *Controller) coordinator(ps route.PathSet) (*shard.Coordinator, error) {
 	if len(c.Cfg.ShardEndpoints) > 0 {
 		opt.Shards = 0
 		for i, ep := range c.Cfg.ShardEndpoints {
-			opt.Clients = append(opt.Clients, shardrpc.Dial(i, ep, shardrpc.ClientOptions{Wire: c.Cfg.ShardWire}))
+			opt.Clients = append(opt.Clients, shardrpc.Dial(i, ep, shardrpc.ClientOptions{
+				Wire: c.Cfg.ShardWire, Compress: c.Cfg.ShardCompression}))
 		}
 	}
 	coord, err := shard.New(ps, c.F.NumLinks(), opt)

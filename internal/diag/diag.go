@@ -35,6 +35,13 @@ import (
 // silently dropping data, and this counter makes a sick agent visible.
 var malformedReports = metrics.NewCounter("diag_malformed_reports")
 
+// cutLinkDisagreements accumulates the per-window reconciliation slack of
+// the approximate partition policy: for every cut link reported bad, the
+// number of owning shards that did NOT also report it. Zero under Exact
+// (no cut links exist); a growing rate under Approximate quantifies how
+// often the cut-link accuracy bound is actually being leaned on.
+var cutLinkDisagreements = metrics.NewCounter("diag_cut_link_disagreements")
+
 // Diagnoser stage histograms: the window pipeline's per-cycle timing
 // (report ingest, window close-out, verdict classification; the localize
 // stage is observed by the shard plane it runs on).
@@ -110,6 +117,17 @@ type Options struct {
 	// ShardWire selects the transport codec for ShardEndpoints clients
 	// (shardrpc.WireAuto/WireJSON/WireBinary; default auto-negotiate).
 	ShardWire string
+	// ShardCompression selects localize-path compression for ShardEndpoints
+	// clients (shardrpc.CompressAuto/CompressOff/CompressGzip; default
+	// auto-negotiate).
+	ShardCompression string
+	// Partition selects how the diagnosis plane derives path ownership:
+	// shard.PartitionExact (default — connected components over every link,
+	// bit-identical merge) or shard.PartitionApprox (components over
+	// interior links only, so server-edge links no longer entangle racks
+	// into one giant component; cut-link verdicts reconcile at merge time
+	// and diag_cut_link_disagreements counts the reconciliation slack).
+	Partition shard.PartitionPolicy
 	// HTTPClient overrides the default client.
 	HTTPClient *http.Client
 	// Topo, when set, lets alerts name link endpoints.
@@ -158,8 +176,7 @@ type Diagnoser struct {
 	mu           sync.Mutex
 	matrix       *route.Probes
 	version      int
-	plane        *shard.Plane // lazily built per matrix when opts.Shards > 1
-	planeFor     *route.Probes
+	planeCache   shard.PlaneCache // lazily built per matrix signature when opts.Shards > 1
 	inc          *pll.Incremental // standing PLL engine (unsharded path)
 	incFor       *route.Probes
 	accVersion   int  // matrix version the accumulator's slots belong to
@@ -200,7 +217,8 @@ func New(opts Options) *Diagnoser {
 		d.shards = len(opts.ShardEndpoints)
 		d.clients = make(map[int]shard.ShardClient, d.shards)
 		for i, ep := range opts.ShardEndpoints {
-			d.clients[i] = shardrpc.Dial(i, ep, shardrpc.ClientOptions{Wire: opts.ShardWire})
+			d.clients[i] = shardrpc.Dial(i, ep, shardrpc.ClientOptions{
+				Wire: opts.ShardWire, Compress: opts.ShardCompression})
 		}
 		d.negotiateCodecs()
 	}
@@ -733,29 +751,29 @@ func (d *Diagnoser) RunWindow() *Alert {
 
 // shardPlane returns the diagnosis plane for matrix, rebuilding it when
 // the served matrix changes (one partition per construction cycle). The
-// plane is derived from the matrix alone, over all configured shard
-// slots rather than the coordinator's live set: the diagnoser is a
-// separate service that only sees the controller's HTTP surface, and
-// since it executes every slot's localizer locally, a dead controller
-// shard costs nothing here — construction failover is the coordinator's
-// job (Coordinator.BuildPlane is the liveness-aware variant for
-// in-process embedders).
+// cache keys on the matrix's content signature, not pointer identity —
+// the /matrix fetch allocates a fresh Probes every window, so an
+// unchanged served matrix must not rebuild the owner and local maps
+// every 30 seconds. The plane is derived from the matrix alone, over all
+// configured shard slots rather than the coordinator's live set: the
+// diagnoser is a separate service that only sees the controller's HTTP
+// surface, and since it executes every slot's localizer locally, a dead
+// controller shard costs nothing here — construction failover is the
+// coordinator's job (Coordinator.BuildPlane is the liveness-aware
+// variant for in-process embedders).
 func (d *Diagnoser) shardPlane(matrix *route.Probes) *shard.Plane {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.plane == nil || d.planeFor != matrix {
-		alive := make([]int, d.shards)
-		for i := range alive {
-			alive[i] = i
-		}
-		d.plane = shard.NewPlane(matrix, alive).UseClients(d.clients)
-		d.planeFor = matrix
+	alive := make([]int, d.shards)
+	for i := range alive {
+		alive[i] = i
+	}
+	pl, rebuilt := d.planeCache.Get(matrix, alive, d.opts.Partition)
+	if rebuilt {
 		// A new matrix means a new construction cycle — a natural moment
 		// to re-run codec negotiation, picking up shards redeployed at a
 		// different version since the last cycle.
 		d.negotiateCodecs()
 	}
-	return d.plane
+	return pl.UseClients(d.clients)
 }
 
 // localizeAlert runs one PLL pass — routed across the shard plane when
@@ -779,7 +797,9 @@ func (d *Diagnoser) localizeAlert(cy *obs.Cycle, matrix *route.Probes, version i
 		res, err = inc.Pass(cfg)
 		sp.EndErr(err)
 	} else if d.shards > 1 || len(d.clients) > 0 {
-		res, err = d.shardPlane(matrix).LocalizeCycle(cy, observations, cfg)
+		var ms shard.MergeStats
+		res, ms, err = d.shardPlane(matrix).LocalizeCycleStats(cy, observations, cfg)
+		cutLinkDisagreements.Add(int64(ms.Disagreements))
 	} else {
 		sp := cy.Span("localize")
 		res, err = pll.Localize(matrix, observations, cfg)

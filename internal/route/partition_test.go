@@ -1,0 +1,99 @@
+package route
+
+import (
+	"testing"
+
+	"github.com/detector-net/detector/internal/topo"
+)
+
+// Two interior groups {4,5} and {6,7}, server-edge links 0-3, entangled by
+// link 0 appearing on probes into both groups and on a 2-link intra-rack
+// path. Link IDs: 0..3 server-edge, 4..7 interior, 8 spare downlink.
+func partitionFixture() *Probes {
+	paths := [][]topo.LinkID{
+		{0, 4, 5, 2}, // group A probe from server-edge 0
+		{1, 4, 5, 2}, // group A probe from server-edge 1
+		{0, 6, 7, 3}, // group B probe from the same server-edge 0
+		{0, 8},       // intra-rack: both links server-edge
+	}
+	return NewProbesFromLinks(paths, 9)
+}
+
+func TestApproximatePartitionCutsServerEdgeLinks(t *testing.T) {
+	p := partitionFixture()
+	pt := ApproximatePartition(p)
+
+	// Parts: interior group A {4,5}, interior group B {6,7}, and the
+	// intra-rack residual {0,8}.
+	if pt.NumParts != 3 {
+		t.Fatalf("NumParts = %d, want 3", pt.NumParts)
+	}
+	// Keys are the smallest relevant link per part, ascending: the
+	// intra-rack part keys on 0, the interior groups on 4 and 6.
+	want := []uint64{0, 4, 6}
+	if len(pt.Keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", pt.Keys, want)
+	}
+	for i, k := range want {
+		if pt.Keys[i] != k {
+			t.Fatalf("Keys = %v, want %v", pt.Keys, want)
+		}
+	}
+	// Path ownership: rows 0 and 1 ride group A, row 2 group B, row 3 the
+	// intra-rack part.
+	if pt.PathPart[0] != pt.PathPart[1] {
+		t.Fatalf("group A rows split: parts %d and %d", pt.PathPart[0], pt.PathPart[1])
+	}
+	if pt.PathPart[0] == pt.PathPart[2] || pt.PathPart[0] == pt.PathPart[3] || pt.PathPart[2] == pt.PathPart[3] {
+		t.Fatalf("parts not distinct: %v", pt.PathPart)
+	}
+
+	// Link 0 is the only cut: its paths span all 3 parts. Links 1-3 and
+	// the interiors each live in one part.
+	if len(pt.Cuts) != 1 {
+		t.Fatalf("Cuts = %+v, want exactly the entangling link 0", pt.Cuts)
+	}
+	c := pt.Cuts[0]
+	if c.Link != 0 || c.Parts != 3 {
+		t.Fatalf("cut = %+v, want link 0 across 3 parts", c)
+	}
+	// The owner part is the one with the most of link 0's paths; all three
+	// parts hold exactly one, so the tie breaks to the smallest part index.
+	if c.Owner != pt.PathPart[0] && c.Owner != pt.PathPart[2] && c.Owner != pt.PathPart[3] {
+		t.Fatalf("cut owner %d is not a part that observes link 0", c.Owner)
+	}
+	if pt.MaxReplication() != 3 {
+		t.Fatalf("MaxReplication = %d, want 3", pt.MaxReplication())
+	}
+}
+
+func TestApproximatePartitionLinklessPath(t *testing.T) {
+	paths := [][]topo.LinkID{
+		{0, 1, 2},
+		{},
+	}
+	pt := ApproximatePartition(NewProbesFromLinks(paths, 3))
+	if pt.PathPart[1] != -1 {
+		t.Fatalf("linkless path assigned part %d, want -1", pt.PathPart[1])
+	}
+	if pt.NumParts != 1 {
+		t.Fatalf("NumParts = %d, want 1", pt.NumParts)
+	}
+}
+
+func TestProbesSignatureContentKeyed(t *testing.T) {
+	a := partitionFixture()
+	b := partitionFixture()
+	if ProbesSignature(a) != ProbesSignature(b) {
+		t.Fatal("identical content in distinct allocations hashes differently")
+	}
+	c := NewProbesFromLinks([][]topo.LinkID{{0, 4, 5, 2}, {1, 4, 5, 2}, {0, 6, 7, 3}}, 9)
+	if ProbesSignature(a) == ProbesSignature(c) {
+		t.Fatal("dropping a row did not change the signature")
+	}
+	d := partitionFixture()
+	d.SetIDs([]uint32{9, 8, 7, 6})
+	if ProbesSignature(a) == ProbesSignature(d) {
+		t.Fatal("sparse path IDs did not change the signature")
+	}
+}

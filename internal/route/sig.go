@@ -9,6 +9,40 @@ import "hash/fnv"
 // built for a different matrix (mismatched radix, topology family or
 // candidate generation) instead of silently computing a wrong answer. The
 // sharded control plane stamps every construction request with it.
+// ProbesSignature fingerprints a served probe matrix by content: link-ID
+// space, every row's link set and endpoints, and the wire path IDs when
+// sparse. The diagnoser re-fetches the matrix every window and gets a
+// fresh allocation each time, so pointer identity cannot tell "same
+// matrix" from "new construction cycle" — this signature can, which is
+// what lets the diagnosis plane keep its union-find partition across
+// windows instead of rebuilding it for an unchanged matrix.
+func ProbesSignature(p *Probes) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	w64(uint64(p.NumLinks))
+	w64(uint64(p.NumPaths()))
+	for i, links := range p.PathLinks {
+		w64(uint64(len(links)))
+		for _, l := range links {
+			w64(uint64(l))
+		}
+		w64(uint64(p.Src[i]))
+		w64(uint64(p.Dst[i]))
+	}
+	ids := p.IDs()
+	w64(uint64(len(ids)))
+	for _, id := range ids {
+		w64(uint64(id))
+	}
+	return h.Sum64()
+}
+
 func MatrixSignature(csr *CSR, numLinks int) uint64 {
 	h := fnv.New64a()
 	var b [8]byte

@@ -79,6 +79,14 @@ type MatrixChecker interface {
 // visible at GET /shards instead of only in payload-size graphs.
 type CodecReporter interface{ Codec() string }
 
+// CompressionReporter is implemented by transport clients that know which
+// per-message compression their localize requests travel under ("gzip",
+// "identity" — negotiated at ping time alongside the codec). Surfaced per
+// shard in Status for the same reason as the codec: a fleet silently
+// stuck uncompressed after an upgrade should be visible at GET /shards,
+// not only in wire-byte graphs.
+type CompressionReporter interface{ Compression() string }
+
 // Killer is implemented by shard clients that can simulate a crash for
 // tests and drills (the in-process shard). Remote shards die for real:
 // kill the server process instead.

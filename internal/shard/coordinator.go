@@ -85,6 +85,11 @@ type Options struct {
 	// targets but are no longer guaranteed bit-identical to a cold
 	// construction — leave off on any path that promises that.
 	ApproxWarmSeed bool
+	// Partition selects how BuildPlane derives diagnosis-side ownership:
+	// PartitionExact (default — bit-identical merge, but server-level
+	// matrices collapse to one partition) or PartitionApprox (cuts
+	// server-edge links with a measured replication bound; see Plane).
+	Partition PartitionPolicy
 }
 
 // ShardStats describes one shard's share of a construction cycle.
@@ -156,6 +161,8 @@ type Coordinator struct {
 	stopped     bool
 	stop        chan struct{}
 	probers     sync.WaitGroup
+
+	planeCache PlaneCache // BuildPlane's partition memo, keyed by matrix content
 }
 
 // New materializes and decomposes the candidate matrix, connects the shard
@@ -756,7 +763,10 @@ func (c *Coordinator) ConstructCycle(cy *obs.Cycle) (*Result, error) {
 
 // BuildPlane partitions a served probe matrix across the currently alive
 // shards for report routing and per-shard localization, dispatched over
-// the same transport clients (see Plane).
+// the same transport clients (see Plane). The partition policy comes from
+// Options.Partition; the union-find partition is cached by matrix content
+// signature, so successive cycles over an unchanged served matrix (and an
+// unchanged alive set) reuse the same plane.
 func (c *Coordinator) BuildPlane(p *route.Probes) *Plane {
 	c.mu.Lock()
 	alive := c.aliveLocked()
@@ -768,7 +778,8 @@ func (c *Coordinator) BuildPlane(p *route.Probes) *Plane {
 	for _, id := range alive {
 		clients[id] = c.clients[id]
 	}
-	return NewPlane(p, alive).UseClients(clients)
+	pl, _ := c.planeCache.Get(p, alive, c.opt.Partition)
+	return pl.UseClients(clients)
 }
 
 // ShardInfo is one shard's row in the operator-facing placement view.
@@ -780,6 +791,10 @@ type ShardInfo struct {
 	// Codec is the negotiated wire codec for transport-backed shards
 	// (CodecReporter); empty for in-process shards, which have no wire.
 	Codec string `json:"codec,omitempty"`
+	// Compression is the negotiated localize-path compression for
+	// transport-backed shards (CompressionReporter); empty for in-process
+	// shards, which have no wire.
+	Compression string `json:"compression,omitempty"`
 	// Components are the component indices the shard currently owns.
 	Components []int `json:"components"`
 }
@@ -797,7 +812,13 @@ type ComponentInfo struct {
 // GET /shards: who is alive, where every component lives, and over which
 // transport — placement without log scraping.
 type Status struct {
-	MatrixSig  uint64          `json:"matrix_sig,string"`
+	MatrixSig uint64 `json:"matrix_sig,string"`
+	// Partition is the diagnosis-plane partition policy ("exact" or
+	// "approx") the coordinator builds planes under.
+	Partition PartitionPolicy `json:"partition,omitempty"`
+	// Plane summarizes the most recent diagnosis plane built under that
+	// policy (partition/cut-link counts); nil before the first BuildPlane.
+	Plane      *PlaneStats     `json:"plane,omitempty"`
 	Shards     []ShardInfo     `json:"shards"`
 	Components []ComponentInfo `json:"components"`
 	// Down lists the currently masked (churned-out) links, ascending.
@@ -809,7 +830,15 @@ func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	unhealthy := c.wd.UnhealthySet()
-	st := Status{MatrixSig: c.sig, Down: c.inc.Down()}
+	policy := c.opt.Partition
+	if policy == "" {
+		policy = PartitionExact
+	}
+	st := Status{MatrixSig: c.sig, Partition: policy, Down: c.inc.Down()}
+	if pl := c.planeCache.Cached(); pl != nil {
+		stats := pl.Stats()
+		st.Plane = &stats
+	}
 	owned := make(map[int][]int, c.opt.Shards)
 	for ci := range c.comps {
 		id := int(c.assign[ci])
@@ -836,6 +865,9 @@ func (c *Coordinator) Status() Status {
 		}
 		if cr, ok := c.clients[i].(CodecReporter); ok {
 			info.Codec = cr.Codec()
+		}
+		if cr, ok := c.clients[i].(CompressionReporter); ok {
+			info.Compression = cr.Compression()
 		}
 		st.Shards = append(st.Shards, info)
 	}

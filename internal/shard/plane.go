@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -16,33 +17,116 @@ import (
 // per-shard PLL dispatch, verdict merge).
 var stageLocalize = obs.Stages.With("localize")
 
+// stageReconcile times the cut-link reconciliation pass of the verdict
+// merge — zero-duration under the Exact policy, which has nothing to
+// reconcile.
+var stageReconcile = obs.Stages.With("reconcile")
+
 // planeLocalFallbacks counts per-shard localizations that fell back to
 // local execution after the shard's transport client failed mid-window.
 // The merged verdict stays exact (same algorithm, same sub-matrix); the
 // counter makes a flapping shard service visible.
 var planeLocalFallbacks = metrics.NewCounter("shard_plane_local_fallbacks")
 
+// planeCutLinks tracks how many links the most recently built plane cut
+// across shards: 0 under the Exact policy (the partition is by connected
+// component, nothing is split), and the measured accuracy-bound surface
+// under the Approximate policy.
+var planeCutLinks = obs.NewGauge("shard_plane_cut_links",
+	"Links whose observed paths the diagnosis plane splits across shards (0 = exact partition).")
+
+// planeCacheHits counts plane builds avoided because the served matrix's
+// content signature (route.ProbesSignature) matched the cached partition.
+var planeCacheHits = metrics.NewCounter("shard_plane_cache_hits")
+
+// PartitionPolicy selects how the diagnosis plane derives path ownership.
+type PartitionPolicy string
+
+const (
+	// PartitionExact partitions by connected components of the probe
+	// matrix: the merge is bit-identical to one global PLL pass, but a
+	// server-level matrix whose pinger uplinks entangle the ToR-level
+	// components collapses to a single partition and runs unsharded.
+	PartitionExact PartitionPolicy = "exact"
+	// PartitionApprox partitions by interior links only
+	// (route.ApproximatePartition), deliberately cutting server-edge
+	// links so an entangled server-level matrix still spreads across
+	// shards. Each cut link's hit ratio is computed per shard from that
+	// shard's path subset and the merge runs a reconciliation pass; the
+	// per-link replication counts (CutLinks) bound the accuracy loss.
+	PartitionApprox PartitionPolicy = "approx"
+)
+
+// ParsePartitionPolicy maps a config string to a policy; empty means
+// Exact (the historical behavior). Unknown strings error rather than
+// silently running exact — a typo must not quietly disable sharding on
+// the matrices this policy exists for.
+func ParsePartitionPolicy(s string) (PartitionPolicy, error) {
+	switch PartitionPolicy(s) {
+	case "", PartitionExact:
+		return PartitionExact, nil
+	case PartitionApprox:
+		return PartitionApprox, nil
+	}
+	return "", fmt.Errorf("shard: unknown partition policy %q (want %q or %q)",
+		s, PartitionExact, PartitionApprox)
+}
+
+// PlaneStats summarizes a built plane for operators and tests.
+type PlaneStats struct {
+	Policy PartitionPolicy `json:"policy"`
+	// Partitions is the number of shards owning at least one path — the
+	// plane's effective parallelism this matrix.
+	Partitions int `json:"partitions"`
+	// Parts is the partition count before shard assignment (parts collapse
+	// onto Partitions shards by capacity-capped rendezvous).
+	Parts int `json:"parts"`
+	// CutLinks counts links whose observed paths span more than one shard.
+	CutLinks int `json:"cut_links"`
+	// MaxReplication is the largest number of shards sharing one link's
+	// evidence (1 = exact).
+	MaxReplication int `json:"max_replication"`
+}
+
+// MergeStats reports what one merged localization had to reconcile.
+type MergeStats struct {
+	// Reconciled counts verdicts on the same link arriving from more than
+	// one shard, merged by the reconciliation pass.
+	Reconciled int
+	// Disagreements is the per-cut-link disagreement count of the window:
+	// for every cut link some shard flagged bad, the number of shards
+	// sharing that link that did not flag it. 0 means every shard that
+	// saw a cut link's evidence reached the same verdict.
+	Disagreements int
+}
+
 // Plane is the diagnosis side of the sharded plane: a partition of a served
 // probe matrix across shards, with probe-report routing by path ID and a
 // cluster-wide verdict merge.
 //
-// The partition unit is a connected component of the probe matrix itself
-// (links connected through shared probe paths), computed fresh from the
-// matrix rather than inherited from the candidate decomposition — so the
-// exactness argument needs nothing from construction: every observed path
-// through a link lands on the link's owning shard, hence each shard's PLL
-// sees exactly the global algorithm's per-link path counts, hit ratios and
-// greedy cover for its links, and the merged result is bit-identical to
-// one pll.Localize over the whole matrix. For ToR-level matrices the probe
-// components coincide with the candidate components; server-level matrices
-// may entangle components through shared pinger uplinks, in which case the
-// plane degrades gracefully to fewer (still exact) partitions.
+// Under the Exact policy the partition unit is a connected component of
+// the probe matrix itself (links connected through shared probe paths):
+// every observed path through a link lands on the link's owning shard,
+// hence each shard's PLL sees exactly the global algorithm's per-link path
+// counts, hit ratios and greedy cover for its links, and the merged result
+// is bit-identical to one pll.Localize over the whole matrix. Server-level
+// matrices entangle those components through shared pinger uplinks and
+// collapse to one partition; the Approximate policy cuts exactly those
+// server-edge links (route.ApproximatePartition), accepting split hit
+// ratios on the cut links in exchange for spreading the matrix — the cut
+// set and its replication counts are exported so the accuracy loss is a
+// measured bound, not a hope.
 type Plane struct {
 	alive   []int
+	policy  PartitionPolicy
 	owner   []int32 // global path index -> owning shard id
 	local   []int32 // global path index -> row in the owner's sub-matrix
 	subs    map[int]*planeShard
 	clients map[int]ShardClient // optional: dispatch localization over the transport
+
+	parts   int                 // partition count before shard assignment
+	cuts    []route.CutLink     // shard-level cut links, ascending
+	cutRepl map[topo.LinkID]int // cut link -> shards sharing it
 }
 
 // planeShard is one shard's slice of the matrix: the sub-matrix over its
@@ -53,11 +137,74 @@ type planeShard struct {
 }
 
 // NewPlane partitions p across the alive shard ids (must be non-empty,
-// ascending). Paths in the same matrix component share an owner; ownership
-// uses the same rendezvous hash as construction, keyed by the component's
-// smallest link ID, so a component whose links match a candidate component
-// lands on the shard that built its rows.
+// ascending) under the Exact policy. Paths in the same matrix component
+// share an owner; ownership uses the same rendezvous hash as construction,
+// keyed by the component's smallest link ID, so a component whose links
+// match a candidate component lands on the shard that built its rows.
 func NewPlane(p *route.Probes, alive []int) *Plane {
+	return NewPlaneWithPolicy(p, alive, PartitionExact)
+}
+
+// NewPlaneWithPolicy is NewPlane under an explicit partition policy.
+func NewPlaneWithPolicy(p *route.Probes, alive []int, policy PartitionPolicy) *Plane {
+	var keys []uint64
+	var pathPart []int32
+	if policy == PartitionApprox {
+		pt := route.ApproximatePartition(p)
+		keys, pathPart = pt.Keys, pt.PathPart
+	} else {
+		policy = PartitionExact
+		keys, pathPart = exactPartition(p)
+	}
+	owners := assignBalanced(keys, alive)
+
+	n := p.NumPaths()
+	pl := &Plane{
+		alive:  append([]int(nil), alive...),
+		policy: policy,
+		owner:  make([]int32, n),
+		local:  make([]int32, n),
+		subs:   make(map[int]*planeShard, len(alive)),
+		parts:  len(keys),
+	}
+	for i := 0; i < n; i++ {
+		if pathPart[i] < 0 {
+			// A linkless path can explain nothing; treat it like an
+			// unknown path id rather than crediting its observations to
+			// some shard's row 0.
+			pl.owner[i] = -1
+			continue
+		}
+		pl.owner[i] = owners[pathPart[i]]
+	}
+	for _, id := range alive {
+		var pathLinks [][]topo.LinkID
+		var global []int32
+		for i := 0; i < n; i++ {
+			if pl.owner[i] != int32(id) {
+				continue
+			}
+			pl.local[i] = int32(len(global))
+			global = append(global, int32(i))
+			pathLinks = append(pathLinks, p.PathLinks[i])
+		}
+		if len(global) == 0 {
+			continue
+		}
+		sub := route.NewProbesFromLinks(pathLinks, p.NumLinks)
+		for li, gi := range global {
+			sub.Src[li], sub.Dst[li] = p.Src[gi], p.Dst[gi]
+		}
+		pl.subs[id] = &planeShard{probes: sub, global: global}
+	}
+	pl.findCuts(p)
+	planeCutLinks.Set(int64(len(pl.cuts)))
+	return pl
+}
+
+// exactPartition derives the historical component partition: union-find
+// over all links of each path, components keyed by smallest member link.
+func exactPartition(p *route.Probes) (keys []uint64, pathPart []int32) {
 	n := p.NumPaths()
 	parent := make([]int32, p.NumLinks)
 	for i := range parent {
@@ -84,59 +231,54 @@ func NewPlane(p *route.Probes, alive []int) *Plane {
 	// come out in key order — the same deterministic order the coordinator
 	// feeds to the balanced assignment.
 	seen := make(map[int32]int32) // root -> component index
-	var keys []uint64
-	var roots []int32
 	for l := 0; l < p.NumLinks; l++ {
 		if len(p.PathsThrough(topo.LinkID(l))) == 0 {
 			continue
 		}
 		r := find(int32(l))
 		if _, ok := seen[r]; !ok {
-			seen[r] = int32(len(roots))
-			roots = append(roots, r)
+			seen[r] = int32(len(keys))
 			keys = append(keys, uint64(l))
 		}
 	}
-	owners := assignBalanced(keys, alive)
-
-	pl := &Plane{
-		alive: append([]int(nil), alive...),
-		owner: make([]int32, n),
-		local: make([]int32, n),
-		subs:  make(map[int]*planeShard, len(alive)),
-	}
+	pathPart = make([]int32, n)
 	for i := 0; i < n; i++ {
 		links := p.PathLinks[i]
 		if len(links) == 0 {
-			// A linkless path can explain nothing; treat it like an
-			// unknown path id rather than crediting its observations to
-			// some shard's row 0.
-			pl.owner[i] = -1
+			pathPart[i] = -1
 			continue
 		}
-		pl.owner[i] = owners[seen[find(int32(links[0]))]]
+		pathPart[i] = seen[find(int32(links[0]))]
 	}
-	for _, id := range alive {
-		var pathLinks [][]topo.LinkID
-		var global []int32
-		for i := 0; i < n; i++ {
-			if pl.owner[i] != int32(id) {
-				continue
+	return keys, pathPart
+}
+
+// findCuts records the shard-level cut set: links whose observed paths
+// span more than one owning shard. Under the Exact policy this is empty
+// by construction; under Approximate, parts that rendezvous onto the same
+// shard heal their shared links, so the shard-level cut set (what the
+// merge actually reconciles) can be smaller than the partition's.
+func (pl *Plane) findCuts(p *route.Probes) {
+	pl.cutRepl = make(map[topo.LinkID]int)
+	seen := make(map[int32]bool)
+	for l := 0; l < p.NumLinks; l++ {
+		rows := p.PathsThrough(topo.LinkID(l))
+		if len(rows) == 0 {
+			continue
+		}
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, row := range rows {
+			if o := pl.owner[row]; o >= 0 {
+				seen[o] = true
 			}
-			pl.local[i] = int32(len(global))
-			global = append(global, int32(i))
-			pathLinks = append(pathLinks, p.PathLinks[i])
 		}
-		if len(global) == 0 {
-			continue
+		if len(seen) > 1 {
+			pl.cutRepl[topo.LinkID(l)] = len(seen)
+			pl.cuts = append(pl.cuts, route.CutLink{Link: topo.LinkID(l), Parts: len(seen)})
 		}
-		sub := route.NewProbesFromLinks(pathLinks, p.NumLinks)
-		for li, gi := range global {
-			sub.Src[li], sub.Dst[li] = p.Src[gi], p.Dst[gi]
-		}
-		pl.subs[id] = &planeShard{probes: sub, global: global}
 	}
-	return pl
 }
 
 // UseClients attaches transport clients keyed by shard id: Localize then
@@ -156,6 +298,33 @@ func (pl *Plane) Owner(i int) int {
 		return -1
 	}
 	return int(pl.owner[i])
+}
+
+// Policy returns the partition policy the plane was built under.
+func (pl *Plane) Policy() PartitionPolicy { return pl.policy }
+
+// CutLinks returns the shard-level cut set, ascending by link ID: every
+// link whose observed paths span more than one shard, with the number of
+// shards sharing it. Empty under the Exact policy.
+func (pl *Plane) CutLinks() []route.CutLink {
+	return append([]route.CutLink(nil), pl.cuts...)
+}
+
+// Stats summarizes the partition for GET /shards and tests.
+func (pl *Plane) Stats() PlaneStats {
+	st := PlaneStats{
+		Policy:         pl.policy,
+		Partitions:     len(pl.subs),
+		Parts:          pl.parts,
+		CutLinks:       len(pl.cuts),
+		MaxReplication: 1,
+	}
+	for _, c := range pl.cuts {
+		if c.Parts > st.MaxReplication {
+			st.MaxReplication = c.Parts
+		}
+	}
+	return st
 }
 
 // Shards returns the shard ids that own at least one path, ascending.
@@ -202,18 +371,32 @@ func (pl *Plane) localizeShard(cycle uint64, id int, obs []pll.Observation, cfg 
 
 // Localize routes the window to the owning shards, runs one PLL pass per
 // shard concurrently, and merges the verdicts: bad links are the sorted
-// union (components are link-disjoint, so no verdict can collide), and the
-// lossy/unexplained counters sum.
+// union, and the lossy/unexplained counters sum.
 func (pl *Plane) Localize(observations []pll.Observation, cfg pll.Config) (*pll.Result, error) {
 	return pl.LocalizeCycle(nil, observations, cfg)
 }
 
-// LocalizeCycle is Localize under an observability cycle: each shard's PLL
-// pass gets a shard-tagged span on cy, the merged pass feeds the "localize"
-// stage histogram, and the cycle ID rides to remote shards in the
-// X-Detector-Cycle header so their server-side spans file under the same
-// timeline. A nil cy traces nothing and propagates cycle ID 0.
+// LocalizeCycle is Localize under an observability cycle; see
+// LocalizeCycleStats for the merge bookkeeping.
 func (pl *Plane) LocalizeCycle(cy *obs.Cycle, observations []pll.Observation, cfg pll.Config) (*pll.Result, error) {
+	res, _, err := pl.LocalizeCycleStats(cy, observations, cfg)
+	return res, err
+}
+
+// LocalizeCycleStats runs one merged localization and reports what the
+// merge reconciled. Each shard's PLL pass gets a shard-tagged span on cy,
+// the merged pass feeds the "localize" stage histogram, and the cycle ID
+// rides to remote shards in the X-Detector-Cycle header so their
+// server-side spans file under the same timeline. A nil cy traces nothing
+// and propagates cycle ID 0.
+//
+// The merge is a sorted union of bad links with a reconciliation pass for
+// cut links: a link flagged by several shards keeps the maximum observed
+// loss rate and the summed explained-loss count (each shard explained a
+// disjoint path subset). A cut link flagged by some but not all of the
+// shards sharing it counts into MergeStats.Disagreements — under the
+// Exact policy both numbers are structurally zero.
+func (pl *Plane) LocalizeCycleStats(cy *obs.Cycle, observations []pll.Observation, cfg pll.Config) (*pll.Result, MergeStats, error) {
 	start := time.Now()
 	defer func() { stageLocalize.Observe(time.Since(start)) }()
 	routed := pl.Route(observations)
@@ -236,21 +419,29 @@ func (pl *Plane) LocalizeCycle(cy *obs.Cycle, observations []pll.Observation, cf
 		}(k, id)
 	}
 	wg.Wait()
+	var ms MergeStats
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, ms, err
 		}
 	}
 
+	reconcileStart := time.Now()
+	reconcileSpan := cy.Span("reconcile")
 	merged := &pll.Result{}
-	byLink := make(map[topo.LinkID]int) // link -> index into merged.Bad
+	byLink := make(map[topo.LinkID]int)     // link -> index into merged.Bad
+	reportedBy := make(map[topo.LinkID]int) // link -> shards that flagged it
 	for _, r := range results {
 		merged.LossyPaths += r.LossyPaths
 		merged.UnexplainedPaths += r.UnexplainedPaths
 		for _, v := range r.Bad {
+			reportedBy[v.Link]++
 			if j, ok := byLink[v.Link]; ok {
-				// Unreachable under the component partition; kept so a
-				// future non-exact owner derivation degrades sanely.
+				// Reconciliation: the shards sharing a cut link each saw a
+				// disjoint subset of its paths, so the explained counts
+				// add; the loss rate is an estimate of one underlying
+				// physical rate, so the largest (best-evidenced) wins.
+				ms.Reconciled++
 				merged.Bad[j].Explained += v.Explained
 				if v.Rate > merged.Bad[j].Rate {
 					merged.Bad[j].Rate = v.Rate
@@ -261,7 +452,70 @@ func (pl *Plane) LocalizeCycle(cy *obs.Cycle, observations []pll.Observation, cf
 			merged.Bad = append(merged.Bad, v)
 		}
 	}
+	for link, n := range reportedBy {
+		if repl := pl.cutRepl[link]; repl > n {
+			ms.Disagreements += repl - n
+		}
+	}
 	sort.Slice(merged.Bad, func(i, j int) bool { return merged.Bad[i].Link < merged.Bad[j].Link })
+	reconcileSpan.End()
+	stageReconcile.Observe(time.Since(reconcileStart))
 	merged.Elapsed = time.Since(start)
-	return merged, nil
+	return merged, ms, nil
+}
+
+// PlaneCache memoizes the most recent plane by served-matrix content
+// signature: the diagnoser re-fetches the matrix every window and gets a
+// fresh allocation each time, so without the signature an unchanged matrix
+// rebuilt the union-find partition and every sub-matrix once per window.
+// The cache invalidates on any change to the matrix content, the alive
+// shard set, or the policy.
+type PlaneCache struct {
+	mu     sync.Mutex
+	sig    uint64
+	alive  []int
+	policy PartitionPolicy
+	plane  *Plane
+}
+
+// Get returns the plane for (p, alive, policy), rebuilding only when the
+// matrix content, shard set or policy changed since the last call.
+// rebuilt reports whether a build happened — callers hook once-per-cycle
+// work (codec renegotiation, client attachment) on it.
+func (pc *PlaneCache) Get(p *route.Probes, alive []int, policy PartitionPolicy) (pl *Plane, rebuilt bool) {
+	if policy == "" {
+		policy = PartitionExact
+	}
+	sig := route.ProbesSignature(p)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.plane != nil && pc.sig == sig && pc.policy == policy && equalInts(pc.alive, alive) {
+		planeCacheHits.Inc()
+		return pc.plane, false
+	}
+	pc.plane = NewPlaneWithPolicy(p, alive, policy)
+	pc.sig = sig
+	pc.alive = append(pc.alive[:0], alive...)
+	pc.policy = policy
+	return pc.plane, true
+}
+
+// Cached returns the memoized plane, or nil before the first Get. Status
+// surfaces read it for the /shards view without forcing a build.
+func (pc *PlaneCache) Cached() *Plane {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.plane
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

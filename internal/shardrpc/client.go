@@ -77,6 +77,13 @@ type ClientOptions struct {
 	// coordinator memory through an unbounded response body. Default
 	// DefaultLimits().MaxBodyBytes.
 	MaxResponseBytes int64
+	// Compress selects per-message compression for the localize path:
+	// CompressAuto (default — negotiate at ping time, identity until the
+	// shard advertises gzip), CompressOff, or CompressGzip. Construct
+	// payloads are untouched: the varint-delta codec already strips their
+	// redundancy, while localize's route-ordered link lists are where
+	// entropy coding pays (ARCHITECTURE.md has the measured ratio).
+	Compress string
 }
 
 // Client drives one remote shard service and implements shard.ShardClient,
@@ -85,22 +92,24 @@ type ClientOptions struct {
 // opened/reused) register in internal/metrics and surface at every
 // service's GET /metrics.
 type Client struct {
-	id      int
-	base    string
-	hc      *http.Client
-	att     int
-	wire    string
-	maxResp int64
+	id       int
+	base     string
+	hc       *http.Client
+	att      int
+	wire     string
+	compress string
+	maxResp  int64
 	// wireCount is true when the client owns a counting transport: the
 	// byte counters then measure actual wire traffic — headers, bodies,
 	// failed attempts, pings — not just successfully posted payloads.
 	wireCount bool
 
-	mu          sync.Mutex
-	negotiated  string // codec chosen by the last ping under WireAuto
-	expectSet   bool
-	expectSig   uint64
-	expectLinks int
+	mu             sync.Mutex
+	negotiated     string // codec chosen by the last ping under WireAuto
+	negotiatedComp string // compression chosen by the last ping under CompressAuto
+	expectSet      bool
+	expectSig      uint64
+	expectLinks    int
 
 	requests    *obs.Counter
 	retries     *obs.Counter
@@ -146,18 +155,26 @@ func Dial(id int, baseURL string, opt ClientOptions) *Client {
 		panic(fmt.Sprintf("shardrpc: unknown wire policy %q (want %q, %q or %q)",
 			opt.Wire, WireAuto, WireJSON, WireBinary))
 	}
+	switch opt.Compress {
+	case "", CompressAuto, CompressOff, CompressGzip:
+	default:
+		panic(fmt.Sprintf("shardrpc: unknown compression policy %q (want %q, %q or %q)",
+			opt.Compress, CompressAuto, CompressOff, CompressGzip))
+	}
 	slot := strconv.Itoa(id)
 	c := &Client{
 		id: id, base: baseURL,
-		wire:        opt.Wire,
-		negotiated:  CodecJSON,
-		maxResp:     opt.MaxResponseBytes,
-		requests:    clientRequests.With(slot),
-		retries:     clientRetries.With(slot),
-		bytesIn:     clientBytesIn.With(slot),
-		bytesOut:    clientBytesOut.With(slot),
-		connsOpened: clientConnsOpened.With(slot),
-		connsReused: clientConnsReused.With(slot),
+		wire:           opt.Wire,
+		compress:       opt.Compress,
+		negotiated:     CodecJSON,
+		negotiatedComp: CompressionIdentity,
+		maxResp:        opt.MaxResponseBytes,
+		requests:       clientRequests.With(slot),
+		retries:        clientRetries.With(slot),
+		bytesIn:        clientBytesIn.With(slot),
+		bytesOut:       clientBytesOut.With(slot),
+		connsOpened:    clientConnsOpened.With(slot),
+		connsReused:    clientConnsReused.With(slot),
 	}
 	if c.maxResp <= 0 {
 		c.maxResp = DefaultLimits().MaxBodyBytes
@@ -212,6 +229,22 @@ func (c *Client) Codec() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.negotiated
+}
+
+// Compression reports the scheme the next localize request would use: the
+// forced policy, or the outcome of the last ping negotiation under
+// CompressAuto. The controller's /shards view surfaces it per shard next
+// to the codec.
+func (c *Client) Compression() string {
+	switch c.compress {
+	case CompressOff:
+		return CompressionIdentity
+	case CompressGzip:
+		return CompressionGzip
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.negotiatedComp
 }
 
 // Close releases idle connections.
@@ -308,6 +341,7 @@ func (c *Client) Ping() error {
 	}
 	c.mu.Lock()
 	c.negotiated = negotiated
+	c.negotiatedComp = negotiateCompression(pr.Compressions)
 	expectSet, expectSig, expectLinks := c.expectSet, c.expectSig, c.expectLinks
 	c.mu.Unlock()
 	if expectSet && (pr.MatrixSig != expectSig || pr.NumLinks != expectLinks) {
@@ -362,10 +396,34 @@ func decodeResponse(resp *http.Response, body []byte, respKind byte, maxPayload 
 // spoken. Responses are bounded by MaxResponseBytes: an oversized one is
 // a final error, like any other corrupt response. A nonzero cycle rides in
 // the X-Detector-Cycle header — observability only, never in the payload.
-func (c *Client) post(path string, cycle uint64, reqBody any, respKind byte, out any) error {
+//
+// compressible marks the payload as eligible for the negotiated
+// compression scheme (the localize path). When active, the request body
+// ships gzip above compressMinBytes with Content-Encoding set, and the
+// request carries an explicit Accept-Encoding: gzip — which switches off
+// Go's transparent response decompression, so this client owns both
+// directions: the wire counters then measure what actually crossed, not
+// what the transport silently inflated.
+func (c *Client) post(path string, cycle uint64, reqBody any, respKind byte, compressible bool, out any) error {
 	body, contentType, err := c.encodeRequest(reqBody)
 	if err != nil {
 		return fmt.Errorf("shardrpc %d: encode %s: %w", c.id, path, err)
+	}
+	gz := compressible && c.Compression() == CompressionGzip
+	encoding := ""
+	if gz {
+		rawLen := int64(len(body))
+		if rawLen >= compressMinBytes {
+			body = gzipBytes(body)
+			encoding = CompressionGzip
+		}
+		localizeRawBytes.Add(rawLen)
+		localizeWireBytes.Add(int64(len(body)))
+	} else if compressible {
+		// Compression off or never negotiated: raw == wire, so the
+		// counter pair still yields a truthful (1.0) ratio.
+		localizeRawBytes.Add(int64(len(body)))
+		localizeWireBytes.Add(int64(len(body)))
 	}
 	var lastErr error
 	for attempt := 0; attempt < c.att; attempt++ {
@@ -379,6 +437,12 @@ func (c *Client) post(path string, cycle uint64, reqBody any, respKind byte, out
 			return fmt.Errorf("shardrpc %d: %s: %w", c.id, path, err)
 		}
 		req.Header.Set("Content-Type", contentType)
+		if encoding != "" {
+			req.Header.Set("Content-Encoding", encoding)
+		}
+		if gz {
+			req.Header.Set("Accept-Encoding", CompressionGzip)
+		}
 		if cycle != 0 {
 			req.Header.Set(obs.CycleHeader, strconv.FormatUint(cycle, 10))
 		}
@@ -413,6 +477,15 @@ func (c *Client) post(path string, cycle uint64, reqBody any, respKind byte, out
 			}
 			return fmt.Errorf("shardrpc %d: %s: status %s", c.id, path, resp.Status)
 		}
+		if resp.Header.Get("Content-Encoding") == CompressionGzip {
+			// Only reachable when this client sent Accept-Encoding itself
+			// (transparent transport decompression strips the header), so
+			// the bound mirrors the request-side bomb guard.
+			respBody, err = gunzipBounded(respBody, c.maxResp)
+			if err != nil {
+				return fmt.Errorf("shardrpc %d: %s: decompress response: %w", c.id, path, err)
+			}
+		}
 		if err := decodeResponse(resp, respBody, respKind, c.maxResp, out); err != nil {
 			return fmt.Errorf("shardrpc %d: %s: decode response: %w", c.id, path, err)
 		}
@@ -425,7 +498,7 @@ func (c *Client) post(path string, cycle uint64, reqBody any, respKind byte, out
 // coordinator's cycle ID (req.Cycle) travels as a header, not payload.
 func (c *Client) Construct(req shard.ConstructRequest) (*pmc.Result, error) {
 	var resp ConstructResponse
-	if err := c.post("/v1/construct", req.Cycle, encodeConstruct(req), kindConstructResp, &resp); err != nil {
+	if err := c.post("/v1/construct", req.Cycle, encodeConstruct(req), kindConstructResp, false, &resp); err != nil {
 		return nil, err
 	}
 	if resp.V != SchemaVersion {
@@ -446,7 +519,7 @@ func (c *Client) Construct(req shard.ConstructRequest) (*pmc.Result, error) {
 // verdicts. The caller's cycle ID travels as a header, not payload.
 func (c *Client) Localize(cycle uint64, sub *route.Probes, observations []pll.Observation, cfg pll.Config) (*pll.Result, error) {
 	var resp LocalizeResponse
-	if err := c.post("/v1/localize", cycle, encodeLocalize(sub, observations, cfg), kindLocalizeResp, &resp); err != nil {
+	if err := c.post("/v1/localize", cycle, encodeLocalize(sub, observations, cfg), kindLocalizeResp, true, &resp); err != nil {
 		return nil, err
 	}
 	if resp.V != SchemaVersion {
@@ -464,8 +537,9 @@ func (c *Client) Localize(cycle uint64, sub *route.Probes, observations []pll.Ob
 }
 
 // Interface conformance: a Client is a shard.ShardClient that reports its
-// wire codec.
+// wire codec and compression scheme.
 var (
-	_ shard.ShardClient   = (*Client)(nil)
-	_ shard.CodecReporter = (*Client)(nil)
+	_ shard.ShardClient         = (*Client)(nil)
+	_ shard.CodecReporter       = (*Client)(nil)
+	_ shard.CompressionReporter = (*Client)(nil)
 )

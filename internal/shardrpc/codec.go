@@ -88,6 +88,11 @@ type PingResponse struct {
 	// this is the whole negotiation: the server advertises, the client
 	// picks the cheapest codec both ends speak.
 	Codecs []string `json:"codecs,omitempty"`
+	// Compressions lists the per-message compressions the shard accepts
+	// on the localize path ("gzip"); identity is always implied. Same
+	// ladder as Codecs: an older service omits the field and the client
+	// ships identity.
+	Compressions []string `json:"compressions,omitempty"`
 }
 
 // Component is one independent subproblem on the wire: global link IDs and

@@ -1,0 +1,117 @@
+package shardrpc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/detector-net/detector/internal/metrics"
+)
+
+// Per-message compression for the localize path. Construct payloads ride
+// the v2 varint-delta codec, which already strips their redundancy; the
+// localize request is different — route-ordered link lists repeat the same
+// fan-out structure once per path and delta-compress poorly, so a
+// general-purpose entropy coder on top of the codec is where the bytes
+// are. Compression is negotiated exactly like the codec ladder: the shard
+// advertises what it accepts in PingResponse.Compressions, the client
+// picks the cheapest scheme both ends speak, and a mixed fleet degrades to
+// identity per shard instead of breaking. zstd would slot in as another
+// rung, but the toolchain's stdlib is the dependency budget, so gzip is
+// the ladder's top today.
+const (
+	// CompressionIdentity is the no-compression floor every peer speaks.
+	CompressionIdentity = "identity"
+	// CompressionGzip is stdlib gzip (RFC 1952) on the request/response
+	// bodies of the localize path, signaled via Content-Encoding.
+	CompressionGzip = "gzip"
+)
+
+// Compression policies for ClientOptions.Compress.
+const (
+	// CompressAuto negotiates at ping time: identity until the shard's
+	// ping advertises gzip (a v1 service omits the field — identity).
+	CompressAuto = "auto"
+	// CompressOff forces identity even against a gzip-capable shard.
+	CompressOff = "off"
+	// CompressGzip forces gzip; a shard that cannot decode it answers
+	// 415, surfacing as a dispatch failure instead of silent downgrade.
+	CompressGzip = CompressionGzip
+)
+
+// compressMinBytes is the floor below which compressing a body is pure
+// overhead: a gzip header + trailer is 18 bytes and tiny windows are
+// incompressible, so small bodies ship as identity even when gzip is
+// negotiated.
+const compressMinBytes = 512
+
+// Localize wire-ratio counters: raw is the encoded payload before
+// compression, wire is what actually shipped. The per-push CI bench reads
+// the pair to report the compression ratio; identical values mean
+// compression is off (or never negotiated — compare with the /shards
+// view).
+var (
+	localizeRawBytes  = metrics.NewCounter("shardrpc_localize_raw_bytes")
+	localizeWireBytes = metrics.NewCounter("shardrpc_localize_wire_bytes")
+)
+
+// errDecompressTooLarge maps to 413 exactly like errFrameTooLarge: a
+// body whose decompressed size exceeds the server's limits is treated as
+// oversized, whether the bytes arrived compressed or not — compression
+// must never widen what a peer can make the server buffer.
+var errDecompressTooLarge = fmt.Errorf("decompressed body exceeds limit")
+
+// gzipBytes compresses b at the default level.
+func gzipBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(b) // bytes.Buffer writes cannot fail
+	zw.Close()
+	return buf.Bytes()
+}
+
+// gunzipBounded decompresses b, refusing to produce more than max bytes —
+// the decompression-bomb guard: a 1 MB gzip body can inflate to 1 GB, so
+// the bound applies to the output, not the input.
+func gunzipBounded(b []byte, max int64) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, fmt.Errorf("gzip: %w", err)
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(io.LimitReader(zr, max+1))
+	if err != nil {
+		return nil, fmt.Errorf("gzip: %w", err)
+	}
+	if int64(len(out)) > max {
+		return nil, errDecompressTooLarge
+	}
+	return out, nil
+}
+
+// acceptsGzip reports whether an Accept-Encoding header admits gzip.
+func acceptsGzip(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		enc := strings.TrimSpace(part)
+		if i := strings.IndexByte(enc, ';'); i >= 0 {
+			enc = strings.TrimSpace(enc[:i])
+		}
+		if enc == CompressionGzip {
+			return true
+		}
+	}
+	return false
+}
+
+// negotiateCompression picks the richest compression both ends speak from
+// a ping advertisement.
+func negotiateCompression(advertised []string) string {
+	for _, name := range advertised {
+		if name == CompressionGzip {
+			return CompressionGzip
+		}
+	}
+	return CompressionIdentity
+}

@@ -1,0 +1,323 @@
+package shardrpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/detector-net/detector/internal/httpx"
+	"github.com/detector-net/detector/internal/pll"
+	"github.com/detector-net/detector/internal/route"
+	"github.com/detector-net/detector/internal/topo"
+)
+
+func TestCompressionNegotiation(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	srv := NewServer(ps, f.NumLinks())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	auto := Dial(0, ts.URL, ClientOptions{})
+	defer auto.Close()
+	if got := auto.Compression(); got != CompressionIdentity {
+		t.Fatalf("auto client before ping: compression %q, want %q", got, CompressionIdentity)
+	}
+	if err := auto.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if got := auto.Compression(); got != CompressionGzip {
+		t.Fatalf("auto client after ping: compression %q, want %q (the server advertises gzip)", got, CompressionGzip)
+	}
+
+	off := Dial(1, ts.URL, ClientOptions{Compress: CompressOff})
+	defer off.Close()
+	if err := off.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if got := off.Compression(); got != CompressionIdentity {
+		t.Fatalf("forced-off client: compression %q, want %q even against a gzip-capable shard", got, CompressionIdentity)
+	}
+
+	forced := Dial(2, ts.URL, ClientOptions{Compress: CompressGzip})
+	defer forced.Close()
+	if got := forced.Compression(); got != CompressionGzip {
+		t.Fatalf("forced-gzip client before any ping: compression %q, want %q", got, CompressionGzip)
+	}
+}
+
+func TestDialUnknownCompressionPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dial accepted compression policy \"zstd\"")
+		}
+	}()
+	Dial(0, "http://127.0.0.1:0", ClientOptions{Compress: "zstd"})
+}
+
+// TestCompressedLocalizeRoundTrip is the wire guarantee under compression:
+// verdicts from a gzip-compressed localize exchange must be bit-identical
+// to the uncompressed ones, for both codecs, and the wire-byte counters
+// must show the request actually shrank.
+func TestCompressedLocalizeRoundTrip(t *testing.T) {
+	f := topo.MustFattree(8)
+	ps := route.NewFattreePaths(f)
+	probes := route.NewProbes(ps, seq(0, 2000), f.NumLinks())
+	window := syntheticWindow(probes, 3)
+	ref, err := pll.Localize(probes, window, pll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, wire := range []string{WireJSON, WireBinary} {
+		for _, compress := range []string{CompressOff, CompressGzip} {
+			srv := NewServer(ps, f.NumLinks())
+			ts := httptest.NewServer(srv.Handler())
+			cl := Dial(0, ts.URL, ClientOptions{Wire: wire, Compress: compress})
+
+			rawBefore, wireBefore := localizeRawBytes.Value(), localizeWireBytes.Value()
+			got, err := cl.Localize(7, probes, window, pll.DefaultConfig())
+			if err != nil {
+				t.Fatalf("%s/%s: localize: %v", wire, compress, err)
+			}
+			if !reflect.DeepEqual(got.Bad, ref.Bad) ||
+				got.LossyPaths != ref.LossyPaths || got.UnexplainedPaths != ref.UnexplainedPaths {
+				t.Errorf("%s/%s: verdicts diverge from the local pass", wire, compress)
+			}
+			raw, wireBytes := localizeRawBytes.Value()-rawBefore, localizeWireBytes.Value()-wireBefore
+			if raw <= 0 || wireBytes <= 0 {
+				t.Fatalf("%s/%s: wire counters did not move (raw %d, wire %d)", wire, compress, raw, wireBytes)
+			}
+			switch compress {
+			case CompressOff:
+				if wireBytes != raw {
+					t.Errorf("%s/off: wire %d != raw %d with compression off", wire, wireBytes, raw)
+				}
+			case CompressGzip:
+				// The acceptance bar: a compressed localize window ships
+				// at no more than half its encoded size.
+				if wireBytes*2 > raw {
+					t.Errorf("%s/gzip: wire %d > 0.5 x raw %d — compression ratio regressed", wire, wireBytes, raw)
+				}
+			}
+			cl.Close()
+			ts.Close()
+		}
+	}
+}
+
+// TestCompressionMixedFleetFallsBack pins the downgrade path: against a
+// service whose ping does not advertise compression (an older build), an
+// auto client must ship identity and still round-trip.
+func TestCompressionMixedFleetFallsBack(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	srv := NewServer(ps, f.NumLinks())
+	inner := srv.Handler()
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/ping" {
+			httpx.WriteJSON(w, PingResponse{
+				V: SchemaVersion, MatrixSig: srv.MatrixSig(),
+				NumLinks: f.NumLinks(), Paths: ps.Len(),
+				Codecs: []string{CodecJSON, CodecBinary},
+				// No Compressions: a pre-compression build.
+			})
+			return
+		}
+		if r.Header.Get("Content-Encoding") != "" {
+			t.Errorf("auto client sent Content-Encoding %q to a shard that never advertised compression", r.Header.Get("Content-Encoding"))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer legacy.Close()
+
+	cl := Dial(0, legacy.URL, ClientOptions{})
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if got := cl.Compression(); got != CompressionIdentity {
+		t.Fatalf("auto client negotiated %q against a legacy shard, want %q", got, CompressionIdentity)
+	}
+	probes := route.NewProbes(ps, seq(0, 64), f.NumLinks())
+	window := syntheticWindow(probes, 1)
+	ref, err := pll.Localize(probes, window, pll.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Localize(1, probes, window, pll.DefaultConfig())
+	if err != nil {
+		t.Fatalf("localize against legacy shard: %v", err)
+	}
+	if !reflect.DeepEqual(got.Bad, ref.Bad) {
+		t.Error("verdicts diverge over the identity fallback")
+	}
+}
+
+func TestUnknownContentEncodingRejected(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	ts := httptest.NewServer(NewServer(ps, f.NumLinks()).Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/localize", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentTypeJSON)
+	req.Header.Set("Content-Encoding", "br")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("Content-Encoding br answered %d, want %d", resp.StatusCode, http.StatusUnsupportedMediaType)
+	}
+}
+
+// TestDecompressionBombRejected pins the bomb guard: a small gzip body
+// inflating past MaxBodyBytes must answer 413, never buffer the expansion.
+func TestDecompressionBombRejected(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	lim := DefaultLimits()
+	lim.MaxBodyBytes = 64 << 10
+	ts := httptest.NewServer(NewServerLimits(ps, f.NumLinks(), lim).Handler())
+	defer ts.Close()
+
+	// 8 MB of zeros gzips to a few KB — under the wire cap, far over the
+	// decompressed cap.
+	bomb := gzipBytes(make([]byte, 8<<20))
+	if int64(len(bomb)) >= lim.MaxBodyBytes {
+		t.Fatalf("fixture broken: bomb wire size %d not under the body cap", len(bomb))
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/localize", bytes.NewReader(bomb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", contentTypeJSON)
+	req.Header.Set("Content-Encoding", CompressionGzip)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("decompression bomb answered %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}
+
+func TestPingAdvertisesCompression(t *testing.T) {
+	f := topo.MustFattree(4)
+	ps := route.NewFattreePaths(f)
+	ts := httptest.NewServer(NewServer(ps, f.NumLinks()).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr PingResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range pr.Compressions {
+		found = found || c == CompressionGzip
+	}
+	if !found {
+		t.Fatalf("ping advertises %v, want gzip present", pr.Compressions)
+	}
+}
+
+// FuzzCompressedFrame throws arbitrary bytes at the compressed-frame
+// decode path: gunzipBounded must never panic or exceed its output bound,
+// and gzip round-trips must be identity. Valid gzip streams additionally
+// flow into the binary frame decoder exactly as a compressed localize
+// body would server-side.
+func FuzzCompressedFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add(gzipBytes([]byte("hello")))
+	f.Add(gzipBytes(make([]byte, 4096)))
+	lreq := LocalizeRequest{V: SchemaVersion, NumLinks: 3,
+		Paths: []Path{{Links: []topo.LinkID{0, 1, 2}}}}
+	f.Add(gzipBytes(lreq.encodeBinary()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxOut = 1 << 20
+		out, err := gunzipBounded(data, maxOut)
+		if err == nil {
+			if int64(len(out)) > maxOut {
+				t.Fatalf("gunzipBounded produced %d bytes past its %d bound", len(out), maxOut)
+			}
+			// A decompressed body feeds the binary decoder server-side;
+			// it must hold under arbitrary decompressed content.
+			var lr LocalizeRequest
+			_ = decodeBinaryInto(out, kindLocalizeReq, maxOut, &lr)
+		}
+		// Round-trip: compressing arbitrary bytes and decompressing must
+		// reproduce them exactly. The bound is the input length, so a
+		// bound error here would itself be a bug.
+		back, err := gunzipBounded(gzipBytes(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("gzip round-trip failed: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("gzip round-trip is not identity")
+		}
+	})
+}
+
+// seq returns [lo, hi) — selection indices for matrix fixtures.
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// BenchmarkLocalizeWireBytes measures the localize request's wire cost
+// with compression off and on, over the binary codec (the production
+// fleet's floor). CI runs it per push and reads rawB/op vs wireB/op for
+// the compression ratio.
+func BenchmarkLocalizeWireBytes(b *testing.B) {
+	f := topo.MustFattree(8)
+	ps := route.NewFattreePaths(f)
+	probes := route.NewProbes(ps, seq(0, 2000), f.NumLinks())
+	window := syntheticWindow(probes, 3)
+	for _, bench := range []struct{ name, compress string }{
+		{"identity", CompressOff},
+		{"gzip", CompressGzip},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			srv := NewServer(ps, f.NumLinks())
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			cl := Dial(0, ts.URL, ClientOptions{Wire: WireBinary, Compress: bench.compress})
+			defer cl.Close()
+			rawBefore, wireBefore := localizeRawBytes.Value(), localizeWireBytes.Value()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Localize(0, probes, window, pll.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			raw := float64(localizeRawBytes.Value()-rawBefore) / float64(b.N)
+			wire := float64(localizeWireBytes.Value()-wireBefore) / float64(b.N)
+			b.ReportMetric(raw, "rawB/op")
+			b.ReportMetric(wire, "wireB/op")
+			if raw > 0 {
+				b.ReportMetric(wire/raw, "ratio")
+			}
+		})
+	}
+}

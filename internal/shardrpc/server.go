@@ -123,10 +123,11 @@ func requestCodec(r *http.Request) string {
 
 // decodeBody reads and decodes a bounded request body in the codec its
 // Content-Type selects, mapping failures to the right status: 413 when
-// the body (or a binary frame's declared length) exceeds MaxBodyBytes,
-// 400 for anything undecodable (truncation included), 415 for an unknown
-// media type. Both codecs pass through the same Limits; the binary path
-// buys compactness, never laxity.
+// the body (or a binary frame's declared length, or a gzip body's
+// decompressed size) exceeds MaxBodyBytes, 400 for anything undecodable
+// (truncation included), 415 for an unknown media type or content
+// encoding. Both codecs and both encodings pass through the same Limits;
+// compactness is never laxity.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, kind byte, v any) (string, bool) {
 	codec := requestCodec(r)
 	if codec == "" {
@@ -136,20 +137,34 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, kind byte, v
 			r.Header.Get("Content-Type"), contentTypeJSON, ContentTypeBinary)
 		return codec, false
 	}
+	encoding := r.Header.Get("Content-Encoding")
+	switch encoding {
+	case "", CompressionIdentity, CompressionGzip:
+	default:
+		serverRejected.Inc()
+		httpx.Error(w, http.StatusUnsupportedMediaType,
+			"unsupported content encoding %q (want %s or %s)",
+			encoding, CompressionIdentity, CompressionGzip)
+		return codec, false
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.lim.MaxBodyBytes)
-	var err error
-	if codec == CodecJSON {
-		err = json.NewDecoder(r.Body).Decode(v)
-	} else {
-		var data []byte
-		if data, err = io.ReadAll(r.Body); err == nil {
+	data, err := io.ReadAll(r.Body)
+	if err == nil && encoding == CompressionGzip {
+		// The wire bytes are already bounded above; the bomb guard bounds
+		// what they inflate to.
+		data, err = gunzipBounded(data, s.lim.MaxBodyBytes)
+	}
+	if err == nil {
+		if codec == CodecJSON {
+			err = json.Unmarshal(data, v)
+		} else {
 			err = decodeBinaryInto(data, kind, s.lim.MaxBodyBytes, v)
 		}
 	}
 	if err != nil {
 		serverRejected.Inc()
 		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) || errors.Is(err, errFrameTooLarge) {
+		if errors.As(err, &tooBig) || errors.Is(err, errFrameTooLarge) || errors.Is(err, errDecompressTooLarge) {
 			httpx.Error(w, http.StatusRequestEntityTooLarge,
 				"request body exceeds %d bytes", s.lim.MaxBodyBytes)
 			return codec, false
@@ -203,6 +218,40 @@ func writeReply(w http.ResponseWriter, codec string, v any) {
 	_, _ = w.Write(frame)
 }
 
+// writeReplyMaybeCompressed is writeReply for the localize path: when the
+// request's Accept-Encoding admits gzip and the body clears the
+// compression floor, the reply ships gzip with Content-Encoding set.
+// (The client sets Accept-Encoding explicitly, which also switches off
+// net/http's transparent response decompression — both ends own the
+// encoding, so the wire-byte counters measure truth.)
+func writeReplyMaybeCompressed(w http.ResponseWriter, r *http.Request, codec string, v any) {
+	if !acceptsGzip(r.Header.Get("Accept-Encoding")) {
+		writeReply(w, codec, v)
+		return
+	}
+	var body []byte
+	contentType := contentTypeJSON
+	switch resp := v.(type) {
+	case LocalizeResponse:
+		if codec == CodecBinary {
+			body, contentType = resp.encodeBinary(), ContentTypeBinary
+		}
+	}
+	if body == nil {
+		var err error
+		if body, err = json.Marshal(v); err != nil {
+			httpx.Error(w, http.StatusInternalServerError, "encode response: %v", err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", contentType)
+	if len(body) >= compressMinBytes {
+		w.Header().Set("Content-Encoding", CompressionGzip)
+		body = gzipBytes(body)
+	}
+	_, _ = w.Write(body)
+}
+
 // Handler serves the shard RPC surface plus the standard GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -215,7 +264,8 @@ func (s *Server) Handler() http.Handler {
 		httpx.WriteJSON(w, PingResponse{
 			V: SchemaVersion, MatrixSig: s.sig,
 			NumLinks: s.numLinks, Paths: s.ps.Len(),
-			Codecs: []string{CodecJSON, CodecBinary},
+			Codecs:       []string{CodecJSON, CodecBinary},
+			Compressions: []string{CompressionGzip},
 		})
 	})
 	mux.HandleFunc("/v1/construct", func(w http.ResponseWriter, r *http.Request) {
@@ -305,7 +355,7 @@ func (s *Server) Handler() http.Handler {
 		for _, v := range res.Bad {
 			resp.Bad = append(resp.Bad, Verdict{Link: v.Link, Rate: v.Rate, Explained: v.Explained})
 		}
-		writeReply(w, codec, resp)
+		writeReplyMaybeCompressed(w, r, codec, resp)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if !httpx.RequireMethod(w, r, http.MethodGet) {
@@ -322,10 +372,11 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc("/statusz", obs.StatuszHandler("shard", s.tr, func() any {
 		return map[string]any{
-			"matrix_sig": strconv.FormatUint(s.sig, 10),
-			"num_links":  s.numLinks,
-			"paths":      s.ps.Len(),
-			"codecs":     []string{CodecJSON, CodecBinary},
+			"matrix_sig":   strconv.FormatUint(s.sig, 10),
+			"num_links":    s.numLinks,
+			"paths":        s.ps.Len(),
+			"codecs":       []string{CodecJSON, CodecBinary},
+			"compressions": []string{CompressionGzip},
 		}
 	}))
 	return mux
